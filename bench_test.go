@@ -1,0 +1,395 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§III), one benchmark per artifact, plus ablation benches for the design
+// choices DESIGN.md calls out. Custom metrics report the paper-facing
+// quantities (latency gaps, knees, gains, spreads); ns/op measures the
+// simulator's wall-clock cost of regenerating the artifact.
+//
+// Run: go test -bench=. -benchmem
+package essdsim_test
+
+import (
+	"io"
+	"testing"
+
+	"essdsim"
+	"essdsim/internal/blockdev"
+	"essdsim/internal/contract"
+	"essdsim/internal/essd"
+	"essdsim/internal/harness"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+	"essdsim/internal/ssd"
+	"essdsim/internal/workload"
+	"essdsim/kv"
+)
+
+func factory(name string) harness.Factory {
+	return func(seed uint64) blockdev.Device {
+		d, err := profiles.ByName(name, sim.NewEngine(), sim.NewRNG(seed, seed^0xbe))
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+}
+
+// benchOpts keeps per-iteration simulated time modest so -bench runs in
+// minutes; the shapes are the same as the full cmd/ucexperiments pass.
+var benchOpts = harness.Options{
+	CellDuration: 150 * sim.Millisecond,
+	Warmup:       30 * sim.Millisecond,
+	Seed:         7,
+}
+
+// BenchmarkTableI regenerates Table I (device envelopes).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := profiles.TableI()
+		if len(rows) != 3 {
+			b.Fatal("Table I must have three rows")
+		}
+		harness.FormatTableI(io.Discard, rows)
+	}
+}
+
+// benchFig2 measures one ESSD's Figure 2 panel against the SSD baseline
+// and reports the paper's headline cells as metrics.
+func benchFig2(b *testing.B, essdName string) {
+	sizes := []int64{4 << 10, 64 << 10, 256 << 10}
+	qds := []int{1, 4, 16}
+	var gapSmall, gapBig float64
+	for i := 0; i < b.N; i++ {
+		e := harness.RunLatencyGridWith(factory(essdName), harness.Fig2Patterns, sizes, qds, benchOpts)
+		s := harness.RunLatencyGridWith(factory("ssd"), harness.Fig2Patterns, sizes, qds, benchOpts)
+		ec := e.Cell(workload.RandWrite, 4<<10, 1)
+		sc := s.Cell(workload.RandWrite, 4<<10, 1)
+		gapSmall = float64(ec.Avg) / float64(sc.Avg)
+		ec = e.Cell(workload.RandWrite, 256<<10, 16)
+		sc = s.Cell(workload.RandWrite, 256<<10, 16)
+		gapBig = float64(ec.Avg) / float64(sc.Avg)
+	}
+	b.ReportMetric(gapSmall, "gap@4K/QD1")
+	b.ReportMetric(gapBig, "gap@256K/QD16")
+}
+
+// BenchmarkFig2_ESSD1 regenerates Figure 2a/2b (AWS io2 vs local SSD).
+func BenchmarkFig2_ESSD1(b *testing.B) { benchFig2(b, "essd1") }
+
+// BenchmarkFig2_ESSD2 regenerates Figure 2c/2d (Alibaba PL3 vs local SSD).
+func BenchmarkFig2_ESSD2(b *testing.B) { benchFig2(b, "essd2") }
+
+// BenchmarkFig3 regenerates Figure 3 (sustained random write, GC knees).
+// A reduced 1.5x-capacity volume keeps iterations affordable while still
+// exposing the SSD knee; the full 3x run lives in cmd/ucexperiments.
+func BenchmarkFig3(b *testing.B) {
+	var ssdKnee, essd2Knee float64
+	for i := 0; i < b.N; i++ {
+		s := harness.RunSustainedWrite(factory("ssd"), 1.5, benchOpts)
+		e := harness.RunSustainedWrite(factory("essd2"), 1.5, benchOpts)
+		ssdKnee = s.KneeCapFrac
+		essd2Knee = e.KneeCapFrac
+	}
+	b.ReportMetric(ssdKnee, "ssd-knee-x")
+	b.ReportMetric(essd2Knee, "essd2-knee-x")
+}
+
+// BenchmarkFig3Full regenerates the paper's full 3x-capacity Figure 3 for
+// all three devices. Expensive; run with -bench=Fig3Full -benchtime=1x.
+func BenchmarkFig3Full(b *testing.B) {
+	var knees [3]float64
+	for i := 0; i < b.N; i++ {
+		for j, name := range []string{"essd1", "essd2", "ssd"} {
+			knees[j] = harness.RunSustainedWrite(factory(name), 3, benchOpts).KneeCapFrac
+		}
+	}
+	b.ReportMetric(knees[0], "essd1-knee-x")
+	b.ReportMetric(knees[1], "essd2-knee-x")
+	b.ReportMetric(knees[2], "ssd-knee-x")
+}
+
+// BenchmarkFig4 regenerates Figure 4 (random vs sequential writes).
+func BenchmarkFig4(b *testing.B) {
+	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	qds := []int{1, 8, 32}
+	var g1, g2, gs float64
+	for i := 0; i < b.N; i++ {
+		r1 := harness.RunRandSeqSweepWith(factory("essd1"), sizes, qds, benchOpts)
+		r2 := harness.RunRandSeqSweepWith(factory("essd2"), sizes, qds, benchOpts)
+		rs := harness.RunRandSeqSweepWith(factory("ssd"), sizes, qds, benchOpts)
+		g1, _ = r1.MaxGain()
+		g2, _ = r2.MaxGain()
+		gs, _ = rs.MaxGain()
+	}
+	b.ReportMetric(g1, "essd1-max-gain")
+	b.ReportMetric(g2, "essd2-max-gain")
+	b.ReportMetric(gs, "ssd-max-gain")
+}
+
+// BenchmarkFig5 regenerates Figure 5 (mixed read/write determinism).
+func BenchmarkFig5(b *testing.B) {
+	ratios := []int{0, 30, 50, 70, 100}
+	var e1Spread, e2Spread, sSpread float64
+	for i := 0; i < b.N; i++ {
+		e1Spread = harness.RunMixedSweepWith(factory("essd1"), ratios, benchOpts).Spread()
+		e2Spread = harness.RunMixedSweepWith(factory("essd2"), ratios, benchOpts).Spread()
+		sSpread = harness.RunMixedSweepWith(factory("ssd"), ratios, benchOpts).Spread()
+	}
+	b.ReportMetric(e1Spread*100, "essd1-spread-%")
+	b.ReportMetric(e2Spread*100, "essd2-spread-%")
+	b.ReportMetric(sSpread*100, "ssd-spread-%")
+}
+
+// BenchmarkContract runs the full four-observation contract checker
+// (quick grids) on ESSD-2.
+func BenchmarkContract(b *testing.B) {
+	pass := 0.0
+	for i := 0; i < b.N; i++ {
+		rep := contract.Evaluate(factory("essd2"), factory("ssd"), contract.EvalOptions{
+			Harness:     benchOpts,
+			CapMultiple: 1.6,
+			Quick:       true,
+		})
+		if rep.Passed() {
+			pass = 1
+		}
+	}
+	b.ReportMetric(pass, "passed")
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// BenchmarkAblationChunkSize varies the placement chunk size, the
+// Observation #3 lever: larger chunks keep a sequential window on one
+// placement group longer and widen the rand/seq gain.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, chunkMB := range []int64{1, 2, 8} {
+		b.Run(fmtMB(chunkMB), func(b *testing.B) {
+			f := func(seed uint64) blockdev.Device {
+				cfg := profiles.ESSD2Config()
+				cfg.Cluster.ChunkBytes = chunkMB << 20
+				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
+			}
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				r := harness.RunRandSeqSweepWith(f, []int64{64 << 10}, []int{32}, benchOpts)
+				gain, _ = r.MaxGain()
+			}
+			b.ReportMetric(gain, "gain@64K/QD32")
+		})
+	}
+}
+
+// BenchmarkAblationReplication varies the replication factor: wider
+// fan-out costs write latency but not sequential bandwidth (the stream
+// stays the bottleneck).
+func BenchmarkAblationReplication(b *testing.B) {
+	for _, replicas := range []int{1, 2, 3} {
+		b.Run(fmtN("r", replicas), func(b *testing.B) {
+			f := func(seed uint64) blockdev.Device {
+				cfg := profiles.ESSD1Config()
+				cfg.Cluster.Replicas = replicas
+				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
+			}
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.RandWrite},
+					[]int64{4 << 10}, []int{1}, benchOpts)
+				avg = g.Cells[0].Avg.Micros()
+			}
+			b.ReportMetric(avg, "write-avg-µs")
+		})
+	}
+}
+
+// BenchmarkAblationCleanerRate varies the backend cleaner rate, the
+// Observation #2 lever: slower cleaners accumulate debt and engage the
+// flow limiter earlier.
+func BenchmarkAblationCleanerRate(b *testing.B) {
+	for _, frac := range []float64{0.4, 0.8, 1.2} {
+		b.Run(fmtPct(frac), func(b *testing.B) {
+			f := func(seed uint64) blockdev.Device {
+				cfg := profiles.ESSD1Config()
+				cfg.Cluster.CleanerRate = frac * cfg.ThroughputBudget
+				cfg.SpareFrac = 0.25
+				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
+			}
+			var knee float64
+			for i := 0; i < b.N; i++ {
+				knee = harness.RunSustainedWrite(f, 2, benchOpts).KneeCapFrac
+			}
+			b.ReportMetric(knee, "knee-x")
+		})
+	}
+}
+
+// BenchmarkAblationWriteBuffer varies the local SSD's DRAM write buffer,
+// the small-write latency lever.
+func BenchmarkAblationWriteBuffer(b *testing.B) {
+	for _, mb := range []int64{4, 64} {
+		b.Run(fmtMB(mb), func(b *testing.B) {
+			f := func(seed uint64) blockdev.Device {
+				cfg := profiles.SSDConfig()
+				cfg.FTL.WriteBufferBytes = mb << 20
+				return ssd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
+			}
+			var p999 float64
+			for i := 0; i < b.N; i++ {
+				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.RandWrite},
+					[]int64{256 << 10}, []int{16}, benchOpts)
+				p999 = g.Cells[0].P999.Micros()
+			}
+			b.ReportMetric(p999, "write-p999-µs")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetchDepth varies the SSD prefetcher, the lever
+// behind the paper's huge ESSD sequential-read gap.
+func BenchmarkAblationPrefetchDepth(b *testing.B) {
+	for _, depth := range []int{0, 16, 64} {
+		b.Run(fmtN("d", depth), func(b *testing.B) {
+			f := func(seed uint64) blockdev.Device {
+				cfg := profiles.SSDConfig()
+				cfg.PrefetchDepth = depth
+				return ssd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
+			}
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.SeqRead},
+					[]int64{4 << 10}, []int{1}, benchOpts)
+				avg = g.Cells[0].Avg.Micros()
+			}
+			b.ReportMetric(avg, "seqread-avg-µs")
+		})
+	}
+}
+
+// BenchmarkAblationBurst varies the ESSD token-bucket burst, the
+// Implication #4 lever trading burst absorption against queueing.
+func BenchmarkAblationBurst(b *testing.B) {
+	for _, mb := range []int64{4, 48, 256} {
+		b.Run(fmtMB(mb), func(b *testing.B) {
+			f := func(seed uint64) blockdev.Device {
+				cfg := profiles.ESSD1Config()
+				cfg.BudgetBurst = float64(mb << 20)
+				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
+			}
+			var p999 float64
+			for i := 0; i < b.N; i++ {
+				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.RandWrite},
+					[]int64{256 << 10}, []int{16}, benchOpts)
+				p999 = g.Cells[0].P999.Micros()
+			}
+			b.ReportMetric(p999, "write-p999-µs")
+		})
+	}
+}
+
+// BenchmarkKVDesign runs the future-work case study: LSM vs update-in-place
+// ingest on ESSD-2, reporting effective put rates.
+func BenchmarkKVDesign(b *testing.B) {
+	var lsmRate, ipRate float64
+	for i := 0; i < b.N; i++ {
+		eng := essdsim.NewEngine()
+		dev, err := essdsim.NewDevice("essd2", eng, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		essdsim.Precondition(dev, true)
+		lsm := kv.Ingest(eng, kv.NewLSM(dev, kv.DefaultLSMConfig()), 20000, 1024, 32, 50000, 3)
+		lsmRate = lsm.PutsPerSec()
+
+		eng2 := essdsim.NewEngine()
+		dev2, err := essdsim.NewDevice("essd2", eng2, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		essdsim.Precondition(dev2, true)
+		ip := kv.Ingest(eng2, kv.NewPageStore(dev2, kv.DefaultPageStoreConfig(dev2)), 20000, 1024, 32, 50000, 3)
+		ipRate = ip.PutsPerSec()
+	}
+	b.ReportMetric(lsmRate/1e3, "lsm-Kops/s")
+	b.ReportMetric(ipRate/1e3, "inplace-Kops/s")
+}
+
+// BenchmarkAblationBurstCredits contrasts the burstable gp2-class tier's
+// two regimes: a short burst-backed sprint vs a drained-credit slog.
+func BenchmarkAblationBurstCredits(b *testing.B) {
+	var burstRate, baseRate float64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		dev, err := profiles.ByName("gp2", eng, sim.NewRNG(5, 5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := workload.Run(dev, workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 256 << 10,
+			QueueDepth: 32, TotalBytes: 4 << 30, Seed: 5,
+		})
+		burstRate = res.Series.Rate(0)
+		baseRate = res.Series.MeanRate(res.Series.Len()-3, res.Series.Len())
+	}
+	b.ReportMetric(burstRate/1e9, "burst-GB/s")
+	b.ReportMetric(baseRate/1e9, "drained-GB/s")
+}
+
+// BenchmarkEngineThroughput measures raw simulator event throughput.
+func BenchmarkEngineThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(sim.Duration(i%1000), func() {})
+		if i%1024 == 0 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkDeviceIO measures simulated I/O cost per operation for each
+// device profile (simulator performance, not device performance).
+func BenchmarkDeviceIO(b *testing.B) {
+	for _, name := range []string{"ssd", "essd1", "essd2"} {
+		b.Run(name, func(b *testing.B) {
+			eng := essdsim.NewEngine()
+			dev, err := essdsim.NewDevice(name, eng, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			essdsim.Precondition(dev, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			inflight := 0
+			for i := 0; i < b.N; i++ {
+				inflight++
+				dev.Submit(&essdsim.Request{
+					Op:     essdsim.OpWrite,
+					Offset: int64(i%1024) * 4096,
+					Size:   4096,
+					OnComplete: func(r *essdsim.Request, at essdsim.Time) {
+						inflight--
+					},
+				})
+				if inflight >= 64 {
+					eng.Run()
+				}
+			}
+			eng.Run()
+		})
+	}
+}
+
+func fmtMB(n int64) string { return fmtN("", int(n)) + "MB" }
+
+func fmtPct(frac float64) string { return fmtN("cleaner", int(frac*100)) + "pct" }
+
+func fmtN(prefix string, n int) string {
+	digits := ""
+	if n == 0 {
+		digits = "0"
+	}
+	for v := n; v > 0; v /= 10 {
+		digits = string(rune('0'+v%10)) + digits
+	}
+	return prefix + digits
+}

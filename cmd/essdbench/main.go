@@ -1,0 +1,162 @@
+// Command essdbench is a fio-like benchmark front end for the simulated
+// devices: it runs one workload (from flags or a fio job file) against a
+// chosen device profile and prints a fio-style summary.
+//
+// Examples:
+//
+//	essdbench -device essd1 -rw randwrite -bs 4k -iodepth 1 -runtime 1s
+//	essdbench -device ssd -rw randread -bs 256k -iodepth 16 -runtime 500ms
+//	essdbench -device essd2 -job job.fio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"essdsim"
+	"essdsim/internal/fio"
+	"essdsim/internal/workload"
+)
+
+func main() {
+	var (
+		device  = flag.String("device", "essd1", "device profile: "+strings.Join(essdsim.ProfileNames(), ", "))
+		rw      = flag.String("rw", "randread", "pattern: randread, randwrite, read, write, randrw")
+		bs      = flag.String("bs", "4k", "I/O size (k/m suffixes)")
+		iodepth = flag.Int("iodepth", 1, "queue depth")
+		runtime = flag.String("runtime", "1s", "measurement duration (simulated)")
+		warmup  = flag.String("warmup", "100ms", "warmup excluded from stats")
+		size    = flag.String("size", "", "stop after this many bytes instead of runtime")
+		mixPct  = flag.Int("rwmixwrite", 50, "write percentage for randrw")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		jobFile = flag.String("job", "", "fio job file (overrides workload flags)")
+		precond = flag.String("precondition", "auto", "auto, full, half, none")
+		rate    = flag.Float64("rate", 0, "open-loop arrival rate (req/s); 0 = closed loop at -iodepth")
+		arrival = flag.String("arrival", "uniform", "open-loop arrivals: uniform, poisson, bursty")
+		ops     = flag.Uint64("ops", 10000, "open-loop request count (with -rate)")
+	)
+	flag.Parse()
+
+	eng := essdsim.NewEngine()
+	dev, err := essdsim.NewDevice(*device, eng, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *rate > 0 {
+		runOpenLoop(dev, *rw, *bs, *rate, *arrival, *ops, *seed, *precond)
+		return
+	}
+
+	var jobs []fio.Job
+	if *jobFile != "" {
+		f, err := os.Open(*jobFile)
+		if err != nil {
+			fatal(err)
+		}
+		jobs, err = fio.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		pattern, err := workload.ParsePattern(*rw)
+		if err != nil {
+			fatal(err)
+		}
+		blockSize, err := fio.ParseSize(*bs)
+		if err != nil {
+			fatal(err)
+		}
+		spec := essdsim.Workload{
+			Pattern:    pattern,
+			BlockSize:  blockSize,
+			QueueDepth: *iodepth,
+			WriteRatio: float64(*mixPct) / 100,
+			Seed:       *seed,
+		}
+		if *size != "" {
+			spec.TotalBytes, err = fio.ParseSize(*size)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			spec.Duration, err = fio.ParseDuration(*runtime)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Warmup, err = fio.ParseDuration(*warmup)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		jobs = []fio.Job{{Name: "cmdline", Spec: spec}}
+	}
+
+	for _, job := range jobs {
+		switch *precond {
+		case "auto":
+			essdsim.Precondition(dev, job.Spec.Pattern.IsWrite())
+		case "full":
+			essdsim.Precondition(dev, false)
+		case "half":
+			essdsim.Precondition(dev, true)
+		case "none":
+		default:
+			fatal(fmt.Errorf("unknown -precondition %q", *precond))
+		}
+		fmt.Printf("=== job %s ===\n", job.Name)
+		res := essdsim.Run(dev, job.Spec)
+		essdsim.FormatWorkloadResult(os.Stdout, res)
+	}
+}
+
+// runOpenLoop issues requests on an arrival schedule instead of a closed
+// loop, exposing the queueing that Implication #4 is about.
+func runOpenLoop(dev essdsim.Device, rw, bs string, rate float64,
+	arrival string, ops, seed uint64, precond string) {
+	pattern, err := workload.ParsePattern(rw)
+	if err != nil {
+		fatal(err)
+	}
+	blockSize, err := fio.ParseSize(bs)
+	if err != nil {
+		fatal(err)
+	}
+	var arr workload.Arrival
+	switch arrival {
+	case "uniform":
+		arr = workload.Uniform
+	case "poisson":
+		arr = workload.Poisson
+	case "bursty":
+		arr = workload.Bursty
+	default:
+		fatal(fmt.Errorf("unknown -arrival %q", arrival))
+	}
+	if precond == "auto" || precond == "full" {
+		essdsim.Precondition(dev, pattern.IsWrite() && precond == "auto")
+	}
+	res := workload.RunOpen(dev, workload.OpenSpec{
+		Pattern:    pattern,
+		BlockSize:  blockSize,
+		RatePerSec: rate,
+		Arrival:    arr,
+		Count:      ops,
+		Seed:       seed,
+	})
+	s := res.Lat.Summarize()
+	fmt.Printf("%s: open-loop %s bs=%s rate=%.0f/s arrivals=%s\n",
+		res.Device, pattern, bs, rate, arr)
+	fmt.Printf("  ops=%d elapsed=%v peak-outstanding=%d\n",
+		res.Ops, res.Elapsed, res.MaxOutstanding)
+	fmt.Printf("  lat avg=%v p50=%v p99=%v p99.9=%v max=%v\n",
+		s.Mean, s.P50, s.P99, s.P999, s.Max)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "essdbench:", err)
+	os.Exit(1)
+}

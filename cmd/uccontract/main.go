@@ -1,0 +1,75 @@
+// Command uccontract runs the unwritten-contract checker against an ESSD
+// profile, using the local SSD as the comparison baseline, and prints the
+// verdict on all four observations plus the five implications.
+//
+// Examples:
+//
+//	uccontract -device essd1
+//	uccontract -device essd2 -quick -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"essdsim"
+	"essdsim/internal/blockdev"
+	"essdsim/internal/contract"
+	"essdsim/internal/harness"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+)
+
+func main() {
+	var (
+		device  = flag.String("device", "essd1", "ESSD profile to check: "+strings.Join(essdsim.ProfileNames(), ", "))
+		quick   = flag.Bool("quick", false, "reduced grids for a fast pass")
+		seed    = flag.Uint64("seed", 11, "deterministic seed")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+		mult    = flag.Float64("capmult", 3, "sustained-write volume in capacity multiples")
+	)
+	flag.Parse()
+
+	mk := func(name string) harness.Factory {
+		return func(s uint64) blockdev.Device {
+			d, err := profiles.ByName(name, sim.NewEngine(), sim.NewRNG(*seed^s, s+1))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uccontract:", err)
+				os.Exit(1)
+			}
+			return d
+		}
+	}
+	opts := contract.EvalOptions{Quick: *quick, CapMultiple: *mult}
+	if *quick {
+		opts.Harness = harness.Options{
+			CellDuration: 150 * sim.Millisecond,
+			Warmup:       30 * sim.Millisecond,
+			Seed:         *seed,
+		}
+		if *mult == 3 {
+			opts.CapMultiple = 1.6
+		}
+	} else {
+		opts.Harness = harness.Options{Seed: *seed}
+	}
+
+	report := contract.Evaluate(mk(*device), mk("ssd"), opts)
+	if *jsonOut {
+		js, err := report.MarshalIndent()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uccontract:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(js))
+	} else {
+		contract.Format(os.Stdout, report)
+		fmt.Println()
+		contract.FormatAdvice(os.Stdout, report)
+	}
+	if !report.Passed() {
+		os.Exit(2)
+	}
+}

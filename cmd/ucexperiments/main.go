@@ -1,0 +1,173 @@
+// Command ucexperiments regenerates the paper's evaluation artifacts
+// (Table I and Figures 2-5) on the simulated devices and prints them in the
+// paper's layout. Optionally dumps raw CSV series for plotting.
+//
+// Examples:
+//
+//	ucexperiments -exp table1
+//	ucexperiments -exp fig2 -quick
+//	ucexperiments -exp all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/harness"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+)
+
+func factory(name string, seed uint64) harness.Factory {
+	return func(s uint64) blockdev.Device {
+		d, err := profiles.ByName(name, sim.NewEngine(), sim.NewRNG(seed^s, s+0x9))
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, or all")
+		quick = flag.Bool("quick", false, "reduced grids for a fast pass")
+		seed  = flag.Uint64("seed", 7, "deterministic seed")
+		out   = flag.String("out", "", "directory for raw CSV dumps (optional)")
+	)
+	flag.Parse()
+
+	opts := harness.Options{Seed: *seed}
+	if *quick {
+		opts.CellDuration = 150 * sim.Millisecond
+		opts.Warmup = 30 * sim.Millisecond
+	}
+	essd1 := factory("essd1", *seed)
+	essd2 := factory("essd2", *seed)
+	ssd := factory("ssd", *seed)
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		harness.FormatTableI(os.Stdout, profiles.TableI())
+		fmt.Println()
+	}
+	if want("fig2") {
+		ran = true
+		sizes, qds := harness.Fig2Sizes, harness.Fig2QDs
+		if *quick {
+			sizes, qds = []int64{4 << 10, 64 << 10, 256 << 10}, []int{1, 4, 16}
+		}
+		ssdGrid := harness.RunLatencyGridWith(ssd, harness.Fig2Patterns, sizes, qds, opts)
+		for i, f := range []harness.Factory{essd1, essd2} {
+			grid := harness.RunLatencyGridWith(f, harness.Fig2Patterns, sizes, qds, opts)
+			fmt.Printf("--- Figure 2%s/%s ---\n", string(rune('a'+2*i)), string(rune('b'+2*i)))
+			harness.FormatFig2(os.Stdout, grid, ssdGrid, harness.MetricAvg)
+			fmt.Println()
+			harness.FormatFig2(os.Stdout, grid, ssdGrid, harness.MetricP999)
+			fmt.Println()
+			if *out != "" {
+				dumpGridCSV(*out, fmt.Sprintf("fig2_essd%d.csv", i+1), grid, ssdGrid)
+			}
+		}
+	}
+	if want("fig3") {
+		ran = true
+		mult := 3.0
+		if *quick {
+			mult = 1.5
+		}
+		var results []*harness.SustainedResult
+		for _, f := range []harness.Factory{essd1, essd2, ssd} {
+			results = append(results, harness.RunSustainedWrite(f, mult, opts))
+		}
+		harness.FormatFig3(os.Stdout, results)
+		fmt.Println()
+		if *out != "" {
+			dumpFig3CSV(*out, results)
+		}
+	}
+	if want("fig4") {
+		ran = true
+		sizes, qds := harness.Fig4Sizes, harness.Fig4QDs
+		if *quick {
+			sizes, qds = []int64{4 << 10, 32 << 10, 256 << 10}, []int{1, 8, 32}
+		}
+		var results []*harness.RandSeqResult
+		for _, f := range []harness.Factory{essd1, essd2, ssd} {
+			results = append(results, harness.RunRandSeqSweepWith(f, sizes, qds, opts))
+		}
+		harness.FormatFig4(os.Stdout, results)
+		fmt.Println()
+		if *out != "" {
+			dumpFig4CSV(*out, results)
+		}
+	}
+	if want("fig5") {
+		ran = true
+		ratios := harness.Fig5Ratios
+		if *quick {
+			ratios = []int{0, 30, 50, 70, 100}
+		}
+		var results []*harness.MixedResult
+		for _, f := range []harness.Factory{essd1, essd2, ssd} {
+			results = append(results, harness.RunMixedSweepWith(f, ratios, opts))
+		}
+		harness.FormatFig5(os.Stdout, results)
+		if *out != "" {
+			dumpFig5CSV(*out, results)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ucexperiments: unknown -exp %q\n", *exp)
+		os.Exit(1)
+	}
+}
+
+func csvFile(dir, name string) *os.File {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func dumpGridCSV(dir, name string, essd, ssd *harness.LatencyGrid) {
+	f := csvFile(dir, name)
+	defer f.Close()
+	if err := harness.WriteFig2CSV(f, essd, ssd); err != nil {
+		panic(err)
+	}
+}
+
+func dumpFig3CSV(dir string, results []*harness.SustainedResult) {
+	f := csvFile(dir, "fig3.csv")
+	defer f.Close()
+	if err := harness.WriteFig3CSV(f, results); err != nil {
+		panic(err)
+	}
+}
+
+func dumpFig4CSV(dir string, results []*harness.RandSeqResult) {
+	f := csvFile(dir, "fig4.csv")
+	defer f.Close()
+	if err := harness.WriteFig4CSV(f, results); err != nil {
+		panic(err)
+	}
+}
+
+func dumpFig5CSV(dir string, results []*harness.MixedResult) {
+	f := csvFile(dir, "fig5.csv")
+	defer f.Close()
+	if err := harness.WriteFig5CSV(f, results); err != nil {
+		panic(err)
+	}
+}

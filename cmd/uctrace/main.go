@@ -1,0 +1,134 @@
+// Command uctrace replays block I/O traces against simulated devices and
+// generates synthetic traces from fio-style workload parameters.
+//
+// Examples:
+//
+//	uctrace gen -rw randwrite -bs 4k -iodepth 8 -ops 10000 -o trace.txt
+//	uctrace replay -device essd1 trace.txt
+//	uctrace replay -device ssd trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"essdsim"
+	"essdsim/internal/fio"
+	"essdsim/internal/trace"
+	"essdsim/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  uctrace gen -rw <pattern> -bs <size> -iodepth <n> -ops <n> [-device <name>] [-o file]
+  uctrace replay -device <name> <trace-file>`)
+	os.Exit(1)
+}
+
+// gen records a synthetic workload's submission times on a reference
+// device into a portable trace.
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		rw      = fs.String("rw", "randwrite", "pattern")
+		bs      = fs.String("bs", "4k", "I/O size")
+		iodepth = fs.Int("iodepth", 8, "queue depth")
+		ops     = fs.Uint64("ops", 10000, "operations to generate")
+		device  = fs.String("device", "essd1", "reference device setting the issue cadence")
+		out     = fs.String("o", "", "output file (default stdout)")
+		seed    = fs.Uint64("seed", 1, "deterministic seed")
+	)
+	fs.Parse(args)
+
+	pattern, err := workload.ParsePattern(*rw)
+	if err != nil {
+		fatal(err)
+	}
+	blockSize, err := fio.ParseSize(*bs)
+	if err != nil {
+		fatal(err)
+	}
+	eng := essdsim.NewEngine()
+	dev, err := essdsim.NewDevice(*device, eng, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	essdsim.Precondition(dev, pattern.IsWrite())
+	rec := trace.NewRecorder(dev)
+	essdsim.Run(rec, essdsim.Workload{
+		Pattern:    pattern,
+		BlockSize:  blockSize,
+		QueueDepth: *iodepth,
+		MaxOps:     *ops,
+		Seed:       *seed,
+	})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, rec.Recs); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "uctrace: wrote %d records\n", len(rec.Recs))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		device  = fs.String("device", "essd1", "device to replay onto")
+		seed    = fs.Uint64("seed", 1, "deterministic seed")
+		precond = fs.Bool("precondition", true, "fill the device before replay")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	eng := essdsim.NewEngine()
+	dev, err := essdsim.NewDevice(*device, eng, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *precond {
+		essdsim.Precondition(dev, false)
+	}
+	res := trace.Replay(dev, recs)
+	s := res.Lat.Summarize()
+	fmt.Printf("%s: replayed %d ops, %d bytes in %v (stretch %.2fx)\n",
+		res.Device, res.Ops, res.Bytes, res.Elapsed, res.Stretch)
+	fmt.Printf("latency avg=%v p50=%v p99=%v p99.9=%v max=%v\n",
+		s.Mean, s.P50, s.P99, s.P999, s.Max)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uctrace:", err)
+	os.Exit(1)
+}

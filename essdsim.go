@@ -1,0 +1,201 @@
+// Package essdsim is the public API of the elastic-SSD simulation library,
+// a reproduction of "The Unwritten Contract of Cloud-based Elastic
+// Solid-State Drives" (Wang & Yang, DAC 2025).
+//
+// The library provides:
+//
+//   - calibrated simulated devices: two cloud ESSDs (AWS io2 class and
+//     Alibaba PL3 class) and a local NVMe SSD (Samsung 970 Pro class),
+//     all behind one block-device interface;
+//   - a fio-style workload engine with latency histograms and throughput
+//     timelines measured in deterministic virtual time;
+//   - experiment harnesses that regenerate every table and figure of the
+//     paper; and
+//   - a contract checker that verdicts the paper's four observations on
+//     any device and prints the five implications.
+//
+// Quick start:
+//
+//	eng := essdsim.NewEngine()
+//	dev := essdsim.NewESSD1(eng, 42)
+//	essdsim.Precondition(dev, true)
+//	res := essdsim.Run(dev, essdsim.Workload{
+//	    Pattern:    essdsim.RandWrite,
+//	    BlockSize:  4 << 10,
+//	    QueueDepth: 1,
+//	    Duration:   500 * essdsim.Millisecond,
+//	})
+//	fmt.Println(res.Lat.Summarize())
+package essdsim
+
+import (
+	"io"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/contract"
+	"essdsim/internal/essd"
+	"essdsim/internal/fio"
+	"essdsim/internal/harness"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+	"essdsim/internal/ssd"
+	"essdsim/internal/stats"
+	"essdsim/internal/trace"
+	"essdsim/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Engine is the discrete-event simulation engine devices run on.
+	Engine = sim.Engine
+	// Time is a point in simulated time (nanoseconds).
+	Time = sim.Time
+	// Duration is a span of simulated time (nanoseconds).
+	Duration = sim.Duration
+	// Device is a simulated block storage device.
+	Device = blockdev.Device
+	// Request is one asynchronous block I/O.
+	Request = blockdev.Request
+	// Op is a block operation type.
+	Op = blockdev.Op
+)
+
+// Duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Block operation types.
+const (
+	OpRead  = blockdev.Read
+	OpWrite = blockdev.Write
+	OpTrim  = blockdev.Trim
+	OpFlush = blockdev.Flush
+)
+
+// Workload types.
+type (
+	// Workload describes one fio-style run (pattern, bs, qd, bounds).
+	Workload = workload.Spec
+	// WorkloadResult holds the measurements of one run.
+	WorkloadResult = workload.Result
+	// Pattern is a fio-style access pattern.
+	Pattern = workload.Pattern
+	// Histogram is an HDR-style latency histogram.
+	Histogram = stats.Histogram
+	// LatencySummary is a histogram snapshot (avg, p50, p99, p99.9, max).
+	LatencySummary = stats.Summary
+)
+
+// Access patterns.
+const (
+	RandWrite = workload.RandWrite
+	SeqWrite  = workload.SeqWrite
+	RandRead  = workload.RandRead
+	SeqRead   = workload.SeqRead
+	Mixed     = workload.Mixed
+)
+
+// NewEngine returns a fresh simulation engine with the clock at zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewESSD1 builds the calibrated ESSD-1 (Amazon AWS io2 class) volume.
+func NewESSD1(eng *Engine, seed uint64) *essd.ESSD {
+	return profiles.NewESSD1(eng, sim.NewRNG(seed, seed^0x1))
+}
+
+// NewESSD2 builds the calibrated ESSD-2 (Alibaba Cloud PL3 class) volume.
+func NewESSD2(eng *Engine, seed uint64) *essd.ESSD {
+	return profiles.NewESSD2(eng, sim.NewRNG(seed, seed^0x2))
+}
+
+// NewLocalSSD builds the calibrated local SSD (Samsung 970 Pro class).
+func NewLocalSSD(eng *Engine, seed uint64) *ssd.SSD {
+	return profiles.NewSSD(eng, sim.NewRNG(seed, seed^0x3))
+}
+
+// NewDevice builds a device by profile name: "essd1", "essd2", "ssd",
+// "gp3", or "pl1".
+func NewDevice(name string, eng *Engine, seed uint64) (Device, error) {
+	return profiles.ByName(name, eng, sim.NewRNG(seed, seed^0x4))
+}
+
+// ProfileNames lists the valid NewDevice profile names.
+func ProfileNames() []string { return profiles.Names() }
+
+// Run executes a workload on a device, driving its engine until every
+// outstanding I/O drains, and returns the measurements.
+func Run(dev Device, spec Workload) *WorkloadResult { return workload.Run(dev, spec) }
+
+// Precondition prepares a device for measurement: write experiments get a
+// GC-free half-filled device; read experiments a fully written one.
+func Precondition(dev Device, forWrites bool) { harness.Precondition(dev, forWrites) }
+
+// ParseFioJobs parses a fio job file subset into named workloads.
+func ParseFioJobs(r io.Reader) ([]fio.Job, error) { return fio.Parse(r) }
+
+// Trace types.
+type (
+	// TraceRecord is one traced I/O.
+	TraceRecord = trace.Record
+	// TraceReplayResult summarizes a trace replay.
+	TraceReplayResult = trace.ReplayResult
+)
+
+// ReadTrace parses a text trace.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.Read(r) }
+
+// WriteTrace serializes a text trace.
+func WriteTrace(w io.Writer, recs []TraceRecord) error { return trace.Write(w, recs) }
+
+// ReplayTrace replays records against a device open-loop.
+func ReplayTrace(dev Device, recs []TraceRecord) *TraceReplayResult {
+	return trace.Replay(dev, recs)
+}
+
+// Experiment harness types.
+type (
+	// ExperimentOptions tune harness durations and seeding.
+	ExperimentOptions = harness.Options
+	// LatencyGrid is a Figure 2 measurement.
+	LatencyGrid = harness.LatencyGrid
+	// SustainedResult is a Figure 3 measurement.
+	SustainedResult = harness.SustainedResult
+	// RandSeqResult is a Figure 4 measurement.
+	RandSeqResult = harness.RandSeqResult
+	// MixedResult is a Figure 5 measurement.
+	MixedResult = harness.MixedResult
+	// DeviceFactory constructs a fresh device for one experiment cell.
+	DeviceFactory = harness.Factory
+)
+
+// Contract checker types.
+type (
+	// ContractReport is a full contract evaluation.
+	ContractReport = contract.Report
+	// ContractCheck is the verdict on one observation.
+	ContractCheck = contract.Check
+	// ContractOptions configure a contract evaluation.
+	ContractOptions = contract.EvalOptions
+)
+
+// CheckContract runs the paper's four observation checks of the unwritten
+// contract for an ESSD factory against a local-SSD baseline factory.
+func CheckContract(essdFactory, ssdFactory DeviceFactory, opts ContractOptions) *ContractReport {
+	return contract.Evaluate(essdFactory, ssdFactory, opts)
+}
+
+// FormatContract writes a human-readable contract report.
+func FormatContract(w io.Writer, r *ContractReport) { contract.Format(w, r) }
+
+// FormatAdvice writes the paper's five implications annotated by the
+// report's outcomes.
+func FormatAdvice(w io.Writer, r *ContractReport) { contract.FormatAdvice(w, r) }
+
+// FormatWorkloadResult prints a fio-like summary of a run.
+func FormatWorkloadResult(w io.Writer, r *WorkloadResult) {
+	harness.FormatWorkloadResult(w, r)
+}

@@ -1,0 +1,148 @@
+package essdsim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"essdsim"
+)
+
+// These tests exercise the public façade exactly as the examples and a
+// downstream user would, without touching internal packages directly.
+
+func TestPublicDeviceConstruction(t *testing.T) {
+	eng := essdsim.NewEngine()
+	e1 := essdsim.NewESSD1(eng, 1)
+	if e1.Capacity() <= 0 || e1.BlockSize() != 4096 {
+		t.Fatal("ESSD-1 identity")
+	}
+	e2 := essdsim.NewESSD2(essdsim.NewEngine(), 1)
+	if !strings.Contains(e2.Name(), "PL3") {
+		t.Fatalf("ESSD-2 name %q", e2.Name())
+	}
+	s := essdsim.NewLocalSSD(essdsim.NewEngine(), 1)
+	if !strings.Contains(s.Name(), "970") {
+		t.Fatalf("SSD name %q", s.Name())
+	}
+	for _, name := range essdsim.ProfileNames() {
+		if _, err := essdsim.NewDevice(name, essdsim.NewEngine(), 1); err != nil {
+			t.Fatalf("profile %q: %v", name, err)
+		}
+	}
+	if _, err := essdsim.NewDevice("bogus", essdsim.NewEngine(), 1); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}
+
+func TestPublicRunWorkload(t *testing.T) {
+	eng := essdsim.NewEngine()
+	dev := essdsim.NewESSD2(eng, 5)
+	essdsim.Precondition(dev, true)
+	res := essdsim.Run(dev, essdsim.Workload{
+		Pattern:    essdsim.RandWrite,
+		BlockSize:  4 << 10,
+		QueueDepth: 4,
+		MaxOps:     500,
+		Seed:       5,
+	})
+	if res.Ops != 500 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	s := res.Lat.Summarize()
+	if s.Mean <= 0 || s.P999 < s.Mean {
+		t.Fatalf("summary %+v", s)
+	}
+	var buf bytes.Buffer
+	essdsim.FormatWorkloadResult(&buf, res)
+	if !strings.Contains(buf.String(), "iops") {
+		t.Fatal("workload summary malformed")
+	}
+}
+
+func TestPublicSubmitDirect(t *testing.T) {
+	eng := essdsim.NewEngine()
+	dev := essdsim.NewLocalSSD(eng, 2)
+	var lat essdsim.Duration = -1
+	dev.Submit(&essdsim.Request{
+		Op:     essdsim.OpWrite,
+		Offset: 0,
+		Size:   4096,
+		OnComplete: func(r *essdsim.Request, at essdsim.Time) {
+			lat = r.Latency(at)
+		},
+	})
+	eng.Run()
+	if lat <= 0 || lat > 100*essdsim.Microsecond {
+		t.Fatalf("buffered 4K write latency = %v", lat)
+	}
+}
+
+func TestPublicFioJobs(t *testing.T) {
+	jobs, err := essdsim.ParseFioJobs(strings.NewReader(`
+[global]
+bs=8k
+iodepth=4
+
+[probe]
+rw=randread
+number_ios=100
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := essdsim.NewEngine()
+	dev := essdsim.NewESSD1(eng, 3)
+	essdsim.Precondition(dev, false)
+	res := essdsim.Run(dev, jobs[0].Spec)
+	if res.Ops != 100 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	recs := []essdsim.TraceRecord{
+		{At: 0, Op: essdsim.OpWrite, Offset: 0, Size: 8192},
+		{At: essdsim.Duration(essdsim.Millisecond), Op: essdsim.OpRead, Offset: 0, Size: 4096},
+	}
+	var buf bytes.Buffer
+	if err := essdsim.WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := essdsim.ReadTrace(&buf)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("read back: %v %d", err, len(back))
+	}
+	eng := essdsim.NewEngine()
+	dev := essdsim.NewESSD2(eng, 4)
+	essdsim.Precondition(dev, false)
+	res := essdsim.ReplayTrace(dev, back)
+	if res.Ops != 2 {
+		t.Fatalf("replayed %d", res.Ops)
+	}
+}
+
+func TestPublicObservation1EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("public integration skipped in -short")
+	}
+	measure := func(mk func() essdsim.Device, bs int64, qd int) essdsim.Duration {
+		dev := mk()
+		essdsim.Precondition(dev, true)
+		res := essdsim.Run(dev, essdsim.Workload{
+			Pattern: essdsim.RandWrite, BlockSize: bs, QueueDepth: qd,
+			Duration: 200 * essdsim.Millisecond, Warmup: 40 * essdsim.Millisecond, Seed: 6,
+		})
+		return res.Lat.Summarize().Mean
+	}
+	essd := func() essdsim.Device { return essdsim.NewESSD1(essdsim.NewEngine(), 6) }
+	ssd := func() essdsim.Device { return essdsim.NewLocalSSD(essdsim.NewEngine(), 6) }
+	gapSmall := float64(measure(essd, 4<<10, 1)) / float64(measure(ssd, 4<<10, 1))
+	gapBig := float64(measure(essd, 256<<10, 16)) / float64(measure(ssd, 256<<10, 16))
+	if gapSmall < 10 {
+		t.Errorf("small-I/O gap %.1fx, want tens of times", gapSmall)
+	}
+	if gapBig > gapSmall/4 {
+		t.Errorf("scaling did not shrink the gap: %.1fx -> %.1fx", gapSmall, gapBig)
+	}
+}

@@ -1,0 +1,80 @@
+// budgetplanner demonstrates Implication #4: because ESSD bandwidth is a
+// deterministic provisioned budget (Observation #4), bursty I/O above the
+// budget only buys queueing delay. Smoothing the same volume of I/O evenly
+// across the timeline meets the same deadline on a smaller (cheaper)
+// budget tier.
+//
+// The workload: 80 MiB of writes arriving each second. Bursty mode issues
+// it all at the start of each second; smooth mode spreads it evenly.
+package main
+
+import (
+	"fmt"
+
+	"essdsim"
+)
+
+const (
+	ioSize    = 1 << 20 // 1 MiB writes
+	iosPerSec = 80      // 80 MiB/s offered load
+	seconds   = 5
+	totalIOs  = iosPerSec * seconds
+)
+
+// run issues totalIOs writes on the device, either bursty (all of a
+// second's I/O at its start) or smoothed (evenly paced), and reports the
+// p99 completion latency relative to each I/O's intended issue time.
+func run(deviceName string, smooth bool) (p99 essdsim.Duration, makespan essdsim.Duration) {
+	eng := essdsim.NewEngine()
+	dev, err := essdsim.NewDevice(deviceName, eng, 9)
+	if err != nil {
+		panic(err)
+	}
+	essdsim.Precondition(dev, true)
+	recs := make([]essdsim.TraceRecord, 0, totalIOs)
+	for i := 0; i < totalIOs; i++ {
+		sec := i / iosPerSec
+		var at essdsim.Duration
+		if smooth {
+			at = essdsim.Duration(i) * essdsim.Second / essdsim.Duration(iosPerSec)
+		} else {
+			at = essdsim.Duration(sec) * essdsim.Second
+		}
+		recs = append(recs, essdsim.TraceRecord{
+			At:     at,
+			Op:     essdsim.OpWrite,
+			Offset: int64(i%1024) * (4 << 20),
+			Size:   ioSize,
+		})
+	}
+	res := essdsim.ReplayTrace(dev, recs)
+	return res.Lat.Percentile(99), res.Elapsed
+}
+
+func main() {
+	fmt.Println("Implication #4: smooth I/O below the provisioned budget.")
+	fmt.Printf("Offered load: %d MiB/s of 1 MiB writes for %d seconds.\n\n", iosPerSec, seconds)
+	fmt.Printf("%-28s %-12s %-14s %-12s\n", "volume / arrival shape", "budget", "p99 latency", "makespan")
+	for _, tier := range []struct {
+		name   string
+		budget string
+	}{
+		{"essd1", "3.0 GB/s"}, // over-provisioned for this load
+		{"gp3", "1.0 GB/s"},   // cheaper tier, still 12x the offered load
+		{"pl1", "0.35 GB/s"},  // cheapest tier: 4.4x the offered load
+	} {
+		for _, smooth := range []bool{false, true} {
+			shape := "bursty"
+			if smooth {
+				shape = "smooth"
+			}
+			p99, makespan := run(tier.name, smooth)
+			fmt.Printf("%-28s %-12s %-14v %-12v\n",
+				fmt.Sprintf("%s / %s", tier.name, shape), tier.budget, p99, makespan)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Reading the table: on the big budget both shapes are fine. On the small")
+	fmt.Println("budget the bursty shape queues behind the token bucket (p99 explodes),")
+	fmt.Println("while the smoothed shape fits the same work under the same cheap budget.")
+}

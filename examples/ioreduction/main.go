@@ -1,0 +1,107 @@
+// ioreduction re-evaluates compression on cloud storage (Implication #5):
+// on a local SSD, spending CPU to shrink small writes loses on latency
+// because the medium is faster than the compressor; behind an ESSD's
+// network latency and throughput budget, the same compressor is latency-
+// neutral and halves the bytes charged against the provisioned budget —
+// cutting both the makespan of budget-bound work and the bill.
+//
+// Model: 16 KiB logical blocks, compressor ratio 2.0, 40 µs CPU per block
+// on the critical path (zstd-class figures).
+package main
+
+import (
+	"fmt"
+
+	"essdsim"
+)
+
+const (
+	logicalBlock  = 16 << 10
+	compressRatio = 2.0
+	compressCPU   = 40 * essdsim.Microsecond
+)
+
+// run ingests `blocks` logical blocks at the given queue depth, optionally
+// compressed, and returns mean per-block latency (measured from before
+// compression starts) and the makespan.
+func run(deviceName string, compressed bool, blocks, qd int) (avg, makespan essdsim.Duration) {
+	eng := essdsim.NewEngine()
+	dev, err := essdsim.NewDevice(deviceName, eng, 13)
+	if err != nil {
+		panic(err)
+	}
+	essdsim.Precondition(dev, true)
+	ioSize := int64(logicalBlock)
+	if compressed {
+		bs := int64(dev.BlockSize())
+		ioSize = (int64(float64(logicalBlock)/compressRatio) + bs - 1) / bs * bs
+	}
+	var total essdsim.Duration
+	done, inflight, next := 0, 0, 0
+	var submit func()
+	submit = func() {
+		for inflight < qd && next < blocks {
+			next++
+			inflight++
+			issue := eng.Now()
+			off := int64(next%1024) * (4 << 20)
+			start := func() {
+				dev.Submit(&essdsim.Request{
+					Op:     essdsim.OpWrite,
+					Offset: off,
+					Size:   ioSize,
+					OnComplete: func(r *essdsim.Request, at essdsim.Time) {
+						total += at.Sub(issue)
+						done++
+						inflight--
+						submit()
+					},
+				})
+			}
+			if compressed {
+				eng.Schedule(compressCPU, start) // CPU on the critical path
+			} else {
+				start()
+			}
+		}
+	}
+	submit()
+	eng.Run()
+	return total / essdsim.Duration(done), eng.Now().Sub(0)
+}
+
+func main() {
+	fmt.Println("Implication #5: re-evaluate I/O reduction (compression) for ESSDs.")
+	fmt.Printf("%dK blocks, ratio %.1fx, %v CPU per block on the critical path.\n",
+		logicalBlock>>10, compressRatio, compressCPU)
+
+	fmt.Println("\n(1) Latency-bound: single outstanding write (QD1).")
+	fmt.Printf("%-10s %-14s %-14s %s\n", "device", "raw avg", "compressed avg", "latency verdict")
+	for _, name := range []string{"ssd", "essd2"} {
+		raw, _ := run(name, false, 512, 1)
+		comp, _ := run(name, true, 512, 1)
+		verdict := "compression is ~free"
+		if comp > raw*3/2 {
+			verdict = "compression HURTS"
+		} else if comp < raw {
+			verdict = "compression wins"
+		}
+		fmt.Printf("%-10s %-14v %-14v %s\n", name, raw, comp, verdict)
+	}
+
+	fmt.Println("\n(2) Budget-bound: bulk ingest of 256 MiB at QD16.")
+	fmt.Printf("%-10s %-14s %-14s %s\n", "device", "raw makespan", "compressed", "bytes billed")
+	blocks := (256 << 20) / logicalBlock
+	for _, name := range []string{"ssd", "essd2"} {
+		_, raw := run(name, false, blocks, 16)
+		_, comp := run(name, true, blocks, 16)
+		fmt.Printf("%-10s %-14v %-14v halved\n", name, raw, comp)
+	}
+
+	fmt.Println()
+	fmt.Println("At QD1 the local SSD exposes the compressor (40µs CPU vs ~10µs write);")
+	fmt.Println("the ESSD's network latency hides it. Under bulk load the ESSD's token-")
+	fmt.Println("bucket budget is the ceiling (Observation #4), so halving bytes cuts")
+	fmt.Println("the makespan (until the IOPS budget binds) and halves the bytes the")
+	fmt.Println("throughput budget — and the bill — must be sized for.")
+}

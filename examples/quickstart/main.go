@@ -1,0 +1,53 @@
+// Quickstart: measure the ESSD/SSD latency gap (Observation #1) and show
+// how scaling I/O size and queue depth shrinks it (Implication #1).
+package main
+
+import (
+	"fmt"
+
+	"essdsim"
+)
+
+func measure(name string, bs int64, qd int) essdsim.LatencySummary {
+	eng := essdsim.NewEngine()
+	dev, err := essdsim.NewDevice(name, eng, 42)
+	if err != nil {
+		panic(err)
+	}
+	essdsim.Precondition(dev, true)
+	res := essdsim.Run(dev, essdsim.Workload{
+		Pattern:    essdsim.RandWrite,
+		BlockSize:  bs,
+		QueueDepth: qd,
+		Duration:   400 * essdsim.Millisecond,
+		Warmup:     50 * essdsim.Millisecond,
+		Seed:       42,
+	})
+	return res.Lat.Summarize()
+}
+
+func main() {
+	fmt.Println("The unwritten contract, Observation #1:")
+	fmt.Println("ESSD latency is tens of times the local SSD's until I/O is scaled up.")
+	fmt.Println()
+	cells := []struct {
+		bs int64
+		qd int
+	}{
+		{4 << 10, 1},    // small and shallow: the worst case
+		{4 << 10, 16},   // deeper queue
+		{256 << 10, 1},  // bigger I/O
+		{256 << 10, 16}, // both: the gap nearly closes
+	}
+	fmt.Printf("%-14s %-14s %-14s %-8s\n", "bs/QD", "ESSD-1 avg", "SSD avg", "gap")
+	for _, c := range cells {
+		e := measure("essd1", c.bs, c.qd)
+		s := measure("ssd", c.bs, c.qd)
+		gap := float64(e.Mean) / float64(s.Mean)
+		fmt.Printf("%-14s %-14v %-14v %.1fx\n",
+			fmt.Sprintf("%dK / QD%d", c.bs>>10, c.qd), e.Mean, s.Mean, gap)
+	}
+	fmt.Println()
+	fmt.Println("Implication #1: batch and deepen your I/O before moving to the cloud —")
+	fmt.Println("the 4K/QD1 path that is harmless on a local SSD costs tens of times more on an ESSD.")
+}

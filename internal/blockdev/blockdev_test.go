@@ -1,0 +1,86 @@
+package blockdev
+
+import (
+	"testing"
+
+	"essdsim/internal/sim"
+)
+
+type stubDevice struct {
+	eng *sim.Engine
+}
+
+func (s *stubDevice) Name() string        { return "stub" }
+func (s *stubDevice) Capacity() int64     { return 1 << 20 }
+func (s *stubDevice) BlockSize() int      { return 4096 }
+func (s *stubDevice) Engine() *sim.Engine { return s.eng }
+func (s *stubDevice) Submit(r *Request)   {}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Read:  "read",
+		Write: "write",
+		Trim:  "trim",
+		Flush: "flush",
+		Op(9): "op(9)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestRequestLatency(t *testing.T) {
+	r := &Request{Issued: 100}
+	if got := r.Latency(350); got != 250 {
+		t.Fatalf("latency = %v", got)
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	d := &stubDevice{eng: sim.NewEngine()}
+	ok := []Request{
+		{Op: Read, Offset: 0, Size: 4096},
+		{Op: Write, Offset: 4096, Size: 8192},
+		{Op: Trim, Offset: 0, Size: 1 << 20},
+		{Op: Flush}, // flushes skip range checks
+	}
+	for i := range ok {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("valid request %d rejected: %v", i, p)
+				}
+			}()
+			Validate(d, &ok[i])
+		}()
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	d := &stubDevice{eng: sim.NewEngine()}
+	bad := []Request{
+		{Op: Read, Offset: 0, Size: 0},           // zero size
+		{Op: Read, Offset: 0, Size: 100},         // misaligned size
+		{Op: Read, Offset: 123, Size: 4096},      // misaligned offset
+		{Op: Read, Offset: -4096, Size: 4096},    // negative offset
+		{Op: Write, Offset: 1 << 20, Size: 4096}, // beyond capacity
+	}
+	for i := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid request %d accepted", i)
+				}
+			}()
+			Validate(d, &bad[i])
+		}()
+	}
+}
+
+func TestGBps(t *testing.T) {
+	if GBps(3.0e9) != 3.0 {
+		t.Fatalf("GBps = %v", GBps(3.0e9))
+	}
+}

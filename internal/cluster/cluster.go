@@ -1,0 +1,227 @@
+// Package cluster models the storage backend of elastic block storage
+// (paper Fig 1): a set of storage nodes holding replicated chunks of the
+// virtual volume, journal-acknowledged writes, per-node stream limits, and a
+// background cleaner whose debt drives the provider flow limiter.
+//
+// The cluster is where three of the paper's four observations originate:
+//
+//   - Obs#2: writes land in node journals and are cleaned in the background,
+//     so device GC never sits on the critical path; only accumulated
+//     cleaning debt (exposed via Debt) eventually triggers throttling.
+//   - Obs#3: a volume's sequential window maps to few chunks and therefore
+//     few placement groups, bottlenecking on the per-node stream, while
+//     random writes fan out across all nodes.
+//   - Obs#1 (in part): every access pays journal/data-store service time on
+//     top of the network.
+package cluster
+
+import (
+	"fmt"
+
+	"essdsim/internal/sim"
+)
+
+// Config parameterizes the storage cluster as seen by one volume.
+type Config struct {
+	Nodes      int   // storage nodes holding this volume's chunks
+	ChunkBytes int64 // placement granularity (stripe unit)
+	Replicas   int   // total copies, e.g. 3
+
+	// Write path. Each node serves at most WriteSlots concurrent writes for
+	// this volume, each costing a WriteService sample, with payload bytes
+	// streaming through a per-node pipe of StreamBW bytes/s. These two
+	// limits are the Observation #3 levers: sequential windows that fit in
+	// one chunk serialize here.
+	WriteSlots   int
+	WriteService sim.Dist
+	StreamBW     float64
+
+	// Replication fan-out: payload leaves the primary over a pipe of
+	// ReplBW bytes/s and pays ReplHop latency each way, plus the replica's
+	// WriteService.
+	ReplBW  float64
+	ReplHop sim.Dist
+
+	// Read path.
+	ReadSlots   int
+	ReadService sim.Dist
+	ReadBW      float64 // per-node read bandwidth
+
+	// Cleaner: background compaction drains invalidation debt at this
+	// rate (bytes/s). Debt beyond the provider's spare capacity triggers
+	// the flow limiter (package qos).
+	CleanerRate float64
+}
+
+// Validate reports a descriptive error for inconsistent configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster: need at least one node")
+	case c.ChunkBytes < 4096:
+		return fmt.Errorf("cluster: chunk bytes %d too small", c.ChunkBytes)
+	case c.Replicas < 1 || c.Replicas > c.Nodes:
+		return fmt.Errorf("cluster: replicas %d out of range for %d nodes", c.Replicas, c.Nodes)
+	case c.WriteSlots < 1 || c.ReadSlots < 1:
+		return fmt.Errorf("cluster: slots must be positive")
+	case c.StreamBW <= 0 || c.ReplBW <= 0 || c.ReadBW <= 0:
+		return fmt.Errorf("cluster: bandwidths must be positive")
+	case c.WriteService == nil || c.ReadService == nil || c.ReplHop == nil:
+		return fmt.Errorf("cluster: service distributions must be set")
+	case c.CleanerRate < 0:
+		return fmt.Errorf("cluster: cleaner rate must be non-negative")
+	}
+	return nil
+}
+
+// NodeStats counts per-node activity, used to verify placement balance.
+type NodeStats struct {
+	Writes, Reads         uint64 // operations served as primary
+	ReplWrites            uint64 // replica copies received
+	WriteBytes, ReadBytes int64
+}
+
+type node struct {
+	write  *sim.Server
+	read   *sim.Server
+	stream *sim.Pipe
+	repl   *sim.Pipe
+	readBW *sim.Pipe
+	stats  NodeStats
+}
+
+// Cluster is the storage backend for a single volume.
+type Cluster struct {
+	eng   *sim.Engine
+	cfg   Config
+	rng   *sim.RNG
+	nodes []*node
+
+	debt       int64
+	debtUpdate sim.Time
+	cleaned    float64 // fractional carry of cleaner progress
+}
+
+// New builds the cluster. It panics on invalid configuration.
+func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0xc105, 0x7e12)
+	}
+	c := &Cluster{eng: eng, cfg: cfg, rng: rng}
+	c.nodes = make([]*node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = &node{
+			write:  sim.NewServer(eng, fmt.Sprintf("n%d-write", i), cfg.WriteSlots),
+			read:   sim.NewServer(eng, fmt.Sprintf("n%d-read", i), cfg.ReadSlots),
+			stream: sim.NewPipe(eng, fmt.Sprintf("n%d-stream", i), cfg.StreamBW),
+			repl:   sim.NewPipe(eng, fmt.Sprintf("n%d-repl", i), cfg.ReplBW),
+			readBW: sim.NewPipe(eng, fmt.Sprintf("n%d-readbw", i), cfg.ReadBW),
+		}
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// NodeOfChunk returns the primary node index of a chunk. Placement is a
+// deterministic multiplicative hash so adjacent chunks land on unrelated
+// nodes, as a real placement-group mapping would.
+func (c *Cluster) NodeOfChunk(chunk int64) int {
+	h := uint64(chunk) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return int(h % uint64(len(c.nodes)))
+}
+
+// NodeStats returns a snapshot of node i's counters.
+func (c *Cluster) NodeStats(i int) NodeStats { return c.nodes[i].stats }
+
+// Write performs one replicated chunk write of the given payload: primary
+// stream + journal-backed write service, then parallel fan-out to
+// Replicas-1 peers, acknowledging (done) when all copies are durable.
+func (c *Cluster) Write(chunk int64, bytes int64, done func()) {
+	p := c.NodeOfChunk(chunk)
+	pn := c.nodes[p]
+	pn.stats.Writes++
+	pn.stats.WriteBytes += bytes
+	// Cut-through replication: the primary streams the payload to its
+	// peers while ingesting it, so the primary leg and the replica legs
+	// proceed in parallel; the write acknowledges when every leg is
+	// durable. The primary's repl pipe carries Replicas-1 copies, so its
+	// bandwidth must exceed (Replicas-1)× the stream bandwidth for the
+	// per-node stream to remain the sequential-write bottleneck.
+	legs := 1 + (c.cfg.Replicas - 1)
+	rem := legs
+	leg := func() {
+		rem--
+		if rem == 0 {
+			done()
+		}
+	}
+	pn.stream.Transfer(bytes, func() {
+		pn.write.Visit(c.cfg.WriteService.Sample(c.rng), leg)
+	})
+	for i := 0; i < c.cfg.Replicas-1; i++ {
+		r := (p + 1 + i) % len(c.nodes)
+		rn := c.nodes[r]
+		rn.stats.ReplWrites++
+		pn.repl.Transfer(bytes, func() {
+			c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), func() {
+				rn.write.Visit(c.cfg.WriteService.Sample(c.rng), func() {
+					c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), leg)
+				})
+			})
+		})
+	}
+}
+
+// Read performs one chunk read of the given payload from the chunk's
+// primary: read service (index lookup + backend flash) then the node's read
+// bandwidth.
+func (c *Cluster) Read(chunk int64, bytes int64, done func()) {
+	p := c.NodeOfChunk(chunk)
+	n := c.nodes[p]
+	n.stats.Reads++
+	n.stats.ReadBytes += bytes
+	n.read.Visit(c.cfg.ReadService.Sample(c.rng), func() {
+		n.readBW.Transfer(bytes, done)
+	})
+}
+
+// AddDebt records freshly invalidated bytes (overwrites of previously
+// written data) for the background cleaner.
+func (c *Cluster) AddDebt(bytes int64) {
+	c.settleDebt()
+	c.debt += bytes
+}
+
+// Debt returns the current uncleaned invalidation debt in bytes.
+func (c *Cluster) Debt() int64 {
+	c.settleDebt()
+	return c.debt
+}
+
+// settleDebt applies the cleaner's continuous drain up to the current time.
+func (c *Cluster) settleDebt() {
+	now := c.eng.Now()
+	dt := now.Sub(c.debtUpdate).Seconds()
+	c.debtUpdate = now
+	if dt <= 0 || c.debt == 0 || c.cfg.CleanerRate <= 0 {
+		return
+	}
+	c.cleaned += dt * c.cfg.CleanerRate
+	if whole := int64(c.cleaned); whole > 0 {
+		c.cleaned -= float64(whole)
+		c.debt -= whole
+		if c.debt < 0 {
+			c.debt = 0
+			c.cleaned = 0
+		}
+	}
+}

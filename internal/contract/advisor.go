@@ -1,0 +1,82 @@
+package contract
+
+import (
+	"fmt"
+	"io"
+)
+
+// Implication is one of the paper's five actionable implications, tied to
+// the observation(s) that justify it.
+type Implication struct {
+	ID     string
+	From   []string // observation check IDs that motivate it
+	Advice string
+}
+
+// Implications returns the paper's five implications (§III), annotated
+// with whether the motivating observations held on the evaluated device.
+func Implications() []Implication {
+	return []Implication{
+		{
+			ID:   "I1",
+			From: []string{"O1"},
+			Advice: "Scale the I/O sizes and I/O queue depths up as much as " +
+				"possible: small or shallow I/O pays tens-to-hundred× the " +
+				"local-SSD latency.",
+		},
+		{
+			ID:   "I2",
+			From: []string{"O2"},
+			Advice: "Reconsider if and how GC-mitigation techniques designed " +
+				"for local SSDs (tail-tolerant redundancy, GC-aware " +
+				"scheduling) should be adapted: device-side GC impact " +
+				"appears far later or not at all.",
+		},
+		{
+			ID:   "I3",
+			From: []string{"O2", "O3"},
+			Advice: "Rethink converting random writes into sequential writes " +
+				"(log-structuring, copy-on-write): random writes are not " +
+				"penalized and can be substantially faster; consider even " +
+				"proactively randomizing sequential writes.",
+		},
+		{
+			ID:   "I4",
+			From: []string{"O4"},
+			Advice: "Smooth read/write I/O evenly across the timeline and " +
+				"below the guaranteed throughput budget: the budget, not " +
+				"the medium, is the ceiling, and bursts only buy queueing.",
+		},
+		{
+			ID:   "I5",
+			From: []string{"O1", "O4"},
+			Advice: "Re-evaluate I/O-reduction techniques (compression, " +
+				"deduplication) previously dismissed for CPU overhead: " +
+				"against cloud latency/budget they cut cost and can " +
+				"improve performance.",
+		},
+	}
+}
+
+// FormatAdvice writes the implications that the report's passing
+// observations support.
+func FormatAdvice(w io.Writer, r *Report) {
+	passed := map[string]bool{}
+	for _, c := range r.Checks {
+		passed[c.ID] = c.Passed
+	}
+	fmt.Fprintf(w, "Implications for software deployed on %s:\n", r.ESSD)
+	for _, imp := range Implications() {
+		ok := true
+		for _, dep := range imp.From {
+			if !passed[dep] {
+				ok = false
+			}
+		}
+		marker := "applies"
+		if !ok {
+			marker = "verify manually (motivating observation failed)"
+		}
+		fmt.Fprintf(w, "\n[%s] (%s) %s\n", imp.ID, marker, imp.Advice)
+	}
+}

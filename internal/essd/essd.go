@@ -1,0 +1,416 @@
+// Package essd assembles the simulated elastic solid-state drive: the
+// virtualized block device the paper characterizes (§II-C). It stitches
+// together the compute-side frontend, the datacenter network (package
+// netsim), the provisioned QoS budgets (package qos) and the storage
+// cluster (package cluster) into a blockdev.Device.
+//
+// The unwritten contract's observations map onto this assembly as follows:
+//
+//   - Obs#1: every I/O pays frontend + network + cluster service time, so
+//     small/low-QD I/Os see tens-of-times local-SSD latency while large
+//     batched I/Os amortize it.
+//   - Obs#2: writes acknowledge from replicated node journals; cleaning
+//     debt only surfaces when the flow limiter engages, far beyond the
+//     local SSD's ~90%-of-capacity GC cliff.
+//   - Obs#3: sequential windows serialize on few placement groups while
+//     random writes fan out — random-write throughput wins.
+//   - Obs#4: a combined bytes/s token bucket at the provisioned budget
+//     makes peak bandwidth deterministic regardless of access pattern.
+package essd
+
+import (
+	"fmt"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/cluster"
+	"essdsim/internal/netsim"
+	"essdsim/internal/qos"
+	"essdsim/internal/sim"
+)
+
+// Config parameterizes an ESSD volume.
+type Config struct {
+	Name      string
+	Provider  string
+	Model     string
+	Capacity  int64
+	BlockSize int64
+
+	// Provisioned budgets (paper Table I).
+	ThroughputBudget float64 // bytes/s, reads+writes combined
+	BudgetBurst      float64 // token bucket burst, bytes
+	IOPSBudget       float64 // I/O operations per second
+	IOPSBurst        float64 // IOPS bucket burst
+	IOPSChunkBytes   int64   // bytes covered by one IOPS token (e.g. 256 KiB on io2)
+
+	// Frontend (virtio + EBS client) processing.
+	FrontendSlots   int
+	FrontendLatency sim.Dist
+
+	Net     netsim.Config
+	Cluster cluster.Config
+
+	// Flow limiter (Observation #2): when cleaning debt exceeds
+	// SpareFrac×Capacity, the write path is clamped to ThrottleRate.
+	// SpareFrac <= 0 disables throttling (ESSD-2 behaviour within the
+	// paper's 3× experiment).
+	SpareFrac    float64
+	ThrottleRate float64
+
+	// Burst credits (optional): burstable volume classes (AWS gp2-style)
+	// sustain BurstBaseline bytes/s, may spend banked credits up to the
+	// ThroughputBudget ceiling, and bank at most BurstCreditBytes. When
+	// BurstBaseline > 0 the throughput budget behaves like the burst
+	// ceiling of such a tier.
+	BurstBaseline    float64
+	BurstCreditBytes float64
+}
+
+// Validate reports a descriptive error for inconsistent configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Capacity <= 0 || c.BlockSize <= 0 || c.Capacity%c.BlockSize != 0:
+		return fmt.Errorf("essd: bad capacity/block size %d/%d", c.Capacity, c.BlockSize)
+	case c.ThroughputBudget <= 0:
+		return fmt.Errorf("essd: throughput budget must be positive")
+	case c.IOPSBudget <= 0 || c.IOPSChunkBytes <= 0:
+		return fmt.Errorf("essd: IOPS budget/chunk must be positive")
+	case c.FrontendSlots < 1 || c.FrontendLatency == nil:
+		return fmt.Errorf("essd: frontend misconfigured")
+	case c.Cluster.ChunkBytes%c.BlockSize != 0:
+		return fmt.Errorf("essd: cluster chunk not a multiple of block size")
+	}
+	return c.Cluster.Validate()
+}
+
+// Counters tallies host-visible ESSD activity.
+type Counters struct {
+	Reads, Writes, Trims, Flushes uint64
+	ReadBytes, WriteBytes         int64
+	SubWrites, SubReads           uint64 // chunk-level operations after splitting
+	UnwrittenReads                uint64 // reads served from the zero map
+}
+
+// ESSD is the assembled elastic SSD volume. It implements blockdev.Device.
+type ESSD struct {
+	eng *sim.Engine
+	cfg Config
+	rng *sim.RNG
+
+	fe      *sim.Server
+	net     *netsim.Network
+	cl      *cluster.Cluster
+	bytesTb *qos.TokenBucket
+	iopsTb  *qos.TokenBucket
+	limiter *qos.FlowLimiter
+	wClamp  *qos.TokenBucket  // engaged write clamp; nil until throttled
+	credits *qos.CreditBucket // burstable tiers only; nil otherwise
+
+	written []uint64 // bitmap: block ever written (for debt + zero reads)
+
+	counters Counters
+}
+
+// New builds the ESSD. It panics on invalid configuration.
+func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *ESSD {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0xe55d, 0x10)
+	}
+	rng = rng.Derive("essd:" + cfg.Name)
+	e := &ESSD{eng: eng, cfg: cfg, rng: rng}
+	e.fe = sim.NewServer(eng, "frontend", cfg.FrontendSlots)
+	e.net = netsim.New(eng, cfg.Net, rng.Derive("net"))
+	e.cl = cluster.New(eng, cfg.Cluster, rng.Derive("cluster"))
+	burst := cfg.BudgetBurst
+	if burst <= 0 {
+		burst = cfg.ThroughputBudget / 100 // 10 ms of budget by default
+	}
+	e.bytesTb = qos.NewTokenBucket(eng, cfg.ThroughputBudget, burst)
+	iopsBurst := cfg.IOPSBurst
+	if iopsBurst <= 0 {
+		iopsBurst = cfg.IOPSBudget / 100
+	}
+	e.iopsTb = qos.NewTokenBucket(eng, cfg.IOPSBudget, iopsBurst)
+	e.limiter = &qos.FlowLimiter{
+		DebtThreshold: int64(cfg.SpareFrac * float64(cfg.Capacity)),
+		ThrottledRate: cfg.ThrottleRate,
+	}
+	if cfg.BurstBaseline > 0 {
+		e.credits = qos.NewCreditBucket(eng, cfg.BurstBaseline,
+			cfg.ThroughputBudget, cfg.BurstCreditBytes)
+	}
+	nblocks := cfg.Capacity / cfg.BlockSize
+	e.written = make([]uint64, (nblocks+63)/64)
+	return e
+}
+
+// Credits returns the banked burst credits in bytes, or -1 when the
+// volume is not a burstable tier.
+func (e *ESSD) Credits() float64 {
+	if e.credits == nil {
+		return -1
+	}
+	return e.credits.Credits()
+}
+
+// spendCredits serializes n bytes through the burst-credit rate before
+// done, when the volume is a burstable tier.
+func (e *ESSD) spendCredits(n int64, done func()) {
+	if e.credits == nil {
+		done()
+		return
+	}
+	e.credits.Acquire(n, done)
+}
+
+// Name implements blockdev.Device.
+func (e *ESSD) Name() string { return e.cfg.Name }
+
+// Capacity implements blockdev.Device.
+func (e *ESSD) Capacity() int64 { return e.cfg.Capacity }
+
+// BlockSize implements blockdev.Device.
+func (e *ESSD) BlockSize() int { return int(e.cfg.BlockSize) }
+
+// Engine implements blockdev.Device.
+func (e *ESSD) Engine() *sim.Engine { return e.eng }
+
+// Counters returns host-visible activity counters.
+func (e *ESSD) Counters() Counters { return e.counters }
+
+// Cluster exposes the backend for harness inspection (debt, node balance).
+func (e *ESSD) Cluster() *cluster.Cluster { return e.cl }
+
+// Throttled reports whether the provider flow limiter has engaged.
+func (e *ESSD) Throttled() bool { return e.limiter.Engaged() }
+
+// ThrottledAt returns the virtual time the flow limiter engaged.
+func (e *ESSD) ThrottledAt() sim.Time { return e.limiter.EngagedAt() }
+
+// BudgetStall returns cumulative time spent waiting on the throughput budget.
+func (e *ESSD) BudgetStall() sim.Duration { return e.bytesTb.StallTime() }
+
+// Precondition marks the first fillFrac of the volume as written, as if it
+// had been filled once (no simulated time, no cleaning debt).
+func (e *ESSD) Precondition(fillFrac float64) {
+	if fillFrac <= 0 {
+		return
+	}
+	if fillFrac > 1 {
+		fillFrac = 1
+	}
+	nblocks := e.cfg.Capacity / e.cfg.BlockSize
+	limit := int64(fillFrac * float64(nblocks))
+	for b := int64(0); b < limit; b++ {
+		e.written[b>>6] |= 1 << uint(b&63)
+	}
+}
+
+func (e *ESSD) isWritten(block int64) bool {
+	return e.written[block>>6]&(1<<uint(block&63)) != 0
+}
+
+// markWritten sets the written bits for the request range and returns the
+// number of bytes that were overwrites (i.e. new cleaning debt).
+func (e *ESSD) markWritten(off, size int64) int64 {
+	var debt int64
+	for b := off / e.cfg.BlockSize; b < (off+size)/e.cfg.BlockSize; b++ {
+		if e.isWritten(b) {
+			debt += e.cfg.BlockSize
+		} else {
+			e.written[b>>6] |= 1 << uint(b&63)
+		}
+	}
+	return debt
+}
+
+// allWritten reports whether every block in the range has been written.
+func (e *ESSD) allWritten(off, size int64) bool {
+	for b := off / e.cfg.BlockSize; b < (off+size)/e.cfg.BlockSize; b++ {
+		if !e.isWritten(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// iopsCost returns the IOPS tokens one request consumes.
+func (e *ESSD) iopsCost(size int64) float64 {
+	n := (size + e.cfg.IOPSChunkBytes - 1) / e.cfg.IOPSChunkBytes
+	if n < 1 {
+		n = 1
+	}
+	return float64(n)
+}
+
+// subRanges splits [off, off+size) at chunk boundaries.
+func (e *ESSD) subRanges(off, size int64) []int64 {
+	chunk := e.cfg.Cluster.ChunkBytes
+	var sizes []int64
+	for size > 0 {
+		room := chunk - off%chunk
+		if room > size {
+			room = size
+		}
+		sizes = append(sizes, room)
+		off += room
+		size -= room
+	}
+	return sizes
+}
+
+// Submit implements blockdev.Device.
+func (e *ESSD) Submit(r *blockdev.Request) {
+	blockdev.Validate(e, r)
+	r.Issued = e.eng.Now()
+	switch r.Op {
+	case blockdev.Write:
+		e.submitWrite(r)
+	case blockdev.Read:
+		e.submitRead(r)
+	case blockdev.Trim:
+		e.submitTrim(r)
+	case blockdev.Flush:
+		e.submitFlush(r)
+	default:
+		panic(fmt.Sprintf("essd: unknown op %v", r.Op))
+	}
+}
+
+func (e *ESSD) complete(r *blockdev.Request) {
+	if r.OnComplete != nil {
+		r.OnComplete(r, e.eng.Now())
+	}
+}
+
+func (e *ESSD) submitWrite(r *blockdev.Request) {
+	e.counters.Writes++
+	e.counters.WriteBytes += r.Size
+	debt := e.markWritten(r.Offset, r.Size)
+	if debt > 0 {
+		e.cl.AddDebt(debt)
+	}
+	e.limiter.Observe(e.eng.Now(), e.cl.Debt(), e.writeClamp())
+	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
+		e.iopsTb.Take(e.iopsCost(r.Size), func() {
+			e.takeWriteTokens(float64(r.Size), func() {
+				e.spendCredits(r.Size, func() {
+					e.dispatchWrite(r)
+				})
+			})
+		})
+	})
+}
+
+// writeClamp lazily creates the throttle bucket so the limiter has
+// something to clamp; before engagement writes bypass it entirely.
+func (e *ESSD) writeClamp() *qos.TokenBucket {
+	if e.wClamp == nil {
+		e.wClamp = qos.NewTokenBucket(e.eng, e.cfg.ThroughputBudget, e.cfg.ThroughputBudget/50)
+	}
+	return e.wClamp
+}
+
+// takeWriteTokens charges the combined budget and, when the flow limiter
+// has engaged, the write clamp as well.
+func (e *ESSD) takeWriteTokens(n float64, done func()) {
+	e.bytesTb.Take(n, func() {
+		if !e.limiter.Engaged() {
+			done()
+			return
+		}
+		e.writeClamp().Take(n, done)
+	})
+}
+
+func (e *ESSD) dispatchWrite(r *blockdev.Request) {
+	sizes := e.subRanges(r.Offset, r.Size)
+	rem := len(sizes)
+	off := r.Offset
+	for _, sz := range sizes {
+		chunk := off / e.cfg.Cluster.ChunkBytes
+		e.counters.SubWrites++
+		sz := sz
+		// Payload crosses the network once per subrequest, then the
+		// cluster replicates it; the final ack is one hop back.
+		e.net.SendUp(sz, func() {
+			e.cl.Write(chunk, sz, func() {
+				e.net.Hop(func() {
+					rem--
+					if rem == 0 {
+						e.complete(r)
+					}
+				})
+			})
+		})
+		off += sz
+	}
+}
+
+func (e *ESSD) submitRead(r *blockdev.Request) {
+	e.counters.Reads++
+	e.counters.ReadBytes += r.Size
+	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
+		// Reads of never-written ranges are served from volume metadata
+		// without touching the cluster data path.
+		if e.allWritten(r.Offset, r.Size) {
+			e.iopsTb.Take(e.iopsCost(r.Size), func() {
+				e.bytesTb.Take(float64(r.Size), func() {
+					e.spendCredits(r.Size, func() {
+						e.dispatchRead(r)
+					})
+				})
+			})
+			return
+		}
+		e.counters.UnwrittenReads++
+		e.net.Hop(func() { e.net.Hop(func() { e.complete(r) }) })
+	})
+}
+
+func (e *ESSD) dispatchRead(r *blockdev.Request) {
+	sizes := e.subRanges(r.Offset, r.Size)
+	rem := len(sizes)
+	off := r.Offset
+	for _, sz := range sizes {
+		chunk := off / e.cfg.Cluster.ChunkBytes
+		e.counters.SubReads++
+		sz := sz
+		// Command hop up, cluster read, payload down.
+		e.net.Hop(func() {
+			e.cl.Read(chunk, sz, func() {
+				e.net.SendDown(sz, func() {
+					rem--
+					if rem == 0 {
+						e.complete(r)
+					}
+				})
+			})
+		})
+		off += sz
+	}
+}
+
+func (e *ESSD) submitTrim(r *blockdev.Request) {
+	e.counters.Trims++
+	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
+		for b := r.Offset / e.cfg.BlockSize; b < (r.Offset+r.Size)/e.cfg.BlockSize; b++ {
+			e.written[b>>6] &^= 1 << uint(b&63)
+		}
+		e.net.Hop(func() { e.net.Hop(func() { e.complete(r) }) })
+	})
+}
+
+func (e *ESSD) submitFlush(r *blockdev.Request) {
+	e.counters.Flushes++
+	// Journal-acknowledged writes are already durable; a flush is one
+	// round trip.
+	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
+		e.net.Hop(func() { e.net.Hop(func() { e.complete(r) }) })
+	})
+}
+
+var _ blockdev.Device = (*ESSD)(nil)

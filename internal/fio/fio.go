@@ -1,0 +1,210 @@
+// Package fio parses a practical subset of fio job files (the benchmark
+// tool the paper drives its measurements with, §III-A) into workload specs.
+//
+// Supported syntax: INI sections, comments (# and ;), a [global] section
+// inherited by every job, and the keys rw, bs, iodepth, runtime, size,
+// rwmixwrite, region, warmup, and seed. Sizes accept k/m/g/t suffixes
+// (binary, as fio defaults); runtimes accept ms/s/m suffixes.
+package fio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+// Job is one parsed fio job.
+type Job struct {
+	Name string
+	Spec workload.Spec
+}
+
+// ParseSize parses a fio-style size: "4k", "128K", "2g", "4096".
+func ParseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("fio: empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'm':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'g':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	case 't':
+		mult = 1 << 40
+		s = s[:len(s)-1]
+	case 'b':
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fio: bad size %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("fio: negative size %q", s)
+	}
+	return n * mult, nil
+}
+
+// ParseDuration parses a fio-style runtime: "5" (seconds), "500ms", "2m".
+func ParseDuration(s string) (sim.Duration, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		n, err := strconv.ParseFloat(s[:len(s)-2], 64)
+		if err != nil {
+			return 0, fmt.Errorf("fio: bad runtime %q", s)
+		}
+		return sim.Duration(n * float64(sim.Millisecond)), nil
+	case strings.HasSuffix(s, "s"):
+		n, err := strconv.ParseFloat(s[:len(s)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("fio: bad runtime %q", s)
+		}
+		return sim.Duration(n * float64(sim.Second)), nil
+	case strings.HasSuffix(s, "m"):
+		n, err := strconv.ParseFloat(s[:len(s)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("fio: bad runtime %q", s)
+		}
+		return sim.Duration(n * 60 * float64(sim.Second)), nil
+	default:
+		n, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("fio: bad runtime %q", s)
+		}
+		return sim.Duration(n * float64(sim.Second)), nil
+	}
+}
+
+type section struct {
+	name string
+	kv   map[string]string
+}
+
+// Parse reads a fio job file and returns its jobs with [global] settings
+// applied. It rejects unknown keys so typos surface instead of silently
+// changing the workload.
+func Parse(r io.Reader) ([]Job, error) {
+	scanner := bufio.NewScanner(r)
+	var sections []*section
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("fio: line %d: malformed section %q", lineNo, line)
+			}
+			name := strings.TrimSpace(line[1 : len(line)-1])
+			if name == "" {
+				return nil, fmt.Errorf("fio: line %d: empty section name", lineNo)
+			}
+			sections = append(sections, &section{name: name, kv: map[string]string{}})
+			continue
+		}
+		if len(sections) == 0 {
+			return nil, fmt.Errorf("fio: line %d: key outside any section", lineNo)
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("fio: line %d: expected key=value, got %q", lineNo, line)
+		}
+		cur := sections[len(sections)-1]
+		cur.kv[strings.TrimSpace(strings.ToLower(k))] = strings.TrimSpace(v)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	global := map[string]string{}
+	var jobs []Job
+	for _, sec := range sections {
+		if strings.EqualFold(sec.name, "global") {
+			for k, v := range sec.kv {
+				global[k] = v
+			}
+			continue
+		}
+		merged := map[string]string{}
+		for k, v := range global {
+			merged[k] = v
+		}
+		for k, v := range sec.kv {
+			merged[k] = v
+		}
+		spec, err := specFrom(merged)
+		if err != nil {
+			return nil, fmt.Errorf("fio: job %q: %w", sec.name, err)
+		}
+		jobs = append(jobs, Job{Name: sec.name, Spec: spec})
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fio: no jobs defined")
+	}
+	return jobs, nil
+}
+
+func specFrom(kv map[string]string) (workload.Spec, error) {
+	spec := workload.Spec{
+		Pattern:    workload.RandRead,
+		BlockSize:  4096,
+		QueueDepth: 1,
+	}
+	for k, v := range kv {
+		var err error
+		switch k {
+		case "rw", "readwrite":
+			spec.Pattern, err = workload.ParsePattern(v)
+		case "bs", "blocksize":
+			spec.BlockSize, err = ParseSize(v)
+		case "iodepth", "qd":
+			spec.QueueDepth, err = strconv.Atoi(v)
+		case "runtime":
+			spec.Duration, err = ParseDuration(v)
+		case "size":
+			spec.TotalBytes, err = ParseSize(v)
+		case "io_limit", "number_ios":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			spec.MaxOps = uint64(n)
+		case "rwmixwrite":
+			var pct int
+			pct, err = strconv.Atoi(v)
+			spec.WriteRatio = float64(pct) / 100
+		case "region":
+			spec.Region, err = ParseSize(v)
+		case "warmup", "ramp_time":
+			spec.Warmup, err = ParseDuration(v)
+		case "seed", "randseed":
+			spec.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "name", "ioengine", "direct", "group_reporting", "time_based",
+			"filename", "numjobs", "thread":
+			// Accepted for compatibility with real fio job files; these
+			// either have no simulator equivalent (ioengine, direct,
+			// filename) or are implied (time_based follows from runtime).
+		default:
+			return spec, fmt.Errorf("unsupported key %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	if spec.Duration <= 0 && spec.TotalBytes <= 0 && spec.MaxOps == 0 {
+		return spec, fmt.Errorf("no stop condition (set runtime, size, or number_ios)")
+	}
+	return spec, nil
+}

@@ -1,0 +1,202 @@
+package fio
+
+import (
+	"strings"
+	"testing"
+
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"4096": 4096,
+		"4k":   4 << 10,
+		"128K": 128 << 10,
+		"2m":   2 << 20,
+		"1g":   1 << 30,
+		"1t":   1 << 40,
+		"512b": 512,
+		" 8k ": 8 << 10,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-4k", "4q"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := map[string]sim.Duration{
+		"5":     5 * sim.Second,
+		"500ms": 500 * sim.Millisecond,
+		"2s":    2 * sim.Second,
+		"1m":    60 * sim.Second,
+		"0.5s":  sim.Second / 2,
+	}
+	for in, want := range cases {
+		got, err := ParseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseDuration("xyz"); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestParseBasicJob(t *testing.T) {
+	jobs, err := Parse(strings.NewReader(`
+# paper Figure 2 cell
+[cell]
+rw=randwrite
+bs=4k
+iodepth=16
+runtime=500ms
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Name != "cell" {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+	s := jobs[0].Spec
+	if s.Pattern != workload.RandWrite || s.BlockSize != 4096 ||
+		s.QueueDepth != 16 || s.Duration != 500*sim.Millisecond {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+func TestGlobalInheritance(t *testing.T) {
+	jobs, err := Parse(strings.NewReader(`
+[global]
+bs=64k
+iodepth=8
+runtime=1s
+
+[a]
+rw=randread
+
+[b]
+rw=write
+bs=128k
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("want 2 jobs, got %d", len(jobs))
+	}
+	if jobs[0].Spec.BlockSize != 64<<10 || jobs[0].Spec.QueueDepth != 8 {
+		t.Fatalf("job a did not inherit global: %+v", jobs[0].Spec)
+	}
+	if jobs[1].Spec.BlockSize != 128<<10 {
+		t.Fatalf("job b did not override bs: %+v", jobs[1].Spec)
+	}
+	if jobs[1].Spec.Pattern != workload.SeqWrite {
+		t.Fatalf("job b pattern: %+v", jobs[1].Spec)
+	}
+}
+
+func TestMixedJob(t *testing.T) {
+	jobs, err := Parse(strings.NewReader(`
+[mix]
+rw=randrw
+rwmixwrite=30
+bs=128k
+iodepth=32
+size=1g
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := jobs[0].Spec
+	if s.Pattern != workload.Mixed || s.WriteRatio != 0.3 || s.TotalBytes != 1<<30 {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+func TestCommentsAndSemicolons(t *testing.T) {
+	jobs, err := Parse(strings.NewReader(`
+; a comment
+[j]
+# another
+rw=read
+bs=4k
+number_ios=100
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Spec.MaxOps != 100 {
+		t.Fatalf("spec = %+v", jobs[0].Spec)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"rw=read\n",                      // key outside section
+		"[j]\nrw=read\nbs=4k\n",          // no stop condition
+		"[j]\nbogus=1\nruntime=1s\n",     // unknown key
+		"[j\nrw=read\n",                  // malformed section
+		"[]\nrw=read\n",                  // empty section name
+		"[j]\nrw read\n",                 // not key=value
+		"[j]\nrw=sideways\nruntime=1s\n", // bad pattern
+		"",                               // no jobs
+		"[global]\nbs=4k\n",              // only global
+	}
+	for i, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted %q", i, in)
+		}
+	}
+}
+
+func TestCompatibilityKeysIgnored(t *testing.T) {
+	jobs, err := Parse(strings.NewReader(`
+[global]
+ioengine=libaio
+direct=1
+group_reporting=1
+time_based=1
+
+[j]
+name=probe
+filename=/dev/sim
+numjobs=1
+rw=randread
+bs=4k
+runtime=1s
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Spec.Pattern != workload.RandRead {
+		t.Fatalf("spec = %+v", jobs[0].Spec)
+	}
+}
+
+func TestWarmupAndSeedAndRegion(t *testing.T) {
+	jobs, err := Parse(strings.NewReader(`
+[j]
+rw=randwrite
+bs=4k
+runtime=1s
+warmup=100ms
+seed=42
+region=64m
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := jobs[0].Spec
+	if s.Warmup != 100*sim.Millisecond || s.Seed != 42 || s.Region != 64<<20 {
+		t.Fatalf("spec = %+v", s)
+	}
+}

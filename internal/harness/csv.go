@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFig2CSV dumps a Figure 2 grid pair as CSV: one row per cell with
+// both devices' latencies and the gaps.
+func WriteFig2CSV(w io.Writer, essd, ssd *LatencyGrid) error {
+	if _, err := fmt.Fprintln(w, "pattern,block_bytes,qd,essd_avg_ns,essd_p999_ns,ssd_avg_ns,ssd_p999_ns,gap_avg,gap_p999"); err != nil {
+		return err
+	}
+	for _, c := range essd.Cells {
+		s := ssd.Cell(c.Pattern, c.BlockSize, c.QueueDepth)
+		if s == nil || s.Avg <= 0 || s.P999 <= 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%.3f,%.3f\n",
+			c.Pattern, c.BlockSize, c.QueueDepth,
+			int64(c.Avg), int64(c.P999), int64(s.Avg), int64(s.P999),
+			float64(c.Avg)/float64(s.Avg), float64(c.P999)/float64(s.P999)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig3CSV dumps sustained-write timelines as CSV.
+func WriteFig3CSV(w io.Writer, results []*SustainedResult) error {
+	if _, err := fmt.Fprintln(w, "device,second,bytes_per_sec"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for i, rate := range r.Rates {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.0f\n", r.Device, i, rate); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig4CSV dumps random/sequential sweeps as CSV.
+func WriteFig4CSV(w io.Writer, results []*RandSeqResult) error {
+	if _, err := fmt.Fprintln(w, "device,block_bytes,qd,rand_bps,seq_bps,gain"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, c := range r.Cells {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%.0f,%.0f,%.3f\n",
+				r.Device, c.BlockSize, c.QueueDepth, c.RandBW, c.SeqBW, c.Gain()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig5CSV dumps mixed-ratio sweeps as CSV.
+func WriteFig5CSV(w io.Writer, results []*MixedResult) error {
+	if _, err := fmt.Fprintln(w, "device,write_ratio_pct,total_bps,write_bps"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, p := range r.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.0f,%.0f\n",
+				r.Device, p.WriteRatioPct, p.TotalBW, p.WriteBW); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

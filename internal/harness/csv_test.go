@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+func TestWriteFig2CSV(t *testing.T) {
+	e := &LatencyGrid{Device: "e", Cells: []LatencyCell{
+		{Pattern: workload.RandWrite, BlockSize: 4096, QueueDepth: 1,
+			Avg: 300 * sim.Microsecond, P999: 450 * sim.Microsecond},
+	}}
+	s := &LatencyGrid{Device: "s", Cells: []LatencyCell{
+		{Pattern: workload.RandWrite, BlockSize: 4096, QueueDepth: 1,
+			Avg: 10 * sim.Microsecond, P999: 15 * sim.Microsecond},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig2CSV(&buf, e, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "pattern,") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "30.000") { // gap 300/10
+		t.Fatalf("row: %q", lines[1])
+	}
+	// Unmatched cells are skipped, not zero-divided.
+	s.Cells[0].QueueDepth = 2
+	buf.Reset()
+	if err := WriteFig2CSV(&buf, e, s); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); n != 1 {
+		t.Fatalf("unmatched cell emitted: %d lines", n)
+	}
+}
+
+func TestWriteFig3CSV(t *testing.T) {
+	r := &SustainedResult{Device: "d", Rates: []float64{1e9, 2e9}}
+	var buf bytes.Buffer
+	if err := WriteFig3CSV(&buf, []*SustainedResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "d,0,1000000000") || !strings.Contains(out, "d,1,2000000000") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestWriteFig4CSV(t *testing.T) {
+	r := &RandSeqResult{Device: "d", Cells: []RandSeqCell{
+		{BlockSize: 4096, QueueDepth: 8, RandBW: 2e9, SeqBW: 1e9},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig4CSV(&buf, []*RandSeqResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.000") {
+		t.Fatalf("gain missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteFig5CSV(t *testing.T) {
+	r := &MixedResult{Device: "d", Points: []MixedPoint{
+		{WriteRatioPct: 30, TotalBW: 3e9, WriteBW: 1e9},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig5CSV(&buf, []*MixedResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "d,30,3000000000,1000000000") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,449 @@
+// Package harness runs the paper's experiments (§III, Figures 2-5 and
+// Table I) against simulated devices and formats the results as the paper
+// reports them. Each experiment cell runs on a freshly constructed,
+// appropriately preconditioned device so cells do not contaminate each
+// other, exactly as a fio run on a re-initialized volume would.
+package harness
+
+import (
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+// Factory constructs a fresh device (with its own engine) for one
+// experiment cell. seed decorrelates repeated constructions.
+type Factory func(seed uint64) blockdev.Device
+
+// Options tune experiment durations; zero values take defaults.
+type Options struct {
+	CellDuration sim.Duration // per-cell measurement window (default 500 ms)
+	Warmup       sim.Duration // excluded from statistics (default 50 ms)
+	Seed         uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CellDuration <= 0 {
+		o.CellDuration = 500 * sim.Millisecond
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 50 * sim.Millisecond
+	}
+	return o
+}
+
+// Fig2Sizes are the paper's Figure 2 I/O sizes.
+var Fig2Sizes = []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+
+// Fig2QDs are the paper's Figure 2 queue depths.
+var Fig2QDs = []int{1, 2, 4, 8, 16}
+
+// Fig2Patterns are the paper's four access patterns, in figure order.
+var Fig2Patterns = []workload.Pattern{
+	workload.RandWrite, workload.SeqWrite, workload.RandRead, workload.SeqRead,
+}
+
+// Fig4Sizes are the paper's Figure 4 I/O sizes.
+var Fig4Sizes = []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+
+// Fig4QDs are the paper's Figure 4 queue depths.
+var Fig4QDs = []int{1, 2, 4, 8, 16, 32}
+
+// Fig5Ratios are the paper's Figure 5 write ratios, in percent.
+var Fig5Ratios = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// Precondition prepares a device for a measurement cell. Write cells get a
+// half-filled device (a GC-free window, as on a freshly provisioned or
+// trimmed drive); read cells get a fully, sequentially written device (the
+// layout after a fio fill pass).
+func Precondition(dev blockdev.Device, forWrites bool) {
+	switch d := dev.(type) {
+	case interface{ Precondition(float64) }:
+		d.Precondition(1.0)
+	case interface{ Precondition(float64, bool) }:
+		if forWrites {
+			d.Precondition(0.5, false)
+		} else {
+			d.Precondition(1.0, false)
+		}
+	}
+}
+
+// LatencyCell is one pixel of Figure 2.
+type LatencyCell struct {
+	Pattern    workload.Pattern
+	BlockSize  int64
+	QueueDepth int
+	Avg        sim.Duration
+	P999       sim.Duration
+	Ops        uint64
+}
+
+// LatencyGrid is one device's Figure 2 measurement.
+type LatencyGrid struct {
+	Device string
+	Cells  []LatencyCell
+}
+
+// Cell returns the cell for (pattern, size, qd), or nil.
+func (g *LatencyGrid) Cell(p workload.Pattern, bs int64, qd int) *LatencyCell {
+	for i := range g.Cells {
+		c := &g.Cells[i]
+		if c.Pattern == p && c.BlockSize == bs && c.QueueDepth == qd {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunLatencyGrid measures the Figure 2 grid on fresh devices from factory.
+func RunLatencyGrid(factory Factory, opts Options) *LatencyGrid {
+	return RunLatencyGridWith(factory, Fig2Patterns, Fig2Sizes, Fig2QDs, opts)
+}
+
+// RunLatencyGridWith measures a custom grid.
+func RunLatencyGridWith(factory Factory, patterns []workload.Pattern, sizes []int64, qds []int, opts Options) *LatencyGrid {
+	opts = opts.withDefaults()
+	grid := &LatencyGrid{}
+	seed := opts.Seed
+	for _, p := range patterns {
+		for _, bs := range sizes {
+			for _, qd := range qds {
+				seed++
+				dev := factory(seed)
+				grid.Device = dev.Name()
+				Precondition(dev, p.IsWrite())
+				res := workload.Run(dev, workload.Spec{
+					Pattern:    p,
+					BlockSize:  bs,
+					QueueDepth: qd,
+					Duration:   opts.CellDuration,
+					Warmup:     opts.Warmup,
+					Seed:       seed,
+				})
+				s := res.Lat.Summarize()
+				grid.Cells = append(grid.Cells, LatencyCell{
+					Pattern: p, BlockSize: bs, QueueDepth: qd,
+					Avg: s.Mean, P999: s.P999, Ops: s.Count,
+				})
+			}
+		}
+	}
+	return grid
+}
+
+// SustainedResult is one device's Figure 3 trace.
+type SustainedResult struct {
+	Device   string
+	Capacity int64
+
+	Interval sim.Duration // bucket width of Rates
+	Rates    []float64    // write throughput per bucket, bytes/s
+
+	TotalWritten int64
+	Elapsed      sim.Duration
+
+	// KneeCapFrac is the multiple of device capacity written when the
+	// sustained throughput first dropped below 55% of its running peak;
+	// -1 when no knee occurred.
+	KneeCapFrac float64
+	// TailRate is the mean throughput over the final five buckets.
+	TailRate float64
+	// PeakRate is the best smoothed throughput observed.
+	PeakRate float64
+	// Throttled reports whether an ESSD flow limiter engaged.
+	Throttled bool
+	// WriteAmp is the local SSD's final write amplification (1 for ESSDs).
+	WriteAmp float64
+}
+
+// RunSustainedWrite performs the Figure 3 experiment: random writes of
+// capMultiple × capacity onto a fresh device, tracking the throughput
+// timeline, the knee position, and the tail rate.
+func RunSustainedWrite(factory Factory, capMultiple float64, opts Options) *SustainedResult {
+	opts = opts.withDefaults()
+	dev := factory(opts.Seed + 0xf13)
+	res := workload.Run(dev, workload.Spec{
+		Pattern:    workload.RandWrite,
+		BlockSize:  128 << 10,
+		QueueDepth: 32,
+		TotalBytes: int64(capMultiple * float64(dev.Capacity())),
+		Seed:       opts.Seed + 0xf13,
+	})
+	out := &SustainedResult{
+		Device:       dev.Name(),
+		Capacity:     dev.Capacity(),
+		Interval:     res.Series.Interval(),
+		Rates:        res.Series.Rates(),
+		TotalWritten: res.Bytes,
+		Elapsed:      res.Elapsed,
+		KneeCapFrac:  -1,
+		WriteAmp:     1,
+	}
+	n := res.Series.Len()
+	out.TailRate = res.Series.MeanRate(n-5, n)
+	for i := 0; i+3 <= n; i++ {
+		if m := res.Series.MeanRate(i, i+3); m > out.PeakRate {
+			out.PeakRate = m
+		}
+	}
+	if knee := res.Series.KneeIndex(0.55, 3); knee >= 0 {
+		var written int64
+		for i := 0; i <= knee; i++ {
+			written += res.Series.Bytes(i)
+		}
+		out.KneeCapFrac = float64(written) / float64(dev.Capacity())
+	}
+	if e, ok := dev.(interface{ Throttled() bool }); ok {
+		out.Throttled = e.Throttled()
+	}
+	if s, ok := dev.(interface{ FTLWriteAmp() float64 }); ok {
+		out.WriteAmp = s.FTLWriteAmp()
+	}
+	return out
+}
+
+// RandSeqCell is one point of Figure 4.
+type RandSeqCell struct {
+	BlockSize  int64
+	QueueDepth int
+	RandBW     float64 // bytes/s
+	SeqBW      float64 // bytes/s
+}
+
+// Gain returns random/sequential throughput — the paper's blue lines.
+func (c RandSeqCell) Gain() float64 {
+	if c.SeqBW <= 0 {
+		return 0
+	}
+	return c.RandBW / c.SeqBW
+}
+
+// RandSeqResult is one device's Figure 4 sweep.
+type RandSeqResult struct {
+	Device string
+	Cells  []RandSeqCell
+}
+
+// Cell returns the cell for (size, qd), or nil.
+func (r *RandSeqResult) Cell(bs int64, qd int) *RandSeqCell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.BlockSize == bs && c.QueueDepth == qd {
+			return c
+		}
+	}
+	return nil
+}
+
+// MaxGain returns the largest random/sequential gain in the sweep — the
+// paper's headline 1.52× / 2.79× numbers.
+func (r *RandSeqResult) MaxGain() (gain float64, at RandSeqCell) {
+	for _, c := range r.Cells {
+		if g := c.Gain(); g > gain {
+			gain, at = g, c
+		}
+	}
+	return gain, at
+}
+
+// RunRandSeqSweep performs the Figure 4 experiment on fresh devices.
+func RunRandSeqSweep(factory Factory, opts Options) *RandSeqResult {
+	return RunRandSeqSweepWith(factory, Fig4Sizes, Fig4QDs, opts)
+}
+
+// RunRandSeqSweepWith sweeps custom sizes and queue depths.
+func RunRandSeqSweepWith(factory Factory, sizes []int64, qds []int, opts Options) *RandSeqResult {
+	opts = opts.withDefaults()
+	out := &RandSeqResult{}
+	seed := opts.Seed + 0x4a
+	measure := func(p workload.Pattern, bs int64, qd int) float64 {
+		seed++
+		dev := factory(seed)
+		out.Device = dev.Name()
+		Precondition(dev, true)
+		res := workload.Run(dev, workload.Spec{
+			Pattern:    p,
+			BlockSize:  bs,
+			QueueDepth: qd,
+			Duration:   opts.CellDuration,
+			Warmup:     opts.Warmup,
+			Seed:       seed,
+		})
+		return res.Throughput()
+	}
+	for _, bs := range sizes {
+		for _, qd := range qds {
+			out.Cells = append(out.Cells, RandSeqCell{
+				BlockSize:  bs,
+				QueueDepth: qd,
+				RandBW:     measure(workload.RandWrite, bs, qd),
+				SeqBW:      measure(workload.SeqWrite, bs, qd),
+			})
+		}
+	}
+	return out
+}
+
+// MixedPoint is one write-ratio point of Figure 5.
+type MixedPoint struct {
+	WriteRatioPct int
+	TotalBW       float64 // bytes/s, reads+writes
+	WriteBW       float64 // bytes/s, writes only
+}
+
+// MixedResult is one device's Figure 5 sweep.
+type MixedResult struct {
+	Device string
+	Points []MixedPoint
+}
+
+// Spread returns (max-min)/max of total throughput across ratios — near
+// zero for a budget-bound ESSD (Observation #4), large for the local SSD.
+func (r *MixedResult) Spread() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	min, max := r.Points[0].TotalBW, r.Points[0].TotalBW
+	for _, p := range r.Points[1:] {
+		if p.TotalBW < min {
+			min = p.TotalBW
+		}
+		if p.TotalBW > max {
+			max = p.TotalBW
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return (max - min) / max
+}
+
+// MinMax returns the extreme total throughputs of the sweep.
+func (r *MixedResult) MinMax() (min, max float64) {
+	if len(r.Points) == 0 {
+		return 0, 0
+	}
+	min, max = r.Points[0].TotalBW, r.Points[0].TotalBW
+	for _, p := range r.Points[1:] {
+		if p.TotalBW < min {
+			min = p.TotalBW
+		}
+		if p.TotalBW > max {
+			max = p.TotalBW
+		}
+	}
+	return min, max
+}
+
+// IOPSPoint is one size point of the Observation #4 footnote experiment.
+type IOPSPoint struct {
+	BlockSize int64
+	IOPS      float64
+	Bytes     float64 // bytes/s at that size
+}
+
+// IOPSResult holds the IOPS-vs-size sweep. The paper notes that while the
+// ESSD's byte throughput is deterministic, its IOPS ceiling is not — it is
+// tightly coupled to I/O size. Spread over this sweep quantifies that.
+type IOPSResult struct {
+	Device string
+	Points []IOPSPoint
+}
+
+// IOPSSpread returns (max-min)/max of achieved IOPS across sizes.
+func (r *IOPSResult) IOPSSpread() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	min, max := r.Points[0].IOPS, r.Points[0].IOPS
+	for _, p := range r.Points[1:] {
+		if p.IOPS < min {
+			min = p.IOPS
+		}
+		if p.IOPS > max {
+			max = p.IOPS
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return (max - min) / max
+}
+
+// RunIOPSSweep measures saturated random-write IOPS across I/O sizes —
+// the paper's note that Observation #4 "holds only for throughput and not
+// for IOPS".
+func RunIOPSSweep(factory Factory, sizes []int64, opts Options) *IOPSResult {
+	opts = opts.withDefaults()
+	out := &IOPSResult{}
+	seed := opts.Seed + 0x10b5
+	for _, bs := range sizes {
+		seed++
+		dev := factory(seed)
+		out.Device = dev.Name()
+		Precondition(dev, true)
+		res := workload.Run(dev, workload.Spec{
+			Pattern:    workload.RandWrite,
+			BlockSize:  bs,
+			QueueDepth: 32,
+			Duration:   opts.CellDuration,
+			Warmup:     opts.Warmup,
+			Seed:       seed,
+		})
+		out.Points = append(out.Points, IOPSPoint{
+			BlockSize: bs,
+			IOPS:      res.IOPS(),
+			Bytes:     res.Throughput(),
+		})
+	}
+	return out
+}
+
+// RunMixedSweep performs the Figure 5 experiment: 128 KiB random I/O at
+// QD 32 with the write ratio swept 0..100%.
+func RunMixedSweep(factory Factory, opts Options) *MixedResult {
+	return RunMixedSweepWith(factory, Fig5Ratios, opts)
+}
+
+// RunMixedSweepWith sweeps custom write ratios (percent).
+func RunMixedSweepWith(factory Factory, ratios []int, opts Options) *MixedResult {
+	opts = opts.withDefaults()
+	// Keep the SSD's cell short enough that random overwrites on a full
+	// device do not push it into GC mid-cell (Figure 5 measures the
+	// pattern sensitivity of peak bandwidth, not GC).
+	if opts.CellDuration > 200*sim.Millisecond {
+		opts.CellDuration = 200 * sim.Millisecond
+	}
+	if opts.Warmup >= opts.CellDuration {
+		opts.Warmup = opts.CellDuration / 4
+	}
+	out := &MixedResult{}
+	seed := opts.Seed + 0x5e
+	for _, pct := range ratios {
+		seed++
+		dev := factory(seed)
+		out.Device = dev.Name()
+		Precondition(dev, false) // full device so reads hit data
+		res := workload.Run(dev, workload.Spec{
+			Pattern:    workload.Mixed,
+			WriteRatio: float64(pct) / 100,
+			BlockSize:  128 << 10,
+			QueueDepth: 32,
+			Duration:   opts.CellDuration,
+			Warmup:     opts.Warmup,
+			Seed:       seed,
+		})
+		window := (res.Elapsed - opts.Warmup).Seconds()
+		var writeBytes int64
+		if window > 0 {
+			writeBytes = int64(res.WriteLat.Count()) * (128 << 10)
+		}
+		out.Points = append(out.Points, MixedPoint{
+			WriteRatioPct: pct,
+			TotalBW:       res.Throughput(),
+			WriteBW:       float64(writeBytes) / window,
+		})
+	}
+	return out
+}

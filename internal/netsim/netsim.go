@@ -1,0 +1,84 @@
+// Package netsim models the datacenter network between the compute cluster
+// and the storage cluster (paper Fig 1): per-direction bandwidth pipes plus
+// a jittered per-hop propagation/processing delay. This network is the
+// dominant term in the ESSD latency gap of Observation #1.
+package netsim
+
+import (
+	"essdsim/internal/sim"
+)
+
+// Config parameterizes a network path between two endpoints.
+type Config struct {
+	// HopLatency is the one-way propagation plus switching/processing
+	// latency distribution for one traversal of the fabric.
+	HopLatency sim.Dist
+	// UplinkBW is the client-to-cluster bandwidth in bytes/s.
+	UplinkBW float64
+	// DownlinkBW is the cluster-to-client bandwidth in bytes/s.
+	DownlinkBW float64
+}
+
+// Network is a full-duplex path: an uplink pipe, a downlink pipe, and a
+// sampled hop latency applied to each traversal.
+type Network struct {
+	eng  *sim.Engine
+	cfg  Config
+	rng  *sim.RNG
+	up   *sim.Pipe
+	down *sim.Pipe
+}
+
+// New builds a network path on the engine.
+func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *Network {
+	if rng == nil {
+		rng = sim.NewRNG(0x0e7, 0x51b)
+	}
+	return &Network{
+		eng:  eng,
+		cfg:  cfg,
+		rng:  rng,
+		up:   sim.NewPipe(eng, "net-up", cfg.UplinkBW),
+		down: sim.NewPipe(eng, "net-down", cfg.DownlinkBW),
+	}
+}
+
+// SendUp transfers n payload bytes toward the storage cluster and invokes
+// done when the last byte (plus one hop latency) arrives.
+func (n *Network) SendUp(bytes int64, done func()) {
+	lat := n.cfg.HopLatency.Sample(n.rng)
+	n.up.Transfer(bytes, func() {
+		n.eng.Schedule(lat, done)
+	})
+}
+
+// SendDown transfers n payload bytes toward the client.
+func (n *Network) SendDown(bytes int64, done func()) {
+	lat := n.cfg.HopLatency.Sample(n.rng)
+	n.down.Transfer(bytes, func() {
+		n.eng.Schedule(lat, done)
+	})
+}
+
+// HopSample draws one hop latency without moving payload — used for
+// intra-cluster control messages (e.g. replication acks).
+func (n *Network) HopSample() sim.Duration {
+	return n.cfg.HopLatency.Sample(n.rng)
+}
+
+// Hop schedules done after one sampled hop latency with no payload.
+func (n *Network) Hop(done func()) {
+	n.eng.Schedule(n.HopSample(), done)
+}
+
+// UplinkBacklog returns the current queueing delay on the uplink.
+func (n *Network) UplinkBacklog() sim.Duration { return n.up.Backlog() }
+
+// DownlinkBacklog returns the current queueing delay on the downlink.
+func (n *Network) DownlinkBacklog() sim.Duration { return n.down.Backlog() }
+
+// MovedUp returns total bytes sent toward the cluster.
+func (n *Network) MovedUp() int64 { return n.up.Moved() }
+
+// MovedDown returns total bytes sent toward the client.
+func (n *Network) MovedDown() int64 { return n.down.Moved() }

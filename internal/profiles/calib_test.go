@@ -1,0 +1,71 @@
+package profiles
+
+import (
+	"fmt"
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+// TestCalibrationProbe prints representative Figure 2 cells for eyeballing
+// calibration against the paper's annotations. Run with -v to see values.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe skipped in -short")
+	}
+	type cell struct {
+		pattern workload.Pattern
+		bs      int64
+		qd      int
+	}
+	cells := []cell{
+		{workload.RandWrite, 4 << 10, 1},
+		{workload.RandWrite, 4 << 10, 16},
+		{workload.RandWrite, 256 << 10, 1},
+		{workload.RandWrite, 256 << 10, 16},
+		{workload.SeqWrite, 4 << 10, 1},
+		{workload.RandRead, 4 << 10, 1},
+		{workload.RandRead, 4 << 10, 16},
+		{workload.RandRead, 256 << 10, 1},
+		{workload.SeqRead, 4 << 10, 1},
+		{workload.SeqRead, 256 << 10, 16},
+	}
+	mk := func(name string, forWrites bool) blockdev.Device {
+		eng := sim.NewEngine()
+		d, err := ByName(name, eng, sim.NewRNG(7, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch dd := d.(type) {
+		case interface{ Precondition(float64) }:
+			dd.Precondition(1.0)
+		case interface{ Precondition(float64, bool) }:
+			if forWrites {
+				dd.Precondition(0.5, false) // GC-free write window
+			} else {
+				dd.Precondition(1.0, false) // sequential layout, as after fio fill
+			}
+		}
+		return d
+	}
+	for _, c := range cells {
+		line := fmt.Sprintf("%-10s bs=%-4d qd=%-3d", c.pattern, c.bs>>10, c.qd)
+		isWrite := c.pattern == workload.RandWrite || c.pattern == workload.SeqWrite
+		for _, name := range []string{"essd1", "essd2", "ssd"} {
+			d := mk(name, isWrite)
+			res := workload.Run(d, workload.Spec{
+				Pattern:    c.pattern,
+				BlockSize:  c.bs,
+				QueueDepth: c.qd,
+				Duration:   400 * sim.Millisecond,
+				Warmup:     50 * sim.Millisecond,
+				Seed:       99,
+			})
+			s := res.Lat.Summarize()
+			line += fmt.Sprintf(" | %s avg=%v p999=%v", name, s.Mean, s.P999)
+		}
+		t.Log(line)
+	}
+}

@@ -1,0 +1,130 @@
+package profiles
+
+import (
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/essd"
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+func TestByNameAllProfiles(t *testing.T) {
+	for _, name := range Names() {
+		eng := sim.NewEngine()
+		d, err := ByName(name, eng, sim.NewRNG(1, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Capacity() <= 0 || d.BlockSize() <= 0 || d.Name() == "" {
+			t.Fatalf("%s: bad identity", name)
+		}
+	}
+	if _, err := ByName("nope", sim.NewEngine(), sim.NewRNG(1, 1)); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Model != "io2" || rows[1].Model != "PL3" || rows[2].Model != "970 Pro" {
+		t.Fatalf("models: %v %v %v", rows[0].Model, rows[1].Model, rows[2].Model)
+	}
+	if rows[0].Capacity != rows[1].Capacity {
+		t.Fatal("ESSD capacities must match the paper's 2 TB")
+	}
+	if rows[2].MaxReadBW <= rows[2].MaxWriteBW {
+		t.Fatal("970 Pro reads must outpace writes")
+	}
+}
+
+func TestConfigsValidate(t *testing.T) {
+	for _, cfg := range []interface{ Validate() error }{
+		ESSD1Config(), ESSD2Config(), GP3Config(), GP2Config(), PL1Config(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("profile config invalid: %v", err)
+		}
+	}
+}
+
+func TestScaledCapacities(t *testing.T) {
+	if ESSDCapacity != 32<<30 {
+		t.Fatalf("ESSD scaled capacity = %d", int64(ESSDCapacity))
+	}
+	if SSDCapacity != 16<<30 {
+		t.Fatalf("SSD scaled capacity = %d", int64(SSDCapacity))
+	}
+}
+
+func TestStreamBindsUnderReplication(t *testing.T) {
+	// The repl pipe must carry (Replicas-1)x the stream traffic without
+	// becoming the sequential bottleneck, or Observation #3's mechanism
+	// breaks silently.
+	for _, cfg := range []essd.Config{ESSD1Config(), ESSD2Config()} {
+		c := cfg.Cluster
+		if c.ReplBW < float64(c.Replicas-1)*c.StreamBW {
+			t.Fatalf("%s: repl %g < %d x stream %g",
+				cfg.Name, c.ReplBW, c.Replicas-1, c.StreamBW)
+		}
+	}
+}
+
+// TestGP2BurstExhaustion verifies the burstable tier: full-rate while
+// credits last, then baseline.
+func TestGP2BurstExhaustion(t *testing.T) {
+	eng := sim.NewEngine()
+	dev, err := ByName("gp2", eng, sim.NewRNG(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dev.(*essd.ESSD)
+	if e.Credits() < 0 {
+		t.Fatal("gp2 volume has no credit bucket")
+	}
+	res := workload.Run(dev, workload.Spec{
+		Pattern:    workload.RandWrite,
+		BlockSize:  256 << 10,
+		QueueDepth: 32,
+		TotalBytes: 4 << 30,
+		Seed:       9,
+	})
+	// Early seconds run at the 1 GB/s ceiling; after the ~1 GiB credit
+	// bank drains at (1-0.25/1.0) credits per byte, throughput falls
+	// toward the 0.25 GB/s baseline.
+	first := res.Series.Rate(0)
+	last := res.Series.MeanRate(res.Series.Len()-3, res.Series.Len())
+	if first < 0.8e9 {
+		t.Fatalf("burst phase rate %.2f GB/s, want ≈1.0", first/1e9)
+	}
+	if last > 0.45e9 {
+		t.Fatalf("post-credit rate %.2f GB/s, want ≈0.25", last/1e9)
+	}
+	if e.Credits() > 64<<20 {
+		t.Fatalf("credits not drained: %.0f", e.Credits())
+	}
+}
+
+// TestDeterministicAcrossConstructions guards the reproducibility promise:
+// same profile, same seed, same measurements.
+func TestDeterministicAcrossConstructions(t *testing.T) {
+	measure := func() workload.Spec {
+		return workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 8 << 10,
+			QueueDepth: 4, MaxOps: 400, Seed: 5,
+		}
+	}
+	run := func() *workload.Result {
+		eng := sim.NewEngine()
+		d, _ := ByName("essd1", eng, sim.NewRNG(2, 3))
+		var dev blockdev.Device = d
+		return workload.Run(dev, measure())
+	}
+	a, b := run(), run()
+	if a.Lat.Summarize() != b.Lat.Summarize() {
+		t.Fatal("same seed produced different measurements")
+	}
+}

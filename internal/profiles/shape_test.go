@@ -1,0 +1,173 @@
+package profiles
+
+import (
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+func runOn(t *testing.T, name string, fill float64, spec workload.Spec) (*workload.Result, blockdev.Device) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d, err := ByName(name, eng, sim.NewRNG(17, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch dd := d.(type) {
+	case interface{ Precondition(float64) }:
+		dd.Precondition(fill)
+	case interface{ Precondition(float64, bool) }:
+		dd.Precondition(fill, false)
+	}
+	return workload.Run(d, spec), d
+}
+
+// TestShapeFig4Gains verifies the Observation #3 shape: random writes beat
+// sequential writes on both ESSDs (strongly on ESSD-2), while the local SSD
+// shows no meaningful difference before GC.
+func TestShapeFig4Gains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape probe skipped in -short")
+	}
+	gain := func(name string, bs int64, qd int) float64 {
+		rnd, _ := runOn(t, name, 0.5, workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: bs, QueueDepth: qd,
+			Duration: 300 * sim.Millisecond, Warmup: 50 * sim.Millisecond, Seed: 5,
+		})
+		seq, _ := runOn(t, name, 0.5, workload.Spec{
+			Pattern: workload.SeqWrite, BlockSize: bs, QueueDepth: qd,
+			Duration: 300 * sim.Millisecond, Warmup: 50 * sim.Millisecond, Seed: 5,
+		})
+		g := rnd.Throughput() / seq.Throughput()
+		t.Logf("%s bs=%dK qd=%d: rand=%.2f GB/s seq=%.2f GB/s gain=%.2fx",
+			name, bs>>10, qd, rnd.Throughput()/1e9, seq.Throughput()/1e9, g)
+		return g
+	}
+	// ESSD-1: modest gain at high QD, small-to-medium sizes (paper ≤1.52×).
+	g1 := gain("essd1", 16<<10, 32)
+	if g1 < 1.15 || g1 > 1.9 {
+		t.Errorf("ESSD-1 16K/QD32 gain = %.2f, want ~1.2-1.5", g1)
+	}
+	// ESSD-2: strong gain (paper up to 2.79×).
+	g2 := gain("essd2", 16<<10, 32)
+	if g2 < 2.0 || g2 > 3.5 {
+		t.Errorf("ESSD-2 16K/QD32 gain = %.2f, want ~2.3-2.8", g2)
+	}
+	g2b := gain("essd2", 256<<10, 8)
+	t.Logf("ESSD-2 256K/QD8 gain = %.2f", g2b)
+	// SSD: no meaningful gain pre-GC.
+	gs := gain("ssd", 16<<10, 32)
+	if gs < 0.85 || gs > 1.15 {
+		t.Errorf("SSD 16K/QD32 gain = %.2f, want ~1.0", gs)
+	}
+	// QD1 gain should be ~1 everywhere (same path).
+	gq1 := gain("essd2", 16<<10, 1)
+	if gq1 < 0.9 || gq1 > 1.2 {
+		t.Errorf("ESSD-2 16K/QD1 gain = %.2f, want ~1.0", gq1)
+	}
+}
+
+// TestShapeFig5Deterministic verifies Observation #4: ESSD total throughput
+// pins to the provisioned budget across write ratios; the SSD varies.
+func TestShapeFig5Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape probe skipped in -short")
+	}
+	sweep := func(name string) (min, max float64) {
+		min, max = 1e18, 0
+		for _, wr := range []float64{0, 0.3, 0.5, 0.7, 1.0} {
+			res, _ := runOn(t, name, 1.0, workload.Spec{
+				Pattern: workload.Mixed, WriteRatio: wr,
+				BlockSize: 128 << 10, QueueDepth: 32,
+				Duration: 400 * sim.Millisecond, Warmup: 100 * sim.Millisecond, Seed: 5,
+			})
+			tp := res.Throughput()
+			t.Logf("%s wr=%.0f%%: %.2f GB/s", name, wr*100, tp/1e9)
+			if tp < min {
+				min = tp
+			}
+			if tp > max {
+				max = tp
+			}
+		}
+		return min, max
+	}
+	min1, max1 := sweep("essd1")
+	if spread := (max1 - min1) / max1; spread > 0.10 {
+		t.Errorf("ESSD-1 mixed throughput spread %.1f%%, want <10%%", spread*100)
+	}
+	if max1 < 2.6e9 || max1 > 3.3e9 {
+		t.Errorf("ESSD-1 budget throughput = %.2f GB/s, want ≈3.0", max1/1e9)
+	}
+	min2, max2 := sweep("essd2")
+	if spread := (max2 - min2) / max2; spread > 0.10 {
+		t.Errorf("ESSD-2 mixed throughput spread %.1f%%, want <10%%", spread*100)
+	}
+	if max2 < 0.95e9 || max2 > 1.25e9 {
+		t.Errorf("ESSD-2 budget throughput = %.2f GB/s, want ≈1.1", max2/1e9)
+	}
+	minS, maxS := sweep("ssd")
+	if spread := (maxS - minS) / maxS; spread < 0.20 {
+		t.Errorf("SSD mixed throughput spread %.1f%%, want >20%% (pattern-sensitive)", spread*100)
+	}
+	if maxS < 3.4e9 || maxS > 5.0e9 {
+		t.Errorf("SSD peak mixed throughput = %.2f GB/s, want ≈4.3", maxS/1e9)
+	}
+}
+
+// TestShapeFig3Knees verifies Observation #2: sustained random writes of 3×
+// capacity collapse at ~0.9× capacity on the SSD, at ~2.55× on ESSD-1, and
+// never on ESSD-2.
+func TestShapeFig3Knees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape probe skipped in -short")
+	}
+	run := func(name string) (kneeFrac float64, tail float64, res *workload.Result, dev blockdev.Device) {
+		eng := sim.NewEngine()
+		d, err := ByName(name, eng, sim.NewRNG(23, 23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = workload.Run(d, workload.Spec{
+			Pattern: workload.RandWrite, BlockSize: 128 << 10, QueueDepth: 32,
+			TotalBytes: 3 * d.Capacity(), Seed: 5,
+		})
+		knee := res.Series.KneeIndex(0.55, 3)
+		if knee < 0 {
+			return -1, res.Series.MeanRate(res.Series.Len()-5, res.Series.Len()), res, d
+		}
+		// Convert knee bucket to capacity fraction written by then.
+		var written int64
+		for i := 0; i <= knee; i++ {
+			written += res.Series.Bytes(i)
+		}
+		return float64(written) / float64(d.Capacity()),
+			res.Series.MeanRate(res.Series.Len()-5, res.Series.Len()), res, d
+	}
+	fracS, tailS, _, _ := run("ssd")
+	t.Logf("SSD knee at %.2fx capacity, tail %.0f MB/s", fracS, tailS/1e6)
+	if fracS < 0.6 || fracS > 1.3 {
+		t.Errorf("SSD knee at %.2fx capacity, want ≈0.9x", fracS)
+	}
+	if tailS > 1.0e9 {
+		t.Errorf("SSD tail %.0f MB/s, want deep collapse", tailS/1e6)
+	}
+	frac1, tail1, _, d1 := run("essd1")
+	t.Logf("ESSD-1 knee at %.2fx capacity, tail %.0f MB/s", frac1, tail1/1e6)
+	if frac1 < 2.0 || frac1 > 2.9 {
+		t.Errorf("ESSD-1 knee at %.2fx capacity, want ≈2.55x", frac1)
+	}
+	if e, ok := d1.(interface{ Throttled() bool }); ok && !e.Throttled() {
+		t.Error("ESSD-1 flow limiter never engaged")
+	}
+	frac2, tail2, _, _ := run("essd2")
+	t.Logf("ESSD-2 knee at %.2fx capacity, tail %.0f MB/s", frac2, tail2/1e6)
+	if frac2 >= 0 {
+		t.Errorf("ESSD-2 shows a knee at %.2fx capacity, want none within 3x", frac2)
+	}
+	if tail2 < 0.9e9 {
+		t.Errorf("ESSD-2 tail %.0f MB/s, want sustained ≈1.1 GB/s", tail2/1e6)
+	}
+}

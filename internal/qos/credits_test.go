@@ -1,0 +1,126 @@
+package qos
+
+import (
+	"testing"
+
+	"essdsim/internal/sim"
+)
+
+func TestCreditBucketStartsFull(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCreditBucket(eng, 100e6, 300e6, 1e9)
+	if c.Credits() != 1e9 {
+		t.Fatalf("credits = %v", c.Credits())
+	}
+	if c.RateNow() != 300e6 {
+		t.Fatalf("rate = %v, want burst", c.RateNow())
+	}
+}
+
+func TestCreditBucketBurstThenBaseline(t *testing.T) {
+	eng := sim.NewEngine()
+	// 1 GB of credits, burst 300 MB/s over a 100 MB/s baseline: bursting
+	// drains 2/3 credit per byte, so 1.5 GB of burst-rate I/O empties it.
+	c := NewCreditBucket(eng, 100e6, 300e6, 1e9)
+	d1 := c.Spend(1500e6)
+	if got := d1.Seconds(); got < 4.9 || got > 5.1 {
+		t.Fatalf("burst spend took %.2fs, want ≈5s at 300MB/s", got)
+	}
+	if c.Credits() > 1e6 {
+		t.Fatalf("credits not drained: %v", c.Credits())
+	}
+	if c.RateNow() != 100e6 {
+		t.Fatalf("post-burst rate %v, want baseline", c.RateNow())
+	}
+	d2 := c.Spend(100e6)
+	if got := d2.Seconds(); got < 0.99 || got > 1.01 {
+		t.Fatalf("baseline spend took %.2fs, want ≈1s", got)
+	}
+	if c.Exhaustions() == 0 {
+		t.Fatal("exhaustion not counted")
+	}
+}
+
+func TestCreditBucketRefillsOverTime(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCreditBucket(eng, 100e6, 300e6, 1e9)
+	c.Spend(1500e6) // drain
+	// Idle 5 simulated seconds: earn 500 MB of credits.
+	eng.Schedule(5*sim.Second, func() {})
+	eng.Run()
+	if got := c.Credits(); got < 499e6 || got > 501e6 {
+		t.Fatalf("refilled credits = %v, want ≈500e6", got)
+	}
+	if c.RateNow() != 300e6 {
+		t.Fatal("burst not restored after refill")
+	}
+}
+
+func TestCreditBucketCapsAtCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCreditBucket(eng, 100e6, 300e6, 1e9)
+	eng.Schedule(100*sim.Second, func() {})
+	eng.Run()
+	if got := c.Credits(); got != 1e9 {
+		t.Fatalf("credits exceeded capacity: %v", got)
+	}
+}
+
+func TestCreditBucketMixedSpend(t *testing.T) {
+	eng := sim.NewEngine()
+	// Tiny credit bank: a large spend straddles burst and baseline.
+	c := NewCreditBucket(eng, 100e6, 300e6, 100e6)
+	// 100 MB credits cover 150 MB at burst (2/3 credit per byte); the
+	// remaining 150 MB go at baseline: 0.5s + 1.5s = 2s.
+	d := c.Spend(300e6)
+	if got := d.Seconds(); got < 1.95 || got > 2.05 {
+		t.Fatalf("mixed spend took %.2fs, want ≈2s", got)
+	}
+}
+
+func TestAcquireSerializesConcurrentSpends(t *testing.T) {
+	eng := sim.NewEngine()
+	// No credits: pure 100 MB/s baseline. 32 concurrent 10 MB acquires
+	// must drain in ~3.2 s total, not in parallel.
+	c := NewCreditBucket(eng, 100e6, 100e6, 0)
+	var last sim.Time
+	for i := 0; i < 32; i++ {
+		c.Acquire(10e6, func() { last = eng.Now() })
+	}
+	eng.Run()
+	got := sim.Duration(last).Seconds()
+	if got < 3.1 || got > 3.3 {
+		t.Fatalf("32x10MB at 100MB/s drained in %.2fs, want ≈3.2s", got)
+	}
+}
+
+func TestAcquireFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCreditBucket(eng, 100e6, 100e6, 0)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Acquire(1e6, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("acquire order %v", order)
+		}
+	}
+}
+
+func TestCreditBucketDegenerate(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCreditBucket(eng, 100e6, 50e6, 0) // burst < baseline: clamped
+	if c.Burst() != 100e6 {
+		t.Fatalf("burst = %v", c.Burst())
+	}
+	if d := c.Spend(0); d != 0 {
+		t.Fatalf("zero spend = %v", d)
+	}
+	// No credits, burst == baseline: pure baseline service.
+	if got := c.Spend(100e6).Seconds(); got < 0.99 || got > 1.01 {
+		t.Fatalf("baseline-only spend %.2fs", got)
+	}
+}

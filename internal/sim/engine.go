@@ -1,0 +1,161 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap, queueing resources (servers and bandwidth
+// pipes), and seedable latency distributions.
+//
+// All simulated storage devices in this repository are built on top of this
+// engine. Simulated time is measured in integer nanoseconds and is entirely
+// decoupled from wall-clock time, so experiments are fast and reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration with an adaptive unit, e.g. "333µs" or "1.4ms".
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return fmt.Sprintf("-%s", (-d).String())
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	}
+}
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulation engine. It is not
+// safe for concurrent use; all device models run inside its event loop.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nsteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d of simulated time. A negative delay is
+// treated as zero (run as soon as the loop resumes, after already-queued
+// same-time events).
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at absolute simulated time t. Times in the past are clamped to
+// the current time. A nil fn advances the clock without doing work.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	if fn == nil {
+		fn = func() {}
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// Events scheduled exactly at t are executed.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }

@@ -1,0 +1,149 @@
+package sim
+
+// Server models a service station with a fixed number of parallel service
+// slots and an unbounded FIFO queue. Each visit occupies one slot for its
+// service time; excess visitors queue in arrival order.
+//
+// Server is the building block for things like storage-node request
+// processors and per-die command queues.
+type Server struct {
+	eng  *Engine
+	name string
+	cap  int
+
+	busy    int
+	queue   []serverJob
+	served  uint64
+	busyAcc Duration // accumulated slot-busy time, for utilization
+}
+
+type serverJob struct {
+	service Duration
+	done    func()
+}
+
+// NewServer returns a server with the given number of parallel slots
+// (minimum 1).
+func NewServer(eng *Engine, name string, slots int) *Server {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Server{eng: eng, name: name, cap: slots}
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// QueueLen returns the number of waiting (not yet in service) jobs.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy returns the number of occupied service slots.
+func (s *Server) Busy() int { return s.busy }
+
+// Served returns the number of completed visits.
+func (s *Server) Served() uint64 { return s.served }
+
+// BusyTime returns total accumulated slot-busy time across all visits.
+func (s *Server) BusyTime() Duration { return s.busyAcc }
+
+// Visit requests service of the given duration. done is invoked when service
+// completes (after any queueing delay). done may be nil.
+func (s *Server) Visit(service Duration, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	if s.busy < s.cap {
+		s.start(service, done)
+		return
+	}
+	s.queue = append(s.queue, serverJob{service: service, done: done})
+}
+
+func (s *Server) start(service Duration, done func()) {
+	s.busy++
+	s.busyAcc += service
+	s.eng.Schedule(service, func() {
+		s.busy--
+		s.served++
+		if done != nil {
+			done()
+		}
+		s.dispatch()
+	})
+}
+
+func (s *Server) dispatch() {
+	for s.busy < s.cap && len(s.queue) > 0 {
+		j := s.queue[0]
+		// Shift rather than re-slice forever to bound memory.
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.start(j.service, j.done)
+	}
+}
+
+// Pipe models a bandwidth-limited, order-preserving transfer resource such
+// as a network link direction or a bus. Transfers are serialized: a transfer
+// of n bytes occupies the pipe for n/bandwidth seconds after all previously
+// submitted transfers have drained.
+type Pipe struct {
+	eng  *Engine
+	name string
+	bps  float64 // bytes per second
+
+	nextFree Time
+	moved    int64
+}
+
+// NewPipe returns a pipe with the given bandwidth in bytes per second.
+func NewPipe(eng *Engine, name string, bytesPerSec float64) *Pipe {
+	if bytesPerSec <= 0 {
+		bytesPerSec = 1
+	}
+	return &Pipe{eng: eng, name: name, bps: bytesPerSec}
+}
+
+// Name returns the pipe's diagnostic name.
+func (p *Pipe) Name() string { return p.name }
+
+// Bandwidth returns the pipe bandwidth in bytes per second.
+func (p *Pipe) Bandwidth() float64 { return p.bps }
+
+// Moved returns the total bytes transferred.
+func (p *Pipe) Moved() int64 { return p.moved }
+
+// TransferTime returns the pure service time for n bytes, with no queueing.
+func (p *Pipe) TransferTime(n int64) Duration {
+	if n <= 0 {
+		return 0
+	}
+	return Duration(float64(n) / p.bps * float64(Second))
+}
+
+// Transfer moves n bytes through the pipe and invokes done when the last
+// byte has drained. done may be nil.
+func (p *Pipe) Transfer(n int64, done func()) {
+	now := p.eng.Now()
+	start := p.nextFree
+	if start < now {
+		start = now
+	}
+	finish := start.Add(p.TransferTime(n))
+	p.nextFree = finish
+	p.moved += n
+	p.eng.At(finish, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Backlog returns how far in the future the pipe is already committed,
+// i.e. the queueing delay a zero-length transfer would see now.
+func (p *Pipe) Backlog() Duration {
+	now := p.eng.Now()
+	if p.nextFree <= now {
+		return 0
+	}
+	return p.nextFree.Sub(now)
+}

@@ -1,0 +1,349 @@
+// Package ssd assembles the simulated local NVMe SSD (the paper's Samsung
+// 970 Pro stand-in) from the flash array (package flash) and the FTL
+// (package ftl), adding the host-facing pieces: a full-duplex host link,
+// firmware command processing, a sequential-read prefetcher and read cache.
+//
+// The behaviours the paper measures on the local SSD all emerge here:
+//   - small writes acknowledge from the DRAM write buffer in ~10 µs;
+//   - sequential reads hit the prefetch cache and rival write latency;
+//   - random reads pay the flash tR on every miss;
+//   - sustained writes collapse when GC engages near 90% of capacity
+//     written (Fig 3), and max bandwidth depends on the read/write mix
+//     through die-time sharing (Fig 5).
+package ssd
+
+import (
+	"fmt"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/flash"
+	"essdsim/internal/ftl"
+	"essdsim/internal/sim"
+)
+
+// Config parameterizes the assembled SSD.
+type Config struct {
+	Name  string
+	Flash flash.Config
+	FTL   ftl.Config
+
+	HostLinkBW float64 // bytes/s in each direction (PCIe is full duplex)
+
+	FirmwareSlots   int      // parallel command contexts in the controller
+	FirmwareLatency sim.Dist // per-command processing time
+
+	// Prefetcher.
+	ReadCachePages  int // capacity of the read cache, in logical pages
+	PrefetchDepth   int // logical pages to read ahead of a detected stream
+	StreamTableSize int // concurrent sequential streams tracked
+}
+
+// DefaultConfig returns the scaled 970 Pro configuration: ~3.5 GB/s reads,
+// ~2.7 GB/s sustained writes, ~60 µs 4 KiB random reads, ~10 µs buffered
+// writes, with a userCapacity-sized address space.
+func DefaultConfig(userCapacity int64) Config {
+	return Config{
+		Name: "SSD (970 Pro class)",
+		Flash: flash.Config{
+			Channels:       8,
+			DiesPerChannel: 2,
+			PlanesPerDie:   2,
+			PagesPerBlock:  64,
+			BlocksPerPlane: 1024, // informational; FTL sizes superblocks
+			PageSize:       16 << 10,
+			ReadLatency:    40 * sim.Microsecond,
+			ProgramLatency: 190 * sim.Microsecond,
+			EraseLatency:   3500 * sim.Microsecond,
+			// TLC-like multi-modal program time, mean ≈ 190 µs.
+			ProgramDist: sim.Mixture{Components: []sim.Weighted{
+				{W: 0.34, D: sim.Const{V: 70 * sim.Microsecond}},
+				{W: 0.33, D: sim.Const{V: 160 * sim.Microsecond}},
+				{W: 0.33, D: sim.Const{V: 345 * sim.Microsecond}},
+			}},
+			ChannelBW: 1.2e9,
+		},
+		FTL:             ftl.DefaultConfig(userCapacity),
+		HostLinkBW:      3.5e9,
+		FirmwareSlots:   4,
+		FirmwareLatency: sim.LogNormal{Median: 5 * sim.Microsecond, Sigma: 0.18},
+		ReadCachePages:  4096,
+		PrefetchDepth:   64,
+		StreamTableSize: 8,
+	}
+}
+
+// Counters tallies host-visible SSD activity.
+type Counters struct {
+	Reads, Writes, Trims, Flushes uint64
+	ReadBytes, WriteBytes         int64
+	CacheHits, CacheMisses        uint64
+	Prefetches                    uint64
+}
+
+type cacheEntry struct {
+	ready   bool
+	waiters []func()
+}
+
+type stream struct {
+	next int64 // expected next LPN
+	hits int
+	last sim.Time
+}
+
+// SSD is the assembled local SSD device. It implements blockdev.Device.
+type SSD struct {
+	eng *sim.Engine
+	cfg Config
+	rng *sim.RNG
+
+	arr *flash.Array
+	ftl *ftl.FTL
+
+	up, down *sim.Pipe // host->device / device->host
+	fw       *sim.Server
+
+	cache      map[int64]*cacheEntry
+	cacheOrder []int64 // FIFO eviction order
+	streams    []stream
+
+	counters Counters
+}
+
+// New builds the SSD on the engine with its own derived RNG streams.
+func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *SSD {
+	if rng == nil {
+		rng = sim.NewRNG(0x55d, 0x970)
+	}
+	s := &SSD{eng: eng, cfg: cfg, rng: rng.Derive("ssd:" + cfg.Name)}
+	s.arr = flash.NewArray(eng, cfg.Flash, s.rng.Derive("flash"))
+	s.ftl = ftl.New(eng, s.arr, cfg.FTL)
+	s.up = sim.NewPipe(eng, "hostUp", cfg.HostLinkBW)
+	s.down = sim.NewPipe(eng, "hostDown", cfg.HostLinkBW)
+	slots := cfg.FirmwareSlots
+	if slots < 1 {
+		slots = 1
+	}
+	s.fw = sim.NewServer(eng, "fw", slots)
+	s.cache = make(map[int64]*cacheEntry)
+	s.streams = make([]stream, cfg.StreamTableSize)
+	return s
+}
+
+// Name implements blockdev.Device.
+func (s *SSD) Name() string { return s.cfg.Name }
+
+// Capacity implements blockdev.Device.
+func (s *SSD) Capacity() int64 { return s.cfg.FTL.UserCapacity }
+
+// BlockSize implements blockdev.Device.
+func (s *SSD) BlockSize() int { return int(s.cfg.FTL.LogicalPageSize) }
+
+// Engine implements blockdev.Device.
+func (s *SSD) Engine() *sim.Engine { return s.eng }
+
+// FTL exposes the translation layer for harness inspection (write
+// amplification, GC state, free space).
+func (s *SSD) FTL() *ftl.FTL { return s.ftl }
+
+// FlashCounters returns media operation counts.
+func (s *SSD) FlashCounters() flash.Counters { return s.arr.Counters() }
+
+// FTLWriteAmp returns the FTL's current write amplification factor.
+func (s *SSD) FTLWriteAmp() float64 { return s.ftl.Counters().WriteAmplification() }
+
+// Counters returns host-visible activity counters.
+func (s *SSD) Counters() Counters { return s.counters }
+
+// Precondition instantly fills fillFrac of the device as if written once
+// (sequentially laid out unless randomized).
+func (s *SSD) Precondition(fillFrac float64, randomized bool) {
+	s.ftl.Precondition(fillFrac, randomized, s.rng.Derive("precondition"))
+}
+
+// Submit implements blockdev.Device.
+func (s *SSD) Submit(r *blockdev.Request) {
+	blockdev.Validate(s, r)
+	r.Issued = s.eng.Now()
+	switch r.Op {
+	case blockdev.Write:
+		s.submitWrite(r)
+	case blockdev.Read:
+		s.submitRead(r)
+	case blockdev.Trim:
+		s.submitTrim(r)
+	case blockdev.Flush:
+		s.submitFlush(r)
+	default:
+		panic(fmt.Sprintf("ssd: unknown op %v", r.Op))
+	}
+}
+
+func (s *SSD) complete(r *blockdev.Request) {
+	if r.OnComplete != nil {
+		r.OnComplete(r, s.eng.Now())
+	}
+}
+
+func (s *SSD) lpnRange(r *blockdev.Request) (lpn, count int64) {
+	bs := s.cfg.FTL.LogicalPageSize
+	return r.Offset / bs, r.Size / bs
+}
+
+func (s *SSD) submitWrite(r *blockdev.Request) {
+	lpn, count := s.lpnRange(r)
+	s.counters.Writes++
+	s.counters.WriteBytes += r.Size
+	s.fw.Visit(s.cfg.FirmwareLatency.Sample(s.rng), func() {
+		s.up.Transfer(r.Size, func() {
+			// Writes invalidate any cached copies.
+			for i := int64(0); i < count; i++ {
+				s.dropCache(lpn + i)
+			}
+			s.ftl.HostWrite(lpn, count, func() { s.complete(r) })
+		})
+	})
+}
+
+func (s *SSD) submitRead(r *blockdev.Request) {
+	lpn, count := s.lpnRange(r)
+	s.counters.Reads++
+	s.counters.ReadBytes += r.Size
+	s.fw.Visit(s.cfg.FirmwareLatency.Sample(s.rng), func() {
+		s.detectStream(lpn, count)
+		var misses []int64
+		pending := 1 // guard against premature completion while classifying
+		finishOne := func() {
+			pending--
+			if pending == 0 {
+				s.down.Transfer(r.Size, func() { s.complete(r) })
+			}
+		}
+		for i := int64(0); i < count; i++ {
+			p := lpn + i
+			if e, ok := s.cache[p]; ok {
+				if e.ready {
+					s.counters.CacheHits++
+					continue
+				}
+				// In-flight prefetch: wait for it rather than re-read.
+				s.counters.CacheHits++
+				pending++
+				e.waiters = append(e.waiters, finishOne)
+				continue
+			}
+			s.counters.CacheMisses++
+			misses = append(misses, p)
+		}
+		if len(misses) > 0 {
+			pending++
+			s.ftl.ReadList(misses, finishOne)
+		}
+		finishOne() // release the classification guard
+	})
+}
+
+func (s *SSD) submitTrim(r *blockdev.Request) {
+	lpn, count := s.lpnRange(r)
+	s.counters.Trims++
+	s.fw.Visit(s.cfg.FirmwareLatency.Sample(s.rng), func() {
+		s.ftl.Trim(lpn, count)
+		for i := int64(0); i < count; i++ {
+			s.dropCache(lpn + i)
+		}
+		s.complete(r)
+	})
+}
+
+func (s *SSD) submitFlush(r *blockdev.Request) {
+	s.counters.Flushes++
+	s.fw.Visit(s.cfg.FirmwareLatency.Sample(s.rng), func() {
+		s.ftl.Flush(func() { s.complete(r) })
+	})
+}
+
+// detectStream updates the sequential-stream table and triggers readahead
+// when a stream is confirmed.
+func (s *SSD) detectStream(lpn, count int64) {
+	if s.cfg.PrefetchDepth <= 0 || len(s.streams) == 0 {
+		return
+	}
+	now := s.eng.Now()
+	oldest, match := 0, -1
+	for i := range s.streams {
+		if s.streams[i].next == lpn && s.streams[i].hits > 0 {
+			match = i
+			break
+		}
+		if s.streams[i].last < s.streams[oldest].last {
+			oldest = i
+		}
+	}
+	if match < 0 {
+		s.streams[oldest] = stream{next: lpn + count, hits: 1, last: now}
+		return
+	}
+	st := &s.streams[match]
+	st.next = lpn + count
+	st.hits++
+	st.last = now
+	if st.hits >= 2 {
+		s.prefetch(st.next, int64(s.cfg.PrefetchDepth))
+	}
+}
+
+// prefetch reads [from, from+depth) into the read cache in the background.
+func (s *SSD) prefetch(from, depth int64) {
+	maxLPN := s.ftl.UserLPNs()
+	var todo []int64
+	for p := from; p < from+depth && p < maxLPN; p++ {
+		if _, ok := s.cache[p]; ok {
+			continue
+		}
+		s.insertCache(p, false)
+		todo = append(todo, p)
+	}
+	if len(todo) == 0 {
+		return
+	}
+	s.counters.Prefetches += uint64(len(todo))
+	s.ftl.ReadList(todo, func() {
+		for _, p := range todo {
+			if e, ok := s.cache[p]; ok && !e.ready {
+				e.ready = true
+				for _, w := range e.waiters {
+					w()
+				}
+				e.waiters = nil
+			}
+		}
+	})
+}
+
+func (s *SSD) insertCache(lpn int64, ready bool) {
+	for len(s.cacheOrder) >= s.cfg.ReadCachePages {
+		victim := s.cacheOrder[0]
+		s.cacheOrder = s.cacheOrder[1:]
+		e, ok := s.cache[victim]
+		if !ok {
+			continue // already dropped by a write or trim
+		}
+		if !e.ready {
+			// In-flight prefetch is pinned; rotate it to the back. The cache
+			// may transiently exceed capacity by the in-flight count.
+			s.cacheOrder = append(s.cacheOrder, victim)
+			break
+		}
+		delete(s.cache, victim)
+	}
+	s.cache[lpn] = &cacheEntry{ready: ready}
+	s.cacheOrder = append(s.cacheOrder, lpn)
+}
+
+func (s *SSD) dropCache(lpn int64) {
+	if e, ok := s.cache[lpn]; ok && e.ready {
+		delete(s.cache, lpn)
+	}
+}
+
+var _ blockdev.Device = (*SSD)(nil)

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"essdsim/internal/sim"
+)
+
+// ThroughputSeries accumulates completed bytes into fixed-width time buckets
+// and reports a GB/s (or arbitrary-unit) timeline — the measurement behind
+// the paper's Figure 3 runtime-throughput plot.
+type ThroughputSeries struct {
+	interval sim.Duration
+	buckets  []int64
+	total    int64
+}
+
+// NewThroughputSeries returns a series with the given bucket width.
+func NewThroughputSeries(interval sim.Duration) *ThroughputSeries {
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	return &ThroughputSeries{interval: interval}
+}
+
+// Interval returns the bucket width.
+func (t *ThroughputSeries) Interval() sim.Duration { return t.interval }
+
+// Add records n bytes completed at time at.
+func (t *ThroughputSeries) Add(at sim.Time, n int64) {
+	idx := int(int64(at) / int64(t.interval))
+	for len(t.buckets) <= idx {
+		t.buckets = append(t.buckets, 0)
+	}
+	t.buckets[idx] += n
+	t.total += n
+}
+
+// Total returns the total bytes recorded.
+func (t *ThroughputSeries) Total() int64 { return t.total }
+
+// Len returns the number of buckets.
+func (t *ThroughputSeries) Len() int { return len(t.buckets) }
+
+// Bytes returns the bytes recorded in bucket i.
+func (t *ThroughputSeries) Bytes(i int) int64 {
+	if i < 0 || i >= len(t.buckets) {
+		return 0
+	}
+	return t.buckets[i]
+}
+
+// Rate returns the throughput of bucket i in bytes per second.
+func (t *ThroughputSeries) Rate(i int) float64 {
+	return float64(t.Bytes(i)) / t.interval.Seconds()
+}
+
+// Rates returns the whole timeline in bytes per second.
+func (t *ThroughputSeries) Rates() []float64 {
+	out := make([]float64, len(t.buckets))
+	for i := range t.buckets {
+		out[i] = t.Rate(i)
+	}
+	return out
+}
+
+// MeanRate returns the average throughput over buckets [from, to).
+func (t *ThroughputSeries) MeanRate(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(t.buckets) {
+		to = len(t.buckets)
+	}
+	if to <= from {
+		return 0
+	}
+	var sum int64
+	for i := from; i < to; i++ {
+		sum += t.buckets[i]
+	}
+	return float64(sum) / (float64(to-from) * t.interval.Seconds())
+}
+
+// KneeIndex locates the first sustained throughput drop: the first bucket
+// whose trailing window mean falls below frac times the peak of the
+// preceding prefix. It returns -1 if no such drop exists. window smooths
+// out single-bucket noise.
+func (t *ThroughputSeries) KneeIndex(frac float64, window int) int {
+	if window < 1 {
+		window = 1
+	}
+	if len(t.buckets) < 2*window {
+		return -1
+	}
+	// Peak of the smoothed series so far.
+	peak := 0.0
+	for i := 0; i+window <= len(t.buckets); i++ {
+		m := t.MeanRate(i, i+window)
+		if m > peak {
+			peak = m
+			continue
+		}
+		if peak > 0 && m < frac*peak {
+			return i
+		}
+	}
+	return -1
+}
+
+// Counter is a simple monotonically increasing tally of operations and bytes.
+type Counter struct {
+	Ops   uint64
+	Bytes int64
+}
+
+// Add records one operation of n bytes.
+func (c *Counter) Add(n int64) {
+	c.Ops++
+	c.Bytes += n
+}
+
+// Welford tracks online mean and variance.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the running sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}

@@ -1,0 +1,186 @@
+// Package trace records and replays block I/O traces in a simple text
+// format, one operation per line:
+//
+//	<issue-ns> <op> <offset> <size>
+//
+// where op is r, w, t (trim) or f (flush). Traces let users replay captured
+// application I/O against any simulated device — the standard methodology
+// for evaluating cloud-storage suitability of an existing workload.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+	"essdsim/internal/stats"
+)
+
+// Record is one traced I/O.
+type Record struct {
+	At     sim.Duration // issue time relative to trace start
+	Op     blockdev.Op
+	Offset int64
+	Size   int64
+}
+
+func opLetter(op blockdev.Op) string {
+	switch op {
+	case blockdev.Read:
+		return "r"
+	case blockdev.Write:
+		return "w"
+	case blockdev.Trim:
+		return "t"
+	case blockdev.Flush:
+		return "f"
+	}
+	return "?"
+}
+
+func parseOp(s string) (blockdev.Op, error) {
+	switch s {
+	case "r", "R", "read":
+		return blockdev.Read, nil
+	case "w", "W", "write":
+		return blockdev.Write, nil
+	case "t", "T", "trim":
+		return blockdev.Trim, nil
+	case "f", "F", "flush":
+		return blockdev.Flush, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown op %q", s)
+	}
+}
+
+// Write serializes records to w.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(bw, "%d %s %d %d\n",
+			int64(r.At), opLetter(r.Op), r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace. Lines starting with '#' are comments. Records must
+// be sorted by issue time.
+func Read(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	var last sim.Duration
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		at, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q", lineNo, fields[0])
+		}
+		op, err := parseOp(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		off, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || off < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad offset %q", lineNo, fields[2])
+		}
+		size, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil || (size <= 0 && op != blockdev.Flush) {
+			return nil, fmt.Errorf("trace: line %d: bad size %q", lineNo, fields[3])
+		}
+		if sim.Duration(at) < last {
+			return nil, fmt.Errorf("trace: line %d: timestamps not sorted", lineNo)
+		}
+		last = sim.Duration(at)
+		recs = append(recs, Record{At: sim.Duration(at), Op: op, Offset: off, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ReplayResult summarizes a trace replay.
+type ReplayResult struct {
+	Device  string
+	Ops     uint64
+	Bytes   int64
+	Elapsed sim.Duration
+	Lat     *stats.Histogram
+	// Stretch is Elapsed divided by the trace's nominal duration: >1 means
+	// the device could not keep up with the traced issue rate.
+	Stretch float64
+}
+
+// Replay issues the records against the device at their recorded times
+// (open-loop) and waits for all completions.
+func Replay(dev blockdev.Device, recs []Record) *ReplayResult {
+	eng := dev.Engine()
+	res := &ReplayResult{Device: dev.Name(), Lat: stats.NewHistogram()}
+	start := eng.Now()
+	outstanding := 0
+	for _, rec := range recs {
+		rec := rec
+		outstanding++
+		eng.At(start.Add(rec.At), func() {
+			dev.Submit(&blockdev.Request{
+				Op:     rec.Op,
+				Offset: rec.Offset,
+				Size:   rec.Size,
+				OnComplete: func(r *blockdev.Request, at sim.Time) {
+					res.Lat.Record(r.Latency(at))
+					res.Ops++
+					res.Bytes += r.Size
+					outstanding--
+				},
+			})
+		})
+	}
+	eng.Run()
+	res.Elapsed = eng.Now().Sub(start)
+	if len(recs) > 0 {
+		nominal := recs[len(recs)-1].At
+		if nominal > 0 {
+			res.Stretch = float64(res.Elapsed) / float64(nominal)
+		}
+	}
+	return res
+}
+
+// Recorder wraps a device and captures every submitted request, for
+// building traces from synthetic workloads.
+type Recorder struct {
+	blockdev.Device
+	start sim.Time
+	Recs  []Record
+}
+
+// NewRecorder wraps dev, recording from the device engine's current time.
+func NewRecorder(dev blockdev.Device) *Recorder {
+	return &Recorder{Device: dev, start: dev.Engine().Now()}
+}
+
+// Submit implements blockdev.Device.
+func (r *Recorder) Submit(req *blockdev.Request) {
+	r.Recs = append(r.Recs, Record{
+		At:     r.Device.Engine().Now().Sub(r.start),
+		Op:     req.Op,
+		Offset: req.Offset,
+		Size:   req.Size,
+	})
+	r.Device.Submit(req)
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+)
+
+// echoDevice completes everything after a fixed latency.
+type echoDevice struct {
+	eng *sim.Engine
+	lat sim.Duration
+}
+
+func (e *echoDevice) Name() string        { return "echo" }
+func (e *echoDevice) Capacity() int64     { return 1 << 30 }
+func (e *echoDevice) BlockSize() int      { return 4096 }
+func (e *echoDevice) Engine() *sim.Engine { return e.eng }
+func (e *echoDevice) Submit(r *blockdev.Request) {
+	r.Issued = e.eng.Now()
+	e.eng.Schedule(e.lat, func() {
+		if r.OnComplete != nil {
+			r.OnComplete(r, e.eng.Now())
+		}
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{At: 0, Op: blockdev.Write, Offset: 0, Size: 4096},
+		{At: 1000, Op: blockdev.Read, Offset: 8192, Size: 8192},
+		{At: 2000, Op: blockdev.Trim, Offset: 0, Size: 4096},
+		{At: 3000, Op: blockdev.Flush, Offset: 0, Size: 1},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	in := "# header\n0 w 0 4096\n\n100 r 4096 4096\n"
+	recs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"0 w 0\n",                    // field count
+		"x w 0 4096\n",               // bad time
+		"0 q 0 4096\n",               // bad op
+		"0 w -1 4096\n",              // bad offset
+		"0 w 0 0\n",                  // bad size
+		"100 w 0 4096\n0 w 0 4096\n", // unsorted
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestReplayTiming(t *testing.T) {
+	dev := &echoDevice{eng: sim.NewEngine(), lat: 100 * sim.Microsecond}
+	recs := []Record{
+		{At: 0, Op: blockdev.Write, Offset: 0, Size: 4096},
+		{At: sim.Duration(sim.Millisecond), Op: blockdev.Read, Offset: 0, Size: 4096},
+	}
+	res := Replay(dev, recs)
+	if res.Ops != 2 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// Last record issues at 1 ms, completes at 1.1 ms.
+	want := sim.Duration(sim.Millisecond) + 100*sim.Microsecond
+	if res.Elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", res.Elapsed, want)
+	}
+	if res.Lat.Mean() != 100*sim.Microsecond {
+		t.Fatalf("mean latency = %v", res.Lat.Mean())
+	}
+	if res.Stretch < 1.0 || res.Stretch > 1.2 {
+		t.Fatalf("stretch = %v", res.Stretch)
+	}
+}
+
+func TestRecorderCaptures(t *testing.T) {
+	dev := &echoDevice{eng: sim.NewEngine(), lat: 10 * sim.Microsecond}
+	rec := NewRecorder(dev)
+	rec.Submit(&blockdev.Request{Op: blockdev.Write, Offset: 4096, Size: 4096})
+	dev.eng.Run()
+	rec.Submit(&blockdev.Request{Op: blockdev.Read, Offset: 0, Size: 8192})
+	dev.eng.Run()
+	if len(rec.Recs) != 2 {
+		t.Fatalf("recorded %d", len(rec.Recs))
+	}
+	if rec.Recs[0].Op != blockdev.Write || rec.Recs[0].Offset != 4096 {
+		t.Fatalf("rec 0 = %+v", rec.Recs[0])
+	}
+	if rec.Recs[1].At != 10*sim.Microsecond {
+		t.Fatalf("rec 1 time = %v", rec.Recs[1].At)
+	}
+	// Round-trip the captured trace.
+	var buf bytes.Buffer
+	if err := Write(&buf, rec.Recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("round trip: %v, %d", err, len(back))
+	}
+}
+
+func TestReplayOpenLoopOverlap(t *testing.T) {
+	// Two requests issued at the same instant overlap (open loop).
+	dev := &echoDevice{eng: sim.NewEngine(), lat: 1 * sim.Millisecond}
+	recs := []Record{
+		{At: 0, Op: blockdev.Read, Offset: 0, Size: 4096},
+		{At: 0, Op: blockdev.Read, Offset: 4096, Size: 4096},
+	}
+	res := Replay(dev, recs)
+	if res.Elapsed != sim.Duration(sim.Millisecond) {
+		t.Fatalf("open-loop replay serialized: elapsed %v", res.Elapsed)
+	}
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+	"essdsim/internal/stats"
+)
+
+// Arrival shapes for open-loop workloads.
+type Arrival uint8
+
+// Supported arrival processes.
+const (
+	// Uniform spaces requests evenly: the smoothed timeline of
+	// Implication #4.
+	Uniform Arrival = iota
+	// Poisson draws exponential inter-arrival gaps.
+	Poisson
+	// Bursty issues each second's worth of requests at the start of the
+	// second: the bursty timeline Implication #4 warns about.
+	Bursty
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case Uniform:
+		return "uniform"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("arrival(%d)", uint8(a))
+	}
+}
+
+// OpenSpec describes an open-loop (arrival-driven) workload: requests are
+// issued on a schedule regardless of completions, exposing queueing when
+// the device cannot keep up — the regime where the provisioned budget and
+// burst credits of an ESSD dominate behaviour.
+type OpenSpec struct {
+	Pattern    Pattern
+	BlockSize  int64
+	WriteRatio float64
+
+	// RatePerSec is the offered request rate.
+	RatePerSec float64
+	// Arrival selects the arrival process.
+	Arrival Arrival
+	// Count is the total number of requests to issue.
+	Count uint64
+
+	// Region restricts I/O to the first Region bytes (0 = whole device).
+	Region int64
+	// Hotspot, when non-nil, skews offsets (random patterns only).
+	Hotspot *Zipf
+
+	Seed uint64
+}
+
+// Validate reports a descriptive error for nonsensical specs.
+func (s OpenSpec) Validate(dev blockdev.Device) error {
+	bs := int64(dev.BlockSize())
+	switch {
+	case s.BlockSize <= 0 || s.BlockSize%bs != 0:
+		return fmt.Errorf("workload: block size %d not a multiple of device block %d", s.BlockSize, bs)
+	case s.RatePerSec <= 0:
+		return fmt.Errorf("workload: rate must be positive")
+	case s.Count == 0:
+		return fmt.Errorf("workload: count must be positive")
+	case s.Region < 0 || s.Region > dev.Capacity():
+		return fmt.Errorf("workload: region %d out of range", s.Region)
+	}
+	return nil
+}
+
+// OpenResult holds open-loop measurements. Latency here includes the time
+// a request waited behind the device's queues after its scheduled arrival,
+// which is exactly what a deadline-driven service experiences.
+type OpenResult struct {
+	Spec    OpenSpec
+	Device  string
+	Ops     uint64
+	Bytes   int64
+	Elapsed sim.Duration
+	Lat     *stats.Histogram
+	// MaxOutstanding is the peak number of in-flight requests — the queue
+	// the arrival process built up.
+	MaxOutstanding int
+}
+
+// RunOpen executes the open-loop workload, driving the engine until all
+// requests complete. It panics on an invalid spec.
+func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
+	if err := spec.Validate(dev); err != nil {
+		panic(err)
+	}
+	eng := dev.Engine()
+	rng := sim.NewRNG(spec.Seed^0x09e4, spec.Seed+0x11)
+	res := &OpenResult{Spec: spec, Device: dev.Name(), Lat: stats.NewHistogram()}
+	region := spec.Region
+	if region == 0 {
+		region = dev.Capacity()
+	}
+	slots := region / spec.BlockSize
+	start := eng.Now()
+	gap := sim.Duration(float64(sim.Second) / spec.RatePerSec)
+	perSecond := int(spec.RatePerSec)
+	if perSecond < 1 {
+		perSecond = 1
+	}
+
+	outstanding := 0
+	var seqOff int64
+	var at sim.Duration
+	for i := uint64(0); i < spec.Count; i++ {
+		switch spec.Arrival {
+		case Uniform:
+			at = sim.Duration(i) * gap
+		case Poisson:
+			if i > 0 {
+				at += sim.Duration(-math.Log(1-rng.Float64()) * float64(gap))
+			}
+		case Bursty:
+			at = sim.Duration(i/uint64(perSecond)) * sim.Second
+		}
+		op := blockdev.Read
+		switch spec.Pattern {
+		case RandWrite, SeqWrite:
+			op = blockdev.Write
+		case Mixed:
+			if rng.Float64() < spec.WriteRatio {
+				op = blockdev.Write
+			}
+		}
+		var off int64
+		switch spec.Pattern {
+		case SeqWrite, SeqRead:
+			off = seqOff
+			seqOff += spec.BlockSize
+			if seqOff+spec.BlockSize > region {
+				seqOff = 0
+			}
+		default:
+			if spec.Hotspot != nil {
+				off = spec.Hotspot.Next(rng) % slots * spec.BlockSize
+			} else {
+				off = rng.Int64N(slots) * spec.BlockSize
+			}
+		}
+		issueAt := start.Add(at)
+		opC, offC := op, off // per-iteration copies for the closure
+		eng.At(issueAt, func() {
+			outstanding++
+			if outstanding > res.MaxOutstanding {
+				res.MaxOutstanding = outstanding
+			}
+			dev.Submit(&blockdev.Request{
+				Op: opC, Offset: offC, Size: spec.BlockSize,
+				OnComplete: func(r *blockdev.Request, done sim.Time) {
+					outstanding--
+					res.Lat.Record(done.Sub(issueAt))
+					res.Ops++
+					res.Bytes += r.Size
+				},
+			})
+		})
+	}
+	eng.Run()
+	res.Elapsed = eng.Now().Sub(start)
+	return res
+}

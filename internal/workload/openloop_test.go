@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+)
+
+func TestOpenSpecValidate(t *testing.T) {
+	d := newFake(100)
+	bad := []OpenSpec{
+		{BlockSize: 0, RatePerSec: 10, Count: 1},
+		{BlockSize: 1000, RatePerSec: 10, Count: 1},
+		{BlockSize: 4096, RatePerSec: 0, Count: 1},
+		{BlockSize: 4096, RatePerSec: 10, Count: 0},
+		{BlockSize: 4096, RatePerSec: 10, Count: 1, Region: 1 << 40},
+	}
+	for i, s := range bad {
+		if err := s.Validate(d); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestOpenLoopUniformPacing(t *testing.T) {
+	d := newFake(100 * sim.Microsecond)
+	res := RunOpen(d, OpenSpec{
+		Pattern: RandRead, BlockSize: 4096,
+		RatePerSec: 1000, Arrival: Uniform, Count: 100, Seed: 1,
+	})
+	if res.Ops != 100 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// 100 requests at 1 kHz: last issues at 99 ms, completes at 99.1 ms.
+	want := sim.Duration(99*sim.Millisecond + 100*sim.Microsecond)
+	if res.Elapsed != want {
+		t.Fatalf("elapsed = %v, want %v", res.Elapsed, want)
+	}
+	// Device (100µs) keeps up with 1ms gaps: no queueing.
+	if res.MaxOutstanding != 1 {
+		t.Fatalf("max outstanding = %d, want 1", res.MaxOutstanding)
+	}
+	if res.Lat.Max() != 100*sim.Microsecond {
+		t.Fatalf("latency = %v", res.Lat.Max())
+	}
+}
+
+func TestOpenLoopQueueingWhenOverloaded(t *testing.T) {
+	// 1 kHz arrivals on a serial 5 ms device: queue builds, latency
+	// includes wait.
+	d := &serialFake{fakeDevice: newFake(5 * sim.Millisecond)}
+	res := RunOpen(d, OpenSpec{
+		Pattern: RandWrite, BlockSize: 4096,
+		RatePerSec: 1000, Arrival: Uniform, Count: 50, Seed: 1,
+	})
+	if res.MaxOutstanding < 10 {
+		t.Fatalf("max outstanding = %d, want queue buildup", res.MaxOutstanding)
+	}
+	if res.Lat.Max() <= 5*sim.Millisecond {
+		t.Fatalf("max latency %v does not include queueing", res.Lat.Max())
+	}
+}
+
+// serialFake serves one request at a time — queueing is visible in
+// completion latencies.
+type serialFake struct {
+	*fakeDevice
+	busyUntil sim.Time
+}
+
+func (s *serialFake) Submit(r *blockdev.Request) {
+	blockdev.Validate(s, r)
+	r.Issued = s.eng.Now()
+	s.offsets = append(s.offsets, r.Offset)
+	start := s.busyUntil
+	if now := s.eng.Now(); start < now {
+		start = now
+	}
+	s.busyUntil = start.Add(s.lat)
+	s.eng.At(s.busyUntil, func() {
+		if r.OnComplete != nil {
+			r.OnComplete(r, s.eng.Now())
+		}
+	})
+}
+
+func TestOpenLoopBurstyArrivals(t *testing.T) {
+	d := &serialFake{fakeDevice: newFake(1 * sim.Millisecond)}
+	res := RunOpen(d, OpenSpec{
+		Pattern: RandRead, BlockSize: 4096,
+		RatePerSec: 100, Arrival: Bursty, Count: 200, Seed: 1,
+	})
+	// Uniform pacing of the same load on the same device.
+	d2 := &serialFake{fakeDevice: newFake(1 * sim.Millisecond)}
+	res2 := RunOpen(d2, OpenSpec{
+		Pattern: RandRead, BlockSize: 4096,
+		RatePerSec: 100, Arrival: Uniform, Count: 200, Seed: 1,
+	})
+	// Implication #4 in numbers: bursty p99 >> uniform p99 at equal
+	// offered load (100 req/s on a 1000 req/s-capable device).
+	if res.Lat.Percentile(99) < 4*res2.Lat.Percentile(99) {
+		t.Fatalf("bursty p99 %v not much worse than uniform %v",
+			res.Lat.Percentile(99), res2.Lat.Percentile(99))
+	}
+	if res2.MaxOutstanding > 2 {
+		t.Fatalf("uniform max outstanding = %d", res2.MaxOutstanding)
+	}
+}
+
+func TestOpenLoopPoissonJitters(t *testing.T) {
+	d := newFake(10 * sim.Microsecond)
+	res := RunOpen(d, OpenSpec{
+		Pattern: RandRead, BlockSize: 4096,
+		RatePerSec: 1000, Arrival: Poisson, Count: 500, Seed: 3,
+	})
+	if res.Ops != 500 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// Mean rate should be near nominal: elapsed ≈ 0.5 s.
+	secs := res.Elapsed.Seconds()
+	if secs < 0.3 || secs > 0.8 {
+		t.Fatalf("poisson elapsed = %.3fs, want ≈0.5s", secs)
+	}
+}
+
+func TestOpenLoopHotspot(t *testing.T) {
+	d := newFake(10 * sim.Microsecond)
+	z := NewZipf(1<<20, 0.99)
+	RunOpen(d, OpenSpec{
+		Pattern: RandWrite, BlockSize: 4096,
+		RatePerSec: 10000, Arrival: Uniform, Count: 2000,
+		Region: 1 << 20, Hotspot: z, Seed: 5,
+	})
+	// Skewed: the top offset should repeat far more than uniform would.
+	counts := map[int64]int{}
+	for _, off := range d.offsets {
+		counts[off]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 20 {
+		t.Fatalf("hottest offset seen %d times; zipf skew missing", max)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	rng := sim.NewRNG(1, 1)
+	z := NewZipf(1000, 0.99)
+	for i := 0; i < 10000; i++ {
+		v := z.Next(rng)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	rng := sim.NewRNG(2, 2)
+	z := NewZipf(10000, 0.99)
+	ranks := map[int64]int{}
+	for i := 0; i < 50000; i++ {
+		ranks[z.nextRank(rng)]++
+	}
+	// Rank 0 must dominate rank 100.
+	if ranks[0] < 5*ranks[100] || ranks[0] == 0 {
+		t.Fatalf("rank0=%d rank100=%d: skew wrong", ranks[0], ranks[100])
+	}
+}
+
+func TestZipfUniformTheta(t *testing.T) {
+	rng := sim.NewRNG(3, 3)
+	z := NewZipf(100, 0)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.nextRank(rng)]++
+	}
+	for r, c := range counts {
+		if c < 100 || c > 320 {
+			t.Fatalf("theta=0 rank %d count %d, want ≈200", r, c)
+		}
+	}
+}
+
+func TestZipfDegenerateN(t *testing.T) {
+	rng := sim.NewRNG(4, 4)
+	z := NewZipf(0, 2.0) // clamped to n=1, theta<1
+	if z.Next(rng) != 0 {
+		t.Fatal("n=1 zipf must return 0")
+	}
+}
+
+func TestArrivalString(t *testing.T) {
+	if Uniform.String() != "uniform" || Poisson.String() != "poisson" || Bursty.String() != "bursty" {
+		t.Fatal("arrival names")
+	}
+}

@@ -1,0 +1,84 @@
+package kv
+
+import (
+	"essdsim"
+)
+
+// IngestResult summarizes a bulk ingest run.
+type IngestResult struct {
+	Engine    string
+	Device    string
+	Puts      uint64
+	UserBytes int64
+	Elapsed   essdsim.Duration
+	Stats     Stats
+}
+
+// PutsPerSec returns the ingest rate in operations per (virtual) second.
+func (r IngestResult) PutsPerSec() float64 {
+	secs := r.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Puts) / secs
+}
+
+// UserMBps returns the effective user-data rate in MB/s.
+func (r IngestResult) UserMBps() float64 {
+	secs := r.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.UserBytes) / secs / 1e6
+}
+
+// Ingest drives `puts` fixed-size puts through the engine at the given
+// client concurrency, waits for the engine to go idle (Barrier), and
+// returns the measurements. Keys are drawn uniformly from keySpace.
+func Ingest(eng *essdsim.Engine, e Engine, puts uint64, valueSize int64,
+	concurrency int, keySpace uint64, seed uint64) IngestResult {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if keySpace == 0 {
+		keySpace = 1 << 20
+	}
+	start := eng.Now()
+	var issued, completed uint64
+	state := seed*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	nextKey := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state % keySpace
+	}
+	var pump func()
+	inflight := 0
+	pump = func() {
+		for inflight < concurrency && issued < puts {
+			issued++
+			inflight++
+			e.Put(nextKey(), valueSize, func() {
+				completed++
+				inflight--
+				pump()
+			})
+		}
+	}
+	pump()
+	eng.Run()
+	// Drain background work (flushes/compactions) before reading stats.
+	finished := false
+	e.Barrier(func() { finished = true })
+	eng.Run()
+	if !finished || completed != puts {
+		panic("kv: ingest did not drain")
+	}
+	return IngestResult{
+		Engine:    e.Name(),
+		Puts:      completed,
+		UserBytes: int64(completed) * valueSize,
+		Elapsed:   eng.Now().Sub(start),
+		Stats:     e.Stats(),
+	}
+}

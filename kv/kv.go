@@ -1,0 +1,88 @@
+// Package kv implements two key-value write-path designs over simulated
+// block devices — a leveled log-structured merge engine (the RocksDB-style
+// design the paper's future work targets) and an update-in-place page
+// store (B-tree style). The paper's Implication #3 asks whether converting
+// random writes into sequential writes is still worth it on an ESSD; these
+// engines let users answer that question for their own volume and
+// workload, with honest device-level I/O and write-amplification
+// accounting.
+package kv
+
+import (
+	"fmt"
+)
+
+// Stats tallies an engine's user-level and device-level activity.
+type Stats struct {
+	Puts      uint64
+	UserBytes int64
+
+	DeviceWrites     uint64
+	DeviceWriteBytes int64
+	DeviceReads      uint64
+	DeviceReadBytes  int64
+
+	Flushes     uint64 // memtable flushes (LSM)
+	Compactions uint64 // compaction rounds (LSM)
+	Stalls      uint64 // puts that waited on backpressure
+}
+
+// WriteAmp returns device write bytes per user byte.
+func (s Stats) WriteAmp() float64 {
+	if s.UserBytes == 0 {
+		return 0
+	}
+	return float64(s.DeviceWriteBytes) / float64(s.UserBytes)
+}
+
+// Engine is an asynchronous key-value write engine bound to one device.
+// Put acknowledges according to the engine's durability design (memtable
+// admission for the LSM, page write completion for the page store).
+type Engine interface {
+	// Name identifies the design.
+	Name() string
+	// Put ingests one key/value of the given value size. done fires when
+	// the engine acknowledges the put. Keys are opaque identifiers; the
+	// simulation tracks sizes and placement, not contents.
+	Put(key uint64, valueSize int64, done func())
+	// Barrier fires done once all previously accepted work (including
+	// background flushes and compactions) has reached the device.
+	Barrier(done func())
+	// Stats returns an activity snapshot.
+	Stats() Stats
+}
+
+// align rounds n up to a multiple of bs.
+func align(n, bs int64) int64 {
+	if r := n % bs; r != 0 {
+		n += bs - r
+	}
+	return n
+}
+
+// ringAllocator hands out sequential, block-aligned extents from a device
+// region, wrapping at the end — the address-space behaviour of a
+// log-structured store that recycles its oldest segments.
+type ringAllocator struct {
+	base, size int64
+	head       int64
+	bs         int64
+}
+
+func newRing(base, size, blockSize int64) *ringAllocator {
+	return &ringAllocator{base: base, size: size, bs: blockSize}
+}
+
+// alloc returns a device offset for n bytes (n must be block-aligned and
+// fit in the ring). Extents never straddle the wrap point.
+func (r *ringAllocator) alloc(n int64) int64 {
+	if n > r.size {
+		panic(fmt.Sprintf("kv: extent %d exceeds ring %d", n, r.size))
+	}
+	if r.head+n > r.size {
+		r.head = 0 // wrap: recycle the oldest segments
+	}
+	off := r.base + r.head
+	r.head += n
+	return off
+}

@@ -1,0 +1,318 @@
+package kv
+
+import (
+	"fmt"
+
+	"essdsim"
+)
+
+// LSMConfig parameterizes the log-structured merge engine.
+type LSMConfig struct {
+	// MemtableBytes is the in-memory buffer flushed as one L0 table.
+	MemtableBytes int64
+	// SegmentIOBytes is the I/O size used for flush/compaction streams
+	// (the large sequential writes LSMs are built around).
+	SegmentIOBytes int64
+	// LevelFanout is the size ratio between adjacent levels.
+	LevelFanout int
+	// L0CompactTrigger is the number of L0 tables that triggers a
+	// compaction into L1.
+	L0CompactTrigger int
+	// OverlapFrac is the fraction of an input table's size that must be
+	// read from (and rewritten to) the next level during compaction —
+	// the source of the design's write amplification.
+	OverlapFrac float64
+	// MaxLevels bounds the tree depth.
+	MaxLevels int
+	// QueueDepth limits concurrent device I/O from flush/compaction.
+	QueueDepth int
+}
+
+// DefaultLSMConfig returns leveled-compaction parameters in RocksDB's
+// ballpark, scaled to simulator-sized devices.
+func DefaultLSMConfig() LSMConfig {
+	return LSMConfig{
+		MemtableBytes:    8 << 20,
+		SegmentIOBytes:   256 << 10,
+		LevelFanout:      10,
+		L0CompactTrigger: 4,
+		OverlapFrac:      1.0,
+		MaxLevels:        4,
+		QueueDepth:       16,
+	}
+}
+
+type level struct {
+	tables int
+	bytes  int64
+}
+
+// LSM is a simplified leveled LSM write path: puts buffer in a memtable,
+// memtables flush to L0 as sequential segment writes, and level overflow
+// triggers compactions that read and rewrite sequential streams. All
+// device traffic is sequential and large — the conversion of random
+// writes into sequential writes that Implication #3 re-evaluates.
+type LSM struct {
+	dev    essdsim.Device
+	cfg    LSMConfig
+	ring   *ringAllocator
+	levels []level
+
+	memUsed    int64
+	flushBusy  bool
+	compBusy   bool
+	inflight   int
+	waiters    []func() // puts blocked on a full memtable chain
+	barriers   []func()
+	stats      Stats
+	pendingOps []pendingIO
+}
+
+type pendingIO struct {
+	write bool
+	off   int64
+	size  int64
+}
+
+// NewLSM builds the engine over the device. It panics on invalid
+// configuration (programming error).
+func NewLSM(dev essdsim.Device, cfg LSMConfig) *LSM {
+	bs := int64(dev.BlockSize())
+	if cfg.MemtableBytes <= 0 || cfg.SegmentIOBytes <= 0 ||
+		cfg.SegmentIOBytes%bs != 0 || cfg.LevelFanout < 2 ||
+		cfg.L0CompactTrigger < 1 || cfg.MaxLevels < 1 || cfg.QueueDepth < 1 {
+		panic(fmt.Sprintf("kv: bad LSM config %+v", cfg))
+	}
+	return &LSM{
+		dev:    dev,
+		cfg:    cfg,
+		ring:   newRing(0, dev.Capacity(), bs),
+		levels: make([]level, cfg.MaxLevels),
+	}
+}
+
+// Name implements Engine.
+func (l *LSM) Name() string { return "lsm" }
+
+// Stats implements Engine.
+func (l *LSM) Stats() Stats { return l.stats }
+
+// LevelBytes returns the accumulated bytes of each level, for tests.
+func (l *LSM) LevelBytes() []int64 {
+	out := make([]int64, len(l.levels))
+	for i, lv := range l.levels {
+		out[i] = lv.bytes
+	}
+	return out
+}
+
+// Put implements Engine: the put acknowledges on memtable admission
+// (writes are durable in the real design via a group-committed WAL that
+// shares the log's sequential pattern; we fold it into the flush traffic).
+func (l *LSM) Put(key uint64, valueSize int64, done func()) {
+	if valueSize <= 0 {
+		panic("kv: value size must be positive")
+	}
+	_ = key // placement is size-driven; keys are opaque
+	l.stats.Puts++
+	l.stats.UserBytes += valueSize
+	admit := func() {
+		l.memUsed += valueSize
+		done()
+		if l.memUsed >= l.cfg.MemtableBytes {
+			l.maybeFlush()
+		}
+	}
+	if l.memUsed >= 2*l.cfg.MemtableBytes {
+		// Memtable and its immutable predecessor are both full: stall the
+		// put until flushing catches up (write stalls, as in RocksDB).
+		l.stats.Stalls++
+		l.waiters = append(l.waiters, admit)
+		l.maybeFlush()
+		return
+	}
+	admit()
+}
+
+// Barrier implements Engine.
+func (l *LSM) Barrier(done func()) {
+	if l.memUsed > 0 {
+		l.maybeFlush()
+	}
+	if l.idle() {
+		done()
+		return
+	}
+	l.barriers = append(l.barriers, done)
+}
+
+func (l *LSM) idle() bool {
+	return !l.flushBusy && !l.compBusy && l.inflight == 0 &&
+		len(l.pendingOps) == 0 && l.memUsed == 0
+}
+
+func (l *LSM) checkBarriers() {
+	if !l.idle() {
+		return
+	}
+	bs := l.barriers
+	l.barriers = nil
+	for _, b := range bs {
+		b()
+	}
+}
+
+// maybeFlush starts flushing the memtable to L0 as sequential writes.
+func (l *LSM) maybeFlush() {
+	if l.flushBusy || l.memUsed == 0 {
+		return
+	}
+	l.flushBusy = true
+	l.stats.Flushes++
+	bytes := l.memUsed
+	if bytes > l.cfg.MemtableBytes {
+		bytes = l.cfg.MemtableBytes
+	}
+	l.memUsed -= bytes
+	table := align(bytes, int64(l.dev.BlockSize()))
+	l.enqueueStream(true, table, func() {
+		l.flushBusy = false
+		l.levels[0].tables++
+		l.levels[0].bytes += table
+		l.admitWaiters()
+		l.maybeCompact()
+		if l.memUsed >= l.cfg.MemtableBytes || (l.memUsed > 0 && len(l.barriers) > 0) {
+			l.maybeFlush()
+		}
+		l.checkBarriers()
+	})
+}
+
+func (l *LSM) admitWaiters() {
+	for len(l.waiters) > 0 && l.memUsed < 2*l.cfg.MemtableBytes {
+		w := l.waiters[0]
+		copy(l.waiters, l.waiters[1:])
+		l.waiters = l.waiters[:len(l.waiters)-1]
+		w()
+	}
+}
+
+// targetBytes returns the capacity of level i before it overflows.
+func (l *LSM) targetBytes(i int) int64 {
+	t := l.cfg.MemtableBytes * int64(l.cfg.L0CompactTrigger)
+	for j := 0; j < i; j++ {
+		t *= int64(l.cfg.LevelFanout)
+	}
+	return t
+}
+
+// maybeCompact merges one overflowing level into the next: read the input
+// table plus the overlapping fraction of the next level, write the merged
+// run — all as sequential streams.
+func (l *LSM) maybeCompact() {
+	if l.compBusy {
+		return
+	}
+	src := -1
+	for i := 0; i < len(l.levels)-1; i++ {
+		if (i == 0 && l.levels[0].tables >= l.cfg.L0CompactTrigger) ||
+			(i > 0 && l.levels[i].bytes > l.targetBytes(i)) {
+			src = i
+			break
+		}
+	}
+	if src < 0 {
+		return
+	}
+	l.compBusy = true
+	l.stats.Compactions++
+	moved := l.levels[src].bytes
+	if src == 0 {
+		// Compact all L0 tables together (they overlap each other).
+		l.levels[0].tables = 0
+	} else {
+		moved = l.levels[src].bytes / 2 // move roughly half the level
+		if moved <= 0 {
+			moved = l.levels[src].bytes
+		}
+	}
+	bs := int64(l.dev.BlockSize())
+	moved = align(moved, bs)
+	overlap := align(int64(l.cfg.OverlapFrac*float64(moved)), bs)
+	l.levels[src].bytes -= moved
+	readBytes := moved + overlap
+	writeBytes := moved + overlap
+	l.enqueueStream(false, readBytes, func() {
+		l.enqueueStream(true, writeBytes, func() {
+			l.compBusy = false
+			dst := src + 1
+			l.levels[dst].bytes += moved
+			l.levels[dst].tables++
+			l.maybeCompact()
+			l.checkBarriers()
+		})
+	})
+}
+
+// enqueueStream issues a sequential run of segment-sized I/Os through the
+// ring allocator at the engine's queue depth, calling done when the run
+// completes.
+func (l *LSM) enqueueStream(write bool, total int64, done func()) {
+	if total <= 0 {
+		done()
+		return
+	}
+	seg := l.cfg.SegmentIOBytes
+	var offs []int64
+	var sizes []int64
+	for total > 0 {
+		n := seg
+		if n > total {
+			n = align(total, int64(l.dev.BlockSize()))
+		}
+		offs = append(offs, l.ring.alloc(n))
+		sizes = append(sizes, n)
+		total -= n
+	}
+	next := 0
+	inflight := 0
+	finished := false
+	var pump func()
+	pump = func() {
+		for inflight < l.cfg.QueueDepth && next < len(offs) {
+			i := next
+			next++
+			inflight++
+			op := essdsim.OpWrite
+			if !write {
+				op = essdsim.OpRead
+			}
+			if write {
+				l.stats.DeviceWrites++
+				l.stats.DeviceWriteBytes += sizes[i]
+			} else {
+				l.stats.DeviceReads++
+				l.stats.DeviceReadBytes += sizes[i]
+			}
+			l.inflight++
+			l.dev.Submit(&essdsim.Request{
+				Op: op, Offset: offs[i], Size: sizes[i],
+				OnComplete: func(r *essdsim.Request, at essdsim.Time) {
+					inflight--
+					l.inflight--
+					if next < len(offs) {
+						pump()
+						return
+					}
+					if inflight == 0 && !finished {
+						finished = true
+						done()
+					}
+				},
+			})
+		}
+	}
+	pump()
+}
+
+var _ Engine = (*LSM)(nil)
