@@ -9,6 +9,7 @@ package essdsim_test
 
 import (
 	"io"
+	"reflect"
 	"testing"
 
 	"essdsim"
@@ -331,6 +332,34 @@ func BenchmarkAblationBurstCredits(b *testing.B) {
 	}
 	b.ReportMetric(burstRate/1e9, "burst-GB/s")
 	b.ReportMetric(baseRate/1e9, "drained-GB/s")
+}
+
+// BenchmarkFig2Workers measures worker-pool scaling of the full Figure 2
+// latency grid (80 cells): the identical sweep at 1, 2, 4, and 8 workers.
+// On a machine with ≥4 cores the 4-worker run completes the grid in less
+// than half the 1-worker wall clock (cells are embarrassingly parallel);
+// the results are byte-identical at every worker count, which the
+// "identical" metric asserts against the 1-worker grid.
+//
+// Run: go test -bench=Fig2Workers -benchtime=1x
+func BenchmarkFig2Workers(b *testing.B) {
+	baseline := harness.RunLatencyGridWith(factory("essd1"),
+		harness.Fig2Patterns, harness.Fig2Sizes, harness.Fig2QDs, benchOpts)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmtN("workers", w), func(b *testing.B) {
+			opts := benchOpts
+			opts.Workers = w
+			identical := 1.0
+			for i := 0; i < b.N; i++ {
+				g := harness.RunLatencyGridWith(factory("essd1"),
+					harness.Fig2Patterns, harness.Fig2Sizes, harness.Fig2QDs, opts)
+				if !reflect.DeepEqual(g, baseline) {
+					identical = 0
+				}
+			}
+			b.ReportMetric(identical, "identical")
+		})
+	}
 }
 
 // BenchmarkEngineThroughput measures raw simulator event throughput.

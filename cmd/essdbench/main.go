@@ -2,17 +2,26 @@
 // devices: it runs one workload (from flags or a fio job file) against a
 // chosen device profile and prints a fio-style summary.
 //
+// Comma-separated values in -device, -rw, -bs, or -iodepth turn the run
+// into a sweep: the cross product of the listed values executes as an
+// experiment grid on -workers parallel workers (deterministic results,
+// one fresh preconditioned device per cell) and prints one summary row
+// per cell.
+//
 // Examples:
 //
 //	essdbench -device essd1 -rw randwrite -bs 4k -iodepth 1 -runtime 1s
 //	essdbench -device ssd -rw randread -bs 256k -iodepth 16 -runtime 500ms
 //	essdbench -device essd2 -job job.fio
+//	essdbench -device essd1,ssd -rw randwrite,write -bs 4k,64k,256k -iodepth 1,8 -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"essdsim"
@@ -22,10 +31,10 @@ import (
 
 func main() {
 	var (
-		device  = flag.String("device", "essd1", "device profile: "+strings.Join(essdsim.ProfileNames(), ", "))
-		rw      = flag.String("rw", "randread", "pattern: randread, randwrite, read, write, randrw")
-		bs      = flag.String("bs", "4k", "I/O size (k/m suffixes)")
-		iodepth = flag.Int("iodepth", 1, "queue depth")
+		device  = flag.String("device", "essd1", "device profile(s): "+strings.Join(essdsim.ProfileNames(), ", "))
+		rw      = flag.String("rw", "randread", "pattern(s): randread, randwrite, read, write, randrw")
+		bs      = flag.String("bs", "4k", "I/O size(s) (k/m suffixes)")
+		iodepth = flag.String("iodepth", "1", "queue depth(s)")
 		runtime = flag.String("runtime", "1s", "measurement duration (simulated)")
 		warmup  = flag.String("warmup", "100ms", "warmup excluded from stats")
 		size    = flag.String("size", "", "stop after this many bytes instead of runtime")
@@ -36,8 +45,22 @@ func main() {
 		rate    = flag.Float64("rate", 0, "open-loop arrival rate (req/s); 0 = closed loop at -iodepth")
 		arrival = flag.String("arrival", "uniform", "open-loop arrivals: uniform, poisson, bursty")
 		ops     = flag.Uint64("ops", 10000, "open-loop request count (with -rate)")
+		workers = flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if strings.ContainsRune(*device+*rw+*bs+*iodepth, ',') {
+		switch {
+		case *jobFile != "":
+			fatal(fmt.Errorf("-job cannot be combined with comma-list sweep flags"))
+		case *rate > 0:
+			fatal(fmt.Errorf("-rate (open loop) cannot be combined with comma-list sweep flags"))
+		case *size != "":
+			fatal(fmt.Errorf("-size cannot be combined with comma-list sweep flags; use -runtime"))
+		}
+		runSweep(*device, *rw, *bs, *iodepth, *runtime, *warmup, *precond, *mixPct, *seed, *workers)
+		return
+	}
 
 	eng := essdsim.NewEngine()
 	dev, err := essdsim.NewDevice(*device, eng, *seed)
@@ -70,10 +93,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		depth, err := strconv.Atoi(*iodepth)
+		if err != nil {
+			fatal(err)
+		}
 		spec := essdsim.Workload{
 			Pattern:    pattern,
 			BlockSize:  blockSize,
-			QueueDepth: *iodepth,
+			QueueDepth: depth,
 			WriteRatio: float64(*mixPct) / 100,
 			Seed:       *seed,
 		}
@@ -95,17 +122,18 @@ func main() {
 		jobs = []fio.Job{{Name: "cmdline", Spec: spec}}
 	}
 
+	mode, err := parsePrecond(*precond)
+	if err != nil {
+		fatal(err)
+	}
 	for _, job := range jobs {
-		switch *precond {
-		case "auto":
+		switch mode {
+		case essdsim.PrecondAuto:
 			essdsim.Precondition(dev, job.Spec.Pattern.IsWrite())
-		case "full":
+		case essdsim.PrecondFull:
 			essdsim.Precondition(dev, false)
-		case "half":
+		case essdsim.PrecondWrites:
 			essdsim.Precondition(dev, true)
-		case "none":
-		default:
-			fatal(fmt.Errorf("unknown -precondition %q", *precond))
 		}
 		fmt.Printf("=== job %s ===\n", job.Name)
 		res := essdsim.Run(dev, job.Spec)
@@ -154,6 +182,103 @@ func runOpenLoop(dev essdsim.Device, rw, bs string, rate float64,
 		res.Ops, res.Elapsed, res.MaxOutstanding)
 	fmt.Printf("  lat avg=%v p50=%v p99=%v p99.9=%v max=%v\n",
 		s.Mean, s.P50, s.P99, s.P999, s.Max)
+}
+
+// runSweep executes the cross product of comma-separated device, pattern,
+// size, and depth lists as a parallel experiment grid and prints one
+// summary row per cell.
+func runSweep(devices, rws, sizes, depths, runtime, warmup, precond string, mixPct int, seed uint64, workers int) {
+	sw := essdsim.Sweep{Seed: seed, Label: "essdbench"}
+	var names []string
+	for _, name := range strings.Split(devices, ",") {
+		names = append(names, strings.TrimSpace(name))
+	}
+	sw.Devices = essdsim.ProfileDevices(names...)
+	mixed := false
+	for _, s := range strings.Split(rws, ",") {
+		p, err := workload.ParsePattern(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		mixed = mixed || p == essdsim.Mixed
+		sw.Patterns = append(sw.Patterns, p)
+	}
+	for _, s := range strings.Split(sizes, ",") {
+		bs, err := fio.ParseSize(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		sw.BlockSizes = append(sw.BlockSizes, bs)
+	}
+	for _, s := range strings.Split(depths, ",") {
+		qd, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		sw.QueueDepths = append(sw.QueueDepths, qd)
+	}
+	if mixed {
+		sw.WriteRatiosPct = []int{mixPct}
+	}
+	var err error
+	if sw.CellDuration, err = fio.ParseDuration(runtime); err != nil {
+		fatal(err)
+	}
+	if sw.CellDuration <= 0 {
+		fatal(fmt.Errorf("sweep mode needs -runtime > 0"))
+	}
+	if sw.Warmup, err = fio.ParseDuration(warmup); err != nil {
+		fatal(err)
+	}
+	if sw.Warmup == 0 {
+		sw.Warmup = -1 // explicit -warmup 0: really no warmup, not the default
+	}
+	if sw.Precondition, err = parsePrecond(precond); err != nil {
+		fatal(err)
+	}
+
+	total := len(sw.Devices) * len(sw.Patterns) * len(sw.BlockSizes) * len(sw.QueueDepths)
+	fmt.Printf("sweep: %d cells on %d devices\n", total, len(sw.Devices))
+	fmt.Printf("%-8s %-10s %-7s %-4s %11s %11s %11s %11s\n",
+		"device", "rw", "bs", "QD", "MB/s", "IOPS", "avg", "p99.9")
+	results, err := essdsim.RunSweep(context.Background(), sw, workers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		s := r.Res.Lat.Summarize()
+		fmt.Printf("%-8s %-10s %-7s %-4d %11.1f %11.0f %11v %11v\n",
+			r.DeviceName, r.Pattern, sizeLabel(r.BlockSize), r.QueueDepth,
+			r.Res.Throughput()/1e6, r.Res.IOPS(), s.Mean, s.P999)
+	}
+}
+
+// parsePrecond maps the -precondition flag to a sweep mode; the single-run
+// path interprets the same modes through essdsim.Precondition calls.
+func parsePrecond(s string) (essdsim.SweepPrecond, error) {
+	switch s {
+	case "auto":
+		return essdsim.PrecondAuto, nil
+	case "full":
+		return essdsim.PrecondFull, nil
+	case "half":
+		return essdsim.PrecondWrites, nil
+	case "none":
+		return essdsim.PrecondNone, nil
+	default:
+		return 0, fmt.Errorf("unknown -precondition %q", s)
+	}
+}
+
+func sizeLabel(bs int64) string {
+	switch {
+	case bs >= 1<<20 && bs%(1<<20) == 0:
+		return fmt.Sprintf("%dm", bs>>20)
+	case bs >= 1<<10 && bs%(1<<10) == 0:
+		return fmt.Sprintf("%dk", bs>>10)
+	default:
+		return fmt.Sprintf("%d", bs)
+	}
 }
 
 func fatal(err error) {

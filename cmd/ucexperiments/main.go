@@ -2,11 +2,15 @@
 // (Table I and Figures 2-5) on the simulated devices and prints them in the
 // paper's layout. Optionally dumps raw CSV series for plotting.
 //
+// Experiment cells run concurrently on an internal/expgrid worker pool
+// (-workers, default GOMAXPROCS); results are deterministic and identical
+// to a serial run regardless of worker count.
+//
 // Examples:
 //
 //	ucexperiments -exp table1
 //	ucexperiments -exp fig2 -quick
-//	ucexperiments -exp all -out results/
+//	ucexperiments -exp all -out results/ -workers 8
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"path/filepath"
 
 	"essdsim/internal/blockdev"
+	"essdsim/internal/expgrid"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
 	"essdsim/internal/sim"
@@ -33,14 +38,15 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, or all")
-		quick = flag.Bool("quick", false, "reduced grids for a fast pass")
-		seed  = flag.Uint64("seed", 7, "deterministic seed")
-		out   = flag.String("out", "", "directory for raw CSV dumps (optional)")
+		exp     = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, or all")
+		quick   = flag.Bool("quick", false, "reduced grids for a fast pass")
+		seed    = flag.Uint64("seed", 7, "deterministic seed")
+		out     = flag.String("out", "", "directory for raw CSV dumps (optional)")
+		workers = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	opts := harness.Options{Seed: *seed}
+	opts := harness.Options{Seed: *seed, Workers: *workers}
 	if *quick {
 		opts.CellDuration = 150 * sim.Millisecond
 		opts.Warmup = 30 * sim.Millisecond
@@ -82,10 +88,11 @@ func main() {
 		if *quick {
 			mult = 1.5
 		}
-		var results []*harness.SustainedResult
-		for _, f := range []harness.Factory{essd1, essd2, ssd} {
-			results = append(results, harness.RunSustainedWrite(f, mult, opts))
-		}
+		results := harness.RunSustainedWrites([]expgrid.NamedFactory{
+			{Name: "essd1", New: essd1},
+			{Name: "essd2", New: essd2},
+			{Name: "ssd", New: ssd},
+		}, mult, opts)
 		harness.FormatFig3(os.Stdout, results)
 		fmt.Println()
 		if *out != "" {

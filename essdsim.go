@@ -29,11 +29,13 @@
 package essdsim
 
 import (
+	"context"
 	"io"
 
 	"essdsim/internal/blockdev"
 	"essdsim/internal/contract"
 	"essdsim/internal/essd"
+	"essdsim/internal/expgrid"
 	"essdsim/internal/fio"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
@@ -171,6 +173,78 @@ type (
 	// DeviceFactory constructs a fresh device for one experiment cell.
 	DeviceFactory = harness.Factory
 )
+
+// Experiment-grid types: declarative parameter sweeps executed on a
+// parallel worker pool with deterministic per-cell seeding and output
+// order. See internal/expgrid's package documentation for the
+// cell-isolation and seed-derivation model.
+type (
+	// Sweep declares an experiment grid: the cross product of device
+	// factories, patterns, block sizes, queue depths, and write ratios.
+	Sweep = expgrid.Sweep
+	// SweepCell is one point of a grid with its derived seed.
+	SweepCell = expgrid.Cell
+	// SweepCellResult pairs a cell with its workload measurements.
+	SweepCellResult = expgrid.CellResult
+	// SweepRunner executes a Sweep's cells on a pool of workers.
+	SweepRunner = expgrid.Runner
+	// SweepProgress reports one completed cell to a progress callback.
+	SweepProgress = expgrid.Progress
+	// NamedFactory is one value of a sweep's device axis.
+	NamedFactory = expgrid.NamedFactory
+	// SweepPrecond selects how a cell's device is prepared before
+	// measurement (see the Precond* constants).
+	SweepPrecond = expgrid.Precond
+)
+
+// Device-preconditioning modes for Sweep.Precondition.
+const (
+	PrecondAuto   = expgrid.PrecondAuto
+	PrecondWrites = expgrid.PrecondWrites
+	PrecondFull   = expgrid.PrecondFull
+	PrecondNone   = expgrid.PrecondNone
+)
+
+// SweepDevices builds a single-device axis for a Sweep.
+func SweepDevices(name string, f DeviceFactory) []NamedFactory {
+	return expgrid.Devices(name, f)
+}
+
+// ProfileDevices builds a sweep device axis from profile names (see
+// ProfileNames). A cell whose profile name is unknown fails with a
+// descriptive error when it runs.
+func ProfileDevices(names ...string) []NamedFactory {
+	devices := make([]NamedFactory, 0, len(names))
+	for _, name := range names {
+		name := name
+		devices = append(devices, NamedFactory{
+			Name: name,
+			New: func(seed uint64) Device {
+				dev, err := NewDevice(name, NewEngine(), seed)
+				if err != nil {
+					panic(err) // expgrid recovers this into CellResult.Err
+				}
+				return dev
+			},
+		})
+	}
+	return devices
+}
+
+// RunSweep executes every cell of the sweep on workers goroutines
+// (GOMAXPROCS when workers <= 0) and returns results in deterministic
+// enumeration order. Cancel ctx to stop early.
+func RunSweep(ctx context.Context, sw Sweep, workers int) ([]SweepCellResult, error) {
+	return expgrid.Runner{Workers: workers}.Run(ctx, sw)
+}
+
+// RunSustainedWrites performs the paper's Figure 3 sustained-write
+// experiment (random 128 KiB writes of capMultiple × capacity onto fresh
+// devices) for several devices concurrently, returning results in the
+// devices' order.
+func RunSustainedWrites(devices []NamedFactory, capMultiple float64, opts ExperimentOptions) []*SustainedResult {
+	return harness.RunSustainedWrites(devices, capMultiple, opts)
+}
 
 // Contract checker types.
 type (

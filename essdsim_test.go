@@ -2,6 +2,7 @@ package essdsim_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -144,5 +145,43 @@ func TestPublicObservation1EndToEnd(t *testing.T) {
 	}
 	if gapBig > gapSmall/4 {
 		t.Errorf("scaling did not shrink the gap: %.1fx -> %.1fx", gapSmall, gapBig)
+	}
+}
+
+// TestPublicSweepAPI declares a small grid through the public Sweep façade
+// and checks parallel execution yields deterministic, correctly ordered
+// results — the way examples/patternadvisor and essdbench's sweep mode
+// consume it.
+func TestPublicSweepAPI(t *testing.T) {
+	sweep := essdsim.Sweep{
+		Devices:      essdsim.ProfileDevices("essd1"),
+		Patterns:     []essdsim.Pattern{essdsim.RandWrite, essdsim.SeqWrite},
+		BlockSizes:   []int64{16 << 10},
+		QueueDepths:  []int{1, 8},
+		CellDuration: 80 * essdsim.Millisecond,
+		Warmup:       15 * essdsim.Millisecond,
+		Precondition: essdsim.PrecondWrites,
+		Seed:         21,
+	}
+	serial, err := essdsim.RunSweep(context.Background(), sweep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := essdsim.RunSweep(context.Background(), sweep, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(parallel) != 4 {
+		t.Fatalf("cells: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Cell != parallel[i].Cell ||
+			serial[i].Res.Lat.Summarize() != parallel[i].Res.Lat.Summarize() {
+			t.Fatalf("cell %d differs between 1 and 4 workers", i)
+		}
+	}
+	// QD8 must outrun QD1 for the same pattern on an ESSD.
+	if serial[1].Res.Throughput() <= serial[0].Res.Throughput() {
+		t.Error("QD8 random write no faster than QD1")
 	}
 }

@@ -2,60 +2,55 @@
 // writes collapse the local SSD's throughput once GC engages near one full
 // device write, while the ESSD sustains its budget far longer (ESSD-1) or
 // indefinitely (ESSD-2) because the cloud backend cleans in the background.
+//
+// All three devices' fill experiments run concurrently as one experiment
+// grid (-workers cells in parallel), one fresh device per cell.
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"essdsim"
 )
 
-func study(name string, capMultiple float64) {
-	eng := essdsim.NewEngine()
-	dev, err := essdsim.NewDevice(name, eng, 7)
-	if err != nil {
-		panic(err)
-	}
-	res := essdsim.Run(dev, essdsim.Workload{
-		Pattern:    essdsim.RandWrite,
-		BlockSize:  128 << 10,
-		QueueDepth: 32,
-		TotalBytes: int64(capMultiple * float64(dev.Capacity())),
-		Seed:       7,
-	})
+func report(res *essdsim.SustainedResult) {
 	fmt.Printf("\n%s — wrote %.1f GiB (%.1fx capacity) in %v\n",
-		dev.Name(), float64(res.Bytes)/(1<<30),
-		float64(res.Bytes)/float64(dev.Capacity()), res.Elapsed)
+		res.Device, float64(res.TotalWritten)/(1<<30),
+		float64(res.TotalWritten)/float64(res.Capacity), res.Elapsed)
 	// Print the per-second throughput timeline, decimated.
-	rates := res.Series.Rates()
 	fmt.Print("  GB/s: ")
-	step := len(rates)/16 + 1
-	for i := 0; i < len(rates); i += step {
-		fmt.Printf("%.1f ", rates[i]/1e9)
+	step := len(res.Rates)/16 + 1
+	for i := 0; i < len(res.Rates); i += step {
+		fmt.Printf("%.1f ", res.Rates[i]/1e9)
 	}
 	fmt.Println()
-	knee := res.Series.KneeIndex(0.55, 3)
-	if knee < 0 {
+	if res.KneeCapFrac < 0 {
 		fmt.Println("  no throughput cliff: GC impact disappears (Observation #2)")
 		return
 	}
-	var written int64
-	for i := 0; i <= knee; i++ {
-		written += res.Series.Bytes(i)
-	}
-	fmt.Printf("  throughput cliff after writing %.2fx capacity\n",
-		float64(written)/float64(dev.Capacity()))
-	if t, ok := dev.(interface{ Throttled() bool }); ok && t.Throttled() {
+	fmt.Printf("  throughput cliff after writing %.2fx capacity\n", res.KneeCapFrac)
+	if res.Throttled {
 		fmt.Println("  cause: provider flow limiter engaged (cleaning debt exceeded spare capacity)")
 	}
 }
 
 func main() {
+	workers := flag.Int("workers", 0, "parallel device fills (0 = GOMAXPROCS)")
+	flag.Parse()
+
 	fmt.Println("Observation #2: the performance impact of GC appears much later or disappears.")
 	fmt.Println("Writing 2x each device's capacity with random 128K writes at QD32...")
-	study("ssd", 2)   // knee near 1x capacity
-	study("essd1", 2) // no knee yet at 2x (paper: 2.55x)
-	study("essd2", 2) // never
+	devices := essdsim.ProfileDevices(
+		"ssd",   // knee near 1x capacity
+		"essd1", // no knee yet at 2x (paper: 2.55x)
+		"essd2", // never
+	)
+	results := essdsim.RunSustainedWrites(devices, 2,
+		essdsim.ExperimentOptions{Seed: 7, Workers: *workers})
+	for _, res := range results {
+		report(res)
+	}
 	fmt.Println("\nImplication #2: GC-mitigation machinery built for local SSDs (tail-tolerant")
 	fmt.Println("redundancy, GC-aware scheduling) buys little on ESSDs — and its costs remain.")
 }

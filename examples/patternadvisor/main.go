@@ -2,60 +2,68 @@
 // ESSD and reports where random writes beat sequential writes
 // (Observation #3), advising whether log-structuring is still worth it
 // (Implication #3).
+//
+// The whole size × depth × {random, sequential} grid is declared as one
+// essdsim.Sweep and measured in parallel on -workers cells.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
 	"essdsim"
 )
 
-func throughput(device string, pattern essdsim.Pattern, bs int64, qd int) float64 {
-	eng := essdsim.NewEngine()
-	dev, err := essdsim.NewDevice(device, eng, 3)
+func main() {
+	device := flag.String("device", "essd2", "device profile to advise on")
+	workers := flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	qds := []int{1, 8, 32}
+	sw := essdsim.Sweep{
+		Devices:      essdsim.ProfileDevices(*device),
+		Patterns:     []essdsim.Pattern{essdsim.RandWrite, essdsim.SeqWrite},
+		BlockSizes:   sizes,
+		QueueDepths:  qds,
+		CellDuration: 300 * essdsim.Millisecond,
+		Warmup:       50 * essdsim.Millisecond,
+		Precondition: essdsim.PrecondWrites,
+		Seed:         3,
+		Label:        "patternadvisor",
+	}
+	results, err := essdsim.RunSweep(context.Background(), sw, *workers)
 	if err != nil {
 		panic(err)
 	}
-	essdsim.Precondition(dev, true)
-	res := essdsim.Run(dev, essdsim.Workload{
-		Pattern:    pattern,
-		BlockSize:  bs,
-		QueueDepth: qd,
-		Duration:   300 * essdsim.Millisecond,
-		Warmup:     50 * essdsim.Millisecond,
-		Seed:       3,
-	})
-	return res.Throughput()
-}
-
-func main() {
-	device := flag.String("device", "essd2", "device profile to advise on")
-	flag.Parse()
+	// Pattern is the outermost axis after the (single) device: the first
+	// half of the results is the random sweep, the second the sequential
+	// sweep, both in (size, qd) row-major order.
+	half := len(results) / 2
 
 	fmt.Printf("Random-vs-sequential write advisor for %q\n", *device)
 	fmt.Println("(gain > 1: random writes are FASTER than sequential — Observation #3)")
 	fmt.Println()
-	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
-	qds := []int{1, 8, 32}
 	fmt.Printf("%-8s", "bs\\QD")
 	for _, qd := range qds {
 		fmt.Printf("%10d", qd)
 	}
 	fmt.Println()
 	best, bestBS, bestQD := 0.0, int64(0), 0
-	for _, bs := range sizes {
-		fmt.Printf("%-8s", fmt.Sprintf("%dK", bs>>10))
-		for _, qd := range qds {
-			rnd := throughput(*device, essdsim.RandWrite, bs, qd)
-			seq := throughput(*device, essdsim.SeqWrite, bs, qd)
-			gain := rnd / seq
-			if gain > best {
-				best, bestBS, bestQD = gain, bs, qd
-			}
-			fmt.Printf("%9.2fx", gain)
+	for i, rnd := range results[:half] {
+		seq := results[i+half]
+		if i%len(qds) == 0 {
+			fmt.Printf("%-8s", fmt.Sprintf("%dK", rnd.BlockSize>>10))
 		}
-		fmt.Println()
+		gain := rnd.Res.Throughput() / seq.Res.Throughput()
+		if gain > best {
+			best, bestBS, bestQD = gain, rnd.BlockSize, rnd.QueueDepth
+		}
+		fmt.Printf("%9.2fx", gain)
+		if i%len(qds) == len(qds)-1 {
+			fmt.Println()
+		}
 	}
 	fmt.Println()
 	switch {

@@ -1,0 +1,3 @@
+module essdsim
+
+go 1.22

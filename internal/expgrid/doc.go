@@ -1,0 +1,29 @@
+// Package expgrid runs declarative experiment grids — the cross product of
+// device factories, access patterns, I/O sizes, queue depths, and write
+// ratios — on a pool of parallel workers.
+//
+// # Cell-isolation model
+//
+// A Sweep enumerates its axes into a flat list of Cells in a fixed
+// row-major order (devices, then patterns, then block sizes, then queue
+// depths, then write ratios). Every cell is an independent experiment: the
+// worker that executes it constructs a fresh device from the cell's
+// factory, preconditions it, and runs one workload on the device's own
+// sim.Engine. No simulation state is shared between cells, which is what
+// makes the grid embarrassingly parallel — exactly like running each fio
+// job on its own re-initialized volume. The Runner therefore executes
+// cells concurrently with a configurable number of workers and still
+// yields results in the deterministic enumeration order.
+//
+// # Seed derivation
+//
+// Each cell's RNG seed is a pure hash of the sweep's root seed, its label,
+// and the cell's own coordinates (device name, pattern, block size, queue
+// depth, write ratio) — see CellSeed. The hash is independent of the
+// cell's position in the enumeration, so adding, removing, or reordering
+// axis values never changes the RNG stream of any other cell: a cell
+// measures the same numbers whether it runs in a 1-cell sweep or a
+// 1000-cell sweep, with 1 worker or with N. This replaces the old
+// harness scheme of incrementing a shared counter per cell, under which
+// any change to the grid silently re-seeded every cell after it.
+package expgrid

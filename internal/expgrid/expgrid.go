@@ -1,0 +1,281 @@
+package expgrid
+
+import (
+	"fmt"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+// Factory constructs a fresh device (with its own engine) for one
+// experiment cell. seed decorrelates repeated constructions.
+type Factory func(seed uint64) blockdev.Device
+
+// NamedFactory is one value of a sweep's device axis. The name feeds the
+// cell seed derivation, so it should be stable across runs (a profile name
+// like "essd1", not a pointer-ish string).
+type NamedFactory struct {
+	Name string
+	New  Factory
+}
+
+// Devices is a convenience constructor for a single-device axis.
+func Devices(name string, f Factory) []NamedFactory {
+	return []NamedFactory{{Name: name, New: f}}
+}
+
+// Precond selects how a cell's device is prepared before measurement.
+type Precond uint8
+
+// Preconditioning modes.
+const (
+	// PrecondAuto half-fills the device for pure-write patterns (a GC-free
+	// window) and fully fills it otherwise (so reads hit data).
+	PrecondAuto Precond = iota
+	// PrecondWrites always uses the write-cell preparation (half fill).
+	PrecondWrites
+	// PrecondFull always fully, sequentially fills the device.
+	PrecondFull
+	// PrecondNone runs on the pristine device (e.g. sustained-write
+	// experiments that measure the fill itself).
+	PrecondNone
+)
+
+// Precondition prepares a device for a measurement cell. Write cells get a
+// half-filled device (a GC-free window, as on a freshly provisioned or
+// trimmed drive); read cells get a fully, sequentially written device (the
+// layout after a fio fill pass).
+func Precondition(dev blockdev.Device, forWrites bool) {
+	switch d := dev.(type) {
+	case interface{ Precondition(float64) }:
+		d.Precondition(1.0)
+	case interface{ Precondition(float64, bool) }:
+		if forWrites {
+			d.Precondition(0.5, false)
+		} else {
+			d.Precondition(1.0, false)
+		}
+	}
+}
+
+// Sweep declares an experiment grid: the cross product of its axes, plus
+// the per-cell workload shape shared by every cell.
+type Sweep struct {
+	// Axes. Devices, Patterns, BlockSizes, and QueueDepths must be
+	// non-empty. WriteRatiosPct is optional and multiplies only Mixed
+	// cells; cells of every other pattern carry a write-ratio coordinate
+	// of -1 (so adding a ratio axis never re-seeds or duplicates them).
+	Devices        []NamedFactory
+	Patterns       []workload.Pattern
+	BlockSizes     []int64
+	QueueDepths    []int
+	WriteRatiosPct []int
+
+	// CellDuration bounds each cell's measurement window (default 500 ms);
+	// Warmup is excluded from statistics (default 50 ms; negative values
+	// mean no warmup at all). When CapMultiple is > 0 the cell instead
+	// stops after CapMultiple × device capacity bytes, with no warmup —
+	// the sustained-write shape.
+	CellDuration sim.Duration
+	Warmup       sim.Duration
+	CapMultiple  float64
+
+	Precondition Precond
+
+	// Inspect, when non-nil, runs on the worker after the cell's workload
+	// completes, while the measured device is still alive; its return
+	// value is stored in CellResult.Info. Use it to capture post-run
+	// device state (throttle flags, write amplification, GC counters)
+	// that the workload Result alone cannot show. It must not touch
+	// anything shared between cells.
+	Inspect func(dev blockdev.Device, c Cell) any
+
+	// Seed is the root seed; Label further decorrelates sweeps that share
+	// a root seed and coordinates (e.g. two experiments on one CLI seed).
+	// Both feed CellSeed.
+	Seed  uint64
+	Label string
+}
+
+func (s Sweep) withDefaults() Sweep {
+	if s.CellDuration <= 0 {
+		s.CellDuration = 500 * sim.Millisecond
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 50 * sim.Millisecond
+	} else if s.Warmup < 0 {
+		s.Warmup = 0
+	}
+	return s
+}
+
+// Validate reports a descriptive error for empty axes.
+func (s Sweep) Validate() error {
+	switch {
+	case len(s.Devices) == 0:
+		return fmt.Errorf("expgrid: sweep has no device axis")
+	case len(s.Patterns) == 0:
+		return fmt.Errorf("expgrid: sweep has no pattern axis")
+	case len(s.BlockSizes) == 0:
+		return fmt.Errorf("expgrid: sweep has no block-size axis")
+	case len(s.QueueDepths) == 0:
+		return fmt.Errorf("expgrid: sweep has no queue-depth axis")
+	}
+	for _, d := range s.Devices {
+		if d.New == nil {
+			return fmt.Errorf("expgrid: device %q has a nil factory", d.Name)
+		}
+	}
+	return nil
+}
+
+// Cell is one point of the grid: its coordinates, its position in the
+// deterministic enumeration order, and its derived seed.
+type Cell struct {
+	Index       int    // position in enumeration order
+	DeviceIndex int    // index into Sweep.Devices
+	DeviceName  string // Sweep.Devices[DeviceIndex].Name
+
+	Pattern       workload.Pattern
+	BlockSize     int64
+	QueueDepth    int
+	WriteRatioPct int // -1 when the sweep has no write-ratio axis
+
+	Seed uint64 // derived via CellSeed, independent of Index
+}
+
+// CellResult pairs a cell with its measurement. Err is set when the cell
+// failed (e.g. an invalid workload spec); Res is nil in that case.
+type CellResult struct {
+	Cell
+	Device string // constructed device's display name
+	Res    *workload.Result
+	Info   any // Sweep.Inspect's capture of post-run device state, or nil
+	Err    error
+}
+
+// Cells enumerates the grid in deterministic row-major order: devices,
+// patterns, block sizes, queue depths, write ratios. The write-ratio axis
+// multiplies only Mixed cells; other patterns get the single sentinel
+// coordinate -1, so their count and seeds are unaffected by the axis.
+func (s Sweep) Cells() []Cell {
+	mixedRatios := s.WriteRatiosPct
+	if len(mixedRatios) == 0 {
+		mixedRatios = []int{-1}
+	}
+	cells := make([]Cell, 0, len(s.Devices)*len(s.Patterns)*len(s.BlockSizes)*len(s.QueueDepths)*len(mixedRatios))
+	for di, d := range s.Devices {
+		for _, p := range s.Patterns {
+			ratios := mixedRatios
+			if p != workload.Mixed {
+				ratios = []int{-1}
+			}
+			for _, bs := range s.BlockSizes {
+				for _, qd := range s.QueueDepths {
+					for _, wr := range ratios {
+						cells = append(cells, Cell{
+							Index:         len(cells),
+							DeviceIndex:   di,
+							DeviceName:    d.Name,
+							Pattern:       p,
+							BlockSize:     bs,
+							QueueDepth:    qd,
+							WriteRatioPct: wr,
+							Seed:          s.cellSeed(d.Name, p, bs, qd, wr),
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func (s Sweep) cellSeed(device string, p workload.Pattern, bs int64, qd, ratioPct int) uint64 {
+	return CellSeed(s.Seed, s.Label, device, p, bs, qd, ratioPct)
+}
+
+// CellSeed derives a cell's RNG seed as a pure hash of the root seed, the
+// sweep label, and the cell coordinates. It is deliberately independent of
+// the cell's enumeration index: subsetting or reordering axes never
+// changes the seed (and hence the measurement) of a surviving cell.
+func CellSeed(root uint64, label, device string, p workload.Pattern, bs int64, qd, ratioPct int) uint64 {
+	// FNV-1a over the coordinate words, then a splitmix64 finalizer so
+	// adjacent coordinates land far apart in seed space.
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+	}
+	str := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime
+		}
+		h = (h ^ 0xff) * prime // terminator so "ab","c" != "a","bc"
+	}
+	mix(root)
+	str(label)
+	str(device)
+	mix(uint64(p) + 1)
+	mix(uint64(bs))
+	mix(uint64(qd))
+	mix(uint64(int64(ratioPct) + 2))
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// run executes one cell: fresh device, precondition, one workload. Panics
+// from invalid specs (or device bugs) are captured into CellResult.Err so
+// one bad cell fails the sweep cleanly instead of killing the worker pool.
+func (s Sweep) run(c Cell) (out CellResult) {
+	out = CellResult{Cell: c}
+	defer func() {
+		if p := recover(); p != nil {
+			out.Err = fmt.Errorf("expgrid: cell %d (%s %s bs=%d qd=%d): %v",
+				c.Index, c.DeviceName, c.Pattern, c.BlockSize, c.QueueDepth, p)
+			out.Res = nil
+		}
+	}()
+	dev := s.Devices[c.DeviceIndex].New(c.Seed)
+	out.Device = dev.Name()
+	switch s.Precondition {
+	case PrecondAuto:
+		Precondition(dev, c.Pattern.IsWrite())
+	case PrecondWrites:
+		Precondition(dev, true)
+	case PrecondFull:
+		Precondition(dev, false)
+	}
+	spec := workload.Spec{
+		Pattern:    c.Pattern,
+		BlockSize:  c.BlockSize,
+		QueueDepth: c.QueueDepth,
+		Duration:   s.CellDuration,
+		Warmup:     s.Warmup,
+		Seed:       c.Seed,
+	}
+	if c.WriteRatioPct >= 0 {
+		spec.WriteRatio = float64(c.WriteRatioPct) / 100
+	}
+	if s.CapMultiple > 0 {
+		spec.TotalBytes = int64(s.CapMultiple * float64(dev.Capacity()))
+		spec.Duration = 0
+		spec.Warmup = 0
+	}
+	out.Res = workload.Run(dev, spec)
+	if s.Inspect != nil {
+		out.Info = s.Inspect(dev, c)
+	}
+	return out
+}

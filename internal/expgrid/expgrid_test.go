@@ -1,0 +1,343 @@
+package expgrid
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+	"essdsim/internal/stats"
+	"essdsim/internal/workload"
+)
+
+func essd1Factory(seed uint64) blockdev.Device {
+	d, err := profiles.ByName("essd1", sim.NewEngine(), sim.NewRNG(seed, seed^0xaa))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func ssdFactory(seed uint64) blockdev.Device {
+	d, err := profiles.ByName("ssd", sim.NewEngine(), sim.NewRNG(seed, seed^0xbb))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// quickSweep is a 2-device × 2-pattern × 2-size × 2-QD grid (16 cells)
+// small enough for -short runs.
+func quickSweep() Sweep {
+	return Sweep{
+		Devices: []NamedFactory{
+			{Name: "essd1", New: essd1Factory},
+			{Name: "ssd", New: ssdFactory},
+		},
+		Patterns:     []workload.Pattern{workload.RandWrite, workload.RandRead},
+		BlockSizes:   []int64{4 << 10, 64 << 10},
+		QueueDepths:  []int{1, 8},
+		CellDuration: 60 * sim.Millisecond,
+		Warmup:       10 * sim.Millisecond,
+		Seed:         7,
+		Label:        "test",
+	}
+}
+
+func TestEnumerationOrder(t *testing.T) {
+	cells := quickSweep().Cells()
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(cells))
+	}
+	// Row-major: device outermost, QD innermost; indices sequential.
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+		if c.WriteRatioPct != -1 {
+			t.Fatalf("cell %d has ratio %d without a ratio axis", i, c.WriteRatioPct)
+		}
+	}
+	if cells[0].DeviceName != "essd1" || cells[8].DeviceName != "ssd" {
+		t.Fatalf("device axis not outermost: %q then %q", cells[0].DeviceName, cells[8].DeviceName)
+	}
+	if cells[0].QueueDepth != 1 || cells[1].QueueDepth != 8 {
+		t.Fatalf("queue depth not innermost: %d then %d", cells[0].QueueDepth, cells[1].QueueDepth)
+	}
+	if cells[0].Pattern != workload.RandWrite || cells[4].Pattern != workload.RandRead {
+		t.Fatal("pattern order wrong")
+	}
+}
+
+func TestSeedStableUnderSubsetting(t *testing.T) {
+	full := quickSweep()
+	seeds := map[[4]int64]uint64{}
+	for _, c := range full.Cells() {
+		key := [4]int64{int64(c.DeviceIndex), int64(c.Pattern), c.BlockSize, int64(c.QueueDepth)}
+		seeds[key] = c.Seed
+	}
+	// Subset and reorder every axis: surviving cells must keep their seeds.
+	sub := full
+	sub.Devices = []NamedFactory{{Name: "ssd", New: ssdFactory}, {Name: "essd1", New: essd1Factory}}
+	sub.Patterns = []workload.Pattern{workload.RandRead}
+	sub.BlockSizes = []int64{64 << 10}
+	sub.QueueDepths = []int{8, 1}
+	for _, c := range sub.Cells() {
+		dev := int64(0) // essd1's index in the full sweep
+		if c.DeviceName == "ssd" {
+			dev = 1
+		}
+		key := [4]int64{dev, int64(c.Pattern), c.BlockSize, int64(c.QueueDepth)}
+		want, ok := seeds[key]
+		if !ok {
+			t.Fatalf("cell %+v not present in full sweep", c)
+		}
+		if c.Seed != want {
+			t.Errorf("cell %s/%s/bs=%d/qd=%d seed changed under subsetting: %x != %x",
+				c.DeviceName, c.Pattern, c.BlockSize, c.QueueDepth, c.Seed, want)
+		}
+	}
+	// Distinct coordinates must get distinct seeds.
+	seen := map[uint64]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("seed collision across coordinates")
+		}
+		seen[s] = true
+	}
+	// Label and root seed must both decorrelate.
+	relabeled := full
+	relabeled.Label = "other"
+	if relabeled.Cells()[0].Seed == full.Cells()[0].Seed {
+		t.Error("label does not decorrelate seeds")
+	}
+	reseeded := full
+	reseeded.Seed++
+	if reseeded.Cells()[0].Seed == full.Cells()[0].Seed {
+		t.Error("root seed does not decorrelate seeds")
+	}
+}
+
+// projection is the comparable content of a CellResult.
+type projection struct {
+	Cell    Cell
+	Device  string
+	Summary stats.Summary
+	Ops     uint64
+	Bytes   int64
+}
+
+func project(results []CellResult) []projection {
+	out := make([]projection, len(results))
+	for i, r := range results {
+		out[i] = projection{
+			Cell: r.Cell, Device: r.Device,
+			Summary: r.Res.Lat.Summarize(), Ops: r.Res.Ops, Bytes: r.Res.Bytes,
+		}
+	}
+	return out
+}
+
+// TestParallelDeterminism is the contract of the whole subsystem: the same
+// sweep run with 1 worker and with 8 workers yields identical results —
+// same cells, same latencies, same order.
+func TestParallelDeterminism(t *testing.T) {
+	sw := quickSweep()
+	serial, err := Runner{Workers: 1}.Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Workers: 8}.Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 16 || len(parallel) != 16 {
+		t.Fatalf("result counts: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	ps, pp := project(serial), project(parallel)
+	for i := range ps {
+		if !reflect.DeepEqual(ps[i], pp[i]) {
+			t.Fatalf("cell %d differs between 1 and 8 workers:\nserial:   %+v\nparallel: %+v",
+				i, ps[i], pp[i])
+		}
+	}
+}
+
+func TestStreamOrderAndProgress(t *testing.T) {
+	sw := quickSweep()
+	var progress []int
+	r := Runner{Workers: 4, OnProgress: func(p Progress) {
+		if p.Total != 16 {
+			t.Errorf("progress total = %d", p.Total)
+		}
+		progress = append(progress, p.Done)
+	}}
+	stream, errf := r.Stream(context.Background(), sw)
+	next := 0
+	for res := range stream {
+		if res.Index != next {
+			t.Fatalf("stream out of order: got cell %d, want %d", res.Index, next)
+		}
+		next++
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	if next != 16 {
+		t.Fatalf("streamed %d cells", next)
+	}
+	if len(progress) != 16 || progress[15] != 16 {
+		t.Fatalf("progress calls = %v", progress)
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i] != progress[i-1]+1 {
+			t.Fatalf("progress not monotone: %v", progress)
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	sw := quickSweep()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	r := Runner{Workers: 2, OnProgress: func(p Progress) {
+		if p.Done == 2 {
+			cancel()
+		}
+		n++
+	}}
+	results, err := r.Run(ctx, sw)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) >= 16 {
+		t.Fatalf("cancellation did not stop the sweep: %d results", len(results))
+	}
+	if n >= 16 {
+		t.Fatalf("cancellation did not stop the workers: %d cells ran", n)
+	}
+}
+
+func TestCellErrorStopsSweep(t *testing.T) {
+	sw := quickSweep()
+	sw.BlockSizes = []int64{100} // not a multiple of the device block size
+	results, err := Runner{Workers: 2}.Run(context.Background(), sw)
+	if err == nil {
+		t.Fatal("invalid spec did not error")
+	}
+	if !strings.Contains(err.Error(), "expgrid: cell") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("failed sweep emitted %d results", len(results))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var sw Sweep
+	if err := sw.Validate(); err == nil {
+		t.Fatal("empty sweep validated")
+	}
+	if _, err := (Runner{}).Run(context.Background(), sw); err == nil {
+		t.Fatal("running an empty sweep did not error")
+	}
+	sw = quickSweep()
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sw.Devices[0].New = nil
+	if err := sw.Validate(); err == nil {
+		t.Fatal("nil factory validated")
+	}
+}
+
+func TestWriteRatioAxisAndPrecond(t *testing.T) {
+	sw := Sweep{
+		Devices:        Devices("essd1", essd1Factory),
+		Patterns:       []workload.Pattern{workload.Mixed},
+		BlockSizes:     []int64{128 << 10},
+		QueueDepths:    []int{8},
+		WriteRatiosPct: []int{0, 100},
+		CellDuration:   60 * sim.Millisecond,
+		Warmup:         10 * sim.Millisecond,
+		Precondition:   PrecondFull,
+		Seed:           3,
+	}
+	results, err := Runner{}.Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].WriteRatioPct != 0 || results[1].WriteRatioPct != 100 {
+		t.Fatalf("ratio axis order wrong: %d, %d",
+			results[0].WriteRatioPct, results[1].WriteRatioPct)
+	}
+	if results[0].Res.WriteLat.Count() != 0 {
+		t.Error("0% write-ratio cell recorded writes")
+	}
+	if results[1].Res.ReadLat.Count() != 0 {
+		t.Error("100% write-ratio cell recorded reads")
+	}
+}
+
+// TestRatioAxisOnlyMultipliesMixed asserts that adding a write-ratio axis
+// neither duplicates nor re-seeds pure-pattern cells.
+func TestRatioAxisOnlyMultipliesMixed(t *testing.T) {
+	base := Sweep{
+		Devices:     Devices("essd1", essd1Factory),
+		Patterns:    []workload.Pattern{workload.RandRead, workload.Mixed},
+		BlockSizes:  []int64{4 << 10},
+		QueueDepths: []int{1},
+		Seed:        5,
+	}
+	withAxis := base
+	withAxis.WriteRatiosPct = []int{30, 70}
+	cells := withAxis.Cells()
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 1 randread + 2 mixed", len(cells))
+	}
+	if cells[0].Pattern != workload.RandRead || cells[0].WriteRatioPct != -1 {
+		t.Fatalf("pure cell got a ratio coordinate: %+v", cells[0])
+	}
+	if cells[1].WriteRatioPct != 30 || cells[2].WriteRatioPct != 70 {
+		t.Fatalf("mixed ratios wrong: %+v %+v", cells[1], cells[2])
+	}
+	if noAxis := base.Cells(); noAxis[0].Seed != cells[0].Seed {
+		t.Fatal("ratio axis re-seeded the pure-pattern cell")
+	}
+}
+
+func TestNegativeWarmupMeansNone(t *testing.T) {
+	sw := Sweep{Warmup: -1}.withDefaults()
+	if sw.Warmup != 0 {
+		t.Fatalf("negative warmup became %v, want 0", sw.Warmup)
+	}
+	if def := (Sweep{}).withDefaults(); def.Warmup != 50*sim.Millisecond {
+		t.Fatalf("default warmup = %v", def.Warmup)
+	}
+}
+
+func TestInspectHook(t *testing.T) {
+	sw := Sweep{
+		Devices:      Devices("essd1", essd1Factory),
+		Patterns:     []workload.Pattern{workload.RandWrite},
+		BlockSizes:   []int64{4 << 10},
+		QueueDepths:  []int{1},
+		CellDuration: 30 * sim.Millisecond,
+		Warmup:       5 * sim.Millisecond,
+		Seed:         11,
+	}
+	sw.Inspect = func(dev blockdev.Device, c Cell) any { return dev.Capacity() }
+	results, err := Runner{}.Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap, ok := results[0].Info.(int64); !ok || cap <= 0 {
+		t.Fatalf("Inspect capture = %v", results[0].Info)
+	}
+}

@@ -1,0 +1,146 @@
+package expgrid
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Progress reports one completed cell. Done counts completions (in
+// completion order, which under concurrency need not match enumeration
+// order); Total is the grid size.
+type Progress struct {
+	Done  int
+	Total int
+	Last  CellResult
+}
+
+// Runner executes a Sweep's cells on a pool of workers. The zero value is
+// ready to use and sizes the pool to GOMAXPROCS.
+type Runner struct {
+	// Workers is the pool size; values <= 0 mean GOMAXPROCS(0).
+	Workers int
+	// OnProgress, when non-nil, is invoked serially (never concurrently)
+	// once per completed cell.
+	OnProgress func(Progress)
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes every cell of the sweep and returns the results in
+// enumeration order. It stops early — abandoning cells not yet started,
+// but letting in-flight cells finish — when ctx is cancelled (returning
+// ctx.Err()) or when a cell fails (returning that cell's error).
+func (r Runner) Run(ctx context.Context, sw Sweep) ([]CellResult, error) {
+	stream, errf := r.Stream(ctx, sw)
+	var out []CellResult
+	for res := range stream {
+		out = append(out, res)
+	}
+	return out, errf()
+}
+
+// Stream launches the sweep and returns a channel yielding one CellResult
+// per cell in deterministic enumeration order, regardless of the order
+// workers finish in. The channel closes when the sweep completes, a cell
+// fails, or ctx is cancelled; after it closes, the returned error function
+// reports the first cell error or the context error (nil on full success).
+// The caller must drain the channel.
+func (r Runner) Stream(ctx context.Context, sw Sweep) (<-chan CellResult, func() error) {
+	var firstErr error
+	if err := sw.Validate(); err != nil {
+		out := make(chan CellResult)
+		close(out)
+		return out, func() error { return err }
+	}
+	sw = sw.withDefaults()
+	cells := sw.Cells()
+	workers := r.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	jobs := make(chan Cell)
+	results := make(chan CellResult, workers)
+	out := make(chan CellResult, workers)
+
+	// Feeder: hands cells to workers until the grid is exhausted or the
+	// sweep is cancelled (externally or by a failed cell).
+	runCtx, cancel := context.WithCancel(ctx)
+	go func() {
+		defer close(jobs)
+		for _, c := range cells {
+			select {
+			case jobs <- c:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				results <- sw.run(c)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: reorders completion-order results into enumeration order
+	// and invokes OnProgress serially.
+	completed := false
+	go func() {
+		defer cancel()
+		defer close(out)
+		pending := make(map[int]CellResult, workers)
+		next, done := 0, 0
+		defer func() { completed = next == len(cells) }()
+		for res := range results {
+			done++
+			if r.OnProgress != nil {
+				r.OnProgress(Progress{Done: done, Total: len(cells), Last: res})
+			}
+			if res.Err != nil && firstErr == nil {
+				firstErr = res.Err
+				cancel() // stop feeding; drain in-flight cells below
+			}
+			pending[res.Index] = res
+			for {
+				head, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if firstErr == nil {
+					out <- head
+				}
+			}
+		}
+	}()
+
+	return out, func() error {
+		if firstErr != nil {
+			return firstErr
+		}
+		if !completed {
+			return ctx.Err()
+		}
+		return nil
+	}
+}

@@ -1,25 +1,34 @@
 // Package harness runs the paper's experiments (§III, Figures 2-5 and
 // Table I) against simulated devices and formats the results as the paper
-// reports them. Each experiment cell runs on a freshly constructed,
-// appropriately preconditioned device so cells do not contaminate each
-// other, exactly as a fio run on a re-initialized volume would.
+// reports them. Each Run function is a thin, paper-shaped view over an
+// internal/expgrid Sweep: it declares the figure's axes, hands the grid to
+// the expgrid worker pool (which runs one freshly constructed,
+// appropriately preconditioned device per cell, in parallel), and folds
+// the deterministically ordered CellResults into the figure's result type.
+// Cell seeds are pure hashes of the cell coordinates, so a cell measures
+// identical numbers whether the grid around it grows, shrinks, or runs on
+// one worker or many. Options.Workers sizes the pool (default GOMAXPROCS).
 package harness
 
 import (
+	"context"
+
 	"essdsim/internal/blockdev"
+	"essdsim/internal/expgrid"
 	"essdsim/internal/sim"
 	"essdsim/internal/workload"
 )
 
 // Factory constructs a fresh device (with its own engine) for one
 // experiment cell. seed decorrelates repeated constructions.
-type Factory func(seed uint64) blockdev.Device
+type Factory = expgrid.Factory
 
 // Options tune experiment durations; zero values take defaults.
 type Options struct {
 	CellDuration sim.Duration // per-cell measurement window (default 500 ms)
 	Warmup       sim.Duration // excluded from statistics (default 50 ms)
 	Seed         uint64
+	Workers      int // worker-pool size for the grid (default GOMAXPROCS)
 }
 
 func (o Options) withDefaults() Options {
@@ -30,6 +39,30 @@ func (o Options) withDefaults() Options {
 		o.Warmup = 50 * sim.Millisecond
 	}
 	return o
+}
+
+// sweep builds the expgrid base of one experiment from the options: the
+// single-device axis, timing, and the experiment's seed label.
+func (o Options) sweep(factory Factory, label string) expgrid.Sweep {
+	return expgrid.Sweep{
+		Devices:      expgrid.Devices("", factory),
+		CellDuration: o.CellDuration,
+		Warmup:       o.Warmup,
+		Seed:         o.Seed,
+		Label:        label,
+	}
+}
+
+// runGrid executes a sweep with the options' worker pool. The harness API
+// predates errors-as-values here: a failed cell means an invalid spec or a
+// device bug, so it panics exactly as workload.Run did when the loops were
+// serial.
+func (o Options) runGrid(sw expgrid.Sweep) []expgrid.CellResult {
+	results, err := expgrid.Runner{Workers: o.Workers}.Run(context.Background(), sw)
+	if err != nil {
+		panic(err)
+	}
+	return results
 }
 
 // Fig2Sizes are the paper's Figure 2 I/O sizes.
@@ -57,16 +90,7 @@ var Fig5Ratios = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 // trimmed drive); read cells get a fully, sequentially written device (the
 // layout after a fio fill pass).
 func Precondition(dev blockdev.Device, forWrites bool) {
-	switch d := dev.(type) {
-	case interface{ Precondition(float64) }:
-		d.Precondition(1.0)
-	case interface{ Precondition(float64, bool) }:
-		if forWrites {
-			d.Precondition(0.5, false)
-		} else {
-			d.Precondition(1.0, false)
-		}
-	}
+	expgrid.Precondition(dev, forWrites)
 }
 
 // LatencyCell is one pixel of Figure 2.
@@ -104,30 +128,18 @@ func RunLatencyGrid(factory Factory, opts Options) *LatencyGrid {
 // RunLatencyGridWith measures a custom grid.
 func RunLatencyGridWith(factory Factory, patterns []workload.Pattern, sizes []int64, qds []int, opts Options) *LatencyGrid {
 	opts = opts.withDefaults()
+	sw := opts.sweep(factory, "fig2")
+	sw.Patterns = patterns
+	sw.BlockSizes = sizes
+	sw.QueueDepths = qds
 	grid := &LatencyGrid{}
-	seed := opts.Seed
-	for _, p := range patterns {
-		for _, bs := range sizes {
-			for _, qd := range qds {
-				seed++
-				dev := factory(seed)
-				grid.Device = dev.Name()
-				Precondition(dev, p.IsWrite())
-				res := workload.Run(dev, workload.Spec{
-					Pattern:    p,
-					BlockSize:  bs,
-					QueueDepth: qd,
-					Duration:   opts.CellDuration,
-					Warmup:     opts.Warmup,
-					Seed:       seed,
-				})
-				s := res.Lat.Summarize()
-				grid.Cells = append(grid.Cells, LatencyCell{
-					Pattern: p, BlockSize: bs, QueueDepth: qd,
-					Avg: s.Mean, P999: s.P999, Ops: s.Count,
-				})
-			}
-		}
+	for _, r := range opts.runGrid(sw) {
+		grid.Device = r.Device
+		s := r.Res.Lat.Summarize()
+		grid.Cells = append(grid.Cells, LatencyCell{
+			Pattern: r.Pattern, BlockSize: r.BlockSize, QueueDepth: r.QueueDepth,
+			Avg: s.Mean, P999: s.P999, Ops: s.Count,
+		})
 	}
 	return grid
 }
@@ -157,28 +169,53 @@ type SustainedResult struct {
 	WriteAmp float64
 }
 
-// RunSustainedWrite performs the Figure 3 experiment: random writes of
-// capMultiple × capacity onto a fresh device, tracking the throughput
-// timeline, the knee position, and the tail rate.
-func RunSustainedWrite(factory Factory, capMultiple float64, opts Options) *SustainedResult {
-	opts = opts.withDefaults()
-	dev := factory(opts.Seed + 0xf13)
-	res := workload.Run(dev, workload.Spec{
-		Pattern:    workload.RandWrite,
-		BlockSize:  128 << 10,
-		QueueDepth: 32,
-		TotalBytes: int64(capMultiple * float64(dev.Capacity())),
-		Seed:       opts.Seed + 0xf13,
-	})
+// sustainedInfo is the post-run device state a sustained-write cell
+// captures via the sweep's Inspect hook, while its device is still alive
+// on the worker.
+type sustainedInfo struct {
+	capacity  int64
+	throttled bool
+	writeAmp  float64
+}
+
+// sustainedSweep is the Figure 3 cell shape: 128 KiB random writes at
+// QD 32 until capMultiple × capacity has been written, on a pristine
+// (not preconditioned) device.
+func sustainedSweep(opts Options, capMultiple float64) expgrid.Sweep {
+	sw := opts.sweep(nil, "fig3")
+	sw.Patterns = []workload.Pattern{workload.RandWrite}
+	sw.BlockSizes = []int64{128 << 10}
+	sw.QueueDepths = []int{32}
+	sw.CapMultiple = capMultiple
+	sw.Precondition = expgrid.PrecondNone
+	sw.Inspect = func(dev blockdev.Device, _ expgrid.Cell) any {
+		info := sustainedInfo{capacity: dev.Capacity(), writeAmp: 1}
+		if e, ok := dev.(interface{ Throttled() bool }); ok {
+			info.throttled = e.Throttled()
+		}
+		if s, ok := dev.(interface{ FTLWriteAmp() float64 }); ok {
+			info.writeAmp = s.FTLWriteAmp()
+		}
+		return info
+	}
+	return sw
+}
+
+// foldSustained computes the Figure 3 knee/tail/peak statistics of one
+// sustained-write cell.
+func foldSustained(r expgrid.CellResult) *SustainedResult {
+	res := r.Res
+	info := r.Info.(sustainedInfo)
 	out := &SustainedResult{
-		Device:       dev.Name(),
-		Capacity:     dev.Capacity(),
+		Device:       r.Device,
+		Capacity:     info.capacity,
 		Interval:     res.Series.Interval(),
 		Rates:        res.Series.Rates(),
 		TotalWritten: res.Bytes,
 		Elapsed:      res.Elapsed,
 		KneeCapFrac:  -1,
-		WriteAmp:     1,
+		Throttled:    info.throttled,
+		WriteAmp:     info.writeAmp,
 	}
 	n := res.Series.Len()
 	out.TailRate = res.Series.MeanRate(n-5, n)
@@ -192,15 +229,30 @@ func RunSustainedWrite(factory Factory, capMultiple float64, opts Options) *Sust
 		for i := 0; i <= knee; i++ {
 			written += res.Series.Bytes(i)
 		}
-		out.KneeCapFrac = float64(written) / float64(dev.Capacity())
-	}
-	if e, ok := dev.(interface{ Throttled() bool }); ok {
-		out.Throttled = e.Throttled()
-	}
-	if s, ok := dev.(interface{ FTLWriteAmp() float64 }); ok {
-		out.WriteAmp = s.FTLWriteAmp()
+		out.KneeCapFrac = float64(written) / float64(out.Capacity)
 	}
 	return out
+}
+
+// RunSustainedWrite performs the Figure 3 experiment: random writes of
+// capMultiple × capacity onto a fresh device, tracking the throughput
+// timeline, the knee position, and the tail rate.
+func RunSustainedWrite(factory Factory, capMultiple float64, opts Options) *SustainedResult {
+	return RunSustainedWrites(expgrid.Devices("", factory), capMultiple, opts)[0]
+}
+
+// RunSustainedWrites performs the Figure 3 experiment for several devices
+// concurrently — one expgrid cell per device — returning results in the
+// devices' order.
+func RunSustainedWrites(devices []expgrid.NamedFactory, capMultiple float64, opts Options) []*SustainedResult {
+	opts = opts.withDefaults()
+	sw := sustainedSweep(opts, capMultiple)
+	sw.Devices = devices
+	outs := make([]*SustainedResult, 0, len(devices))
+	for _, r := range opts.runGrid(sw) {
+		outs = append(outs, foldSustained(r))
+	}
+	return outs
 }
 
 // RandSeqCell is one point of Figure 4.
@@ -255,32 +307,26 @@ func RunRandSeqSweep(factory Factory, opts Options) *RandSeqResult {
 // RunRandSeqSweepWith sweeps custom sizes and queue depths.
 func RunRandSeqSweepWith(factory Factory, sizes []int64, qds []int, opts Options) *RandSeqResult {
 	opts = opts.withDefaults()
+	sw := opts.sweep(factory, "fig4")
+	sw.Patterns = []workload.Pattern{workload.RandWrite, workload.SeqWrite}
+	sw.BlockSizes = sizes
+	sw.QueueDepths = qds
+	sw.Precondition = expgrid.PrecondWrites
+	results := opts.runGrid(sw)
+	// Enumeration order is pattern-major: the first half of the results is
+	// the random sweep, the second half the sequential sweep, each in
+	// (size, qd) row-major order.
 	out := &RandSeqResult{}
-	seed := opts.Seed + 0x4a
-	measure := func(p workload.Pattern, bs int64, qd int) float64 {
-		seed++
-		dev := factory(seed)
-		out.Device = dev.Name()
-		Precondition(dev, true)
-		res := workload.Run(dev, workload.Spec{
-			Pattern:    p,
-			BlockSize:  bs,
-			QueueDepth: qd,
-			Duration:   opts.CellDuration,
-			Warmup:     opts.Warmup,
-			Seed:       seed,
+	half := len(results) / 2
+	for i := 0; i < half; i++ {
+		rnd, seq := results[i], results[i+half]
+		out.Device = rnd.Device
+		out.Cells = append(out.Cells, RandSeqCell{
+			BlockSize:  rnd.BlockSize,
+			QueueDepth: rnd.QueueDepth,
+			RandBW:     rnd.Res.Throughput(),
+			SeqBW:      seq.Res.Throughput(),
 		})
-		return res.Throughput()
-	}
-	for _, bs := range sizes {
-		for _, qd := range qds {
-			out.Cells = append(out.Cells, RandSeqCell{
-				BlockSize:  bs,
-				QueueDepth: qd,
-				RandBW:     measure(workload.RandWrite, bs, qd),
-				SeqBW:      measure(workload.SeqWrite, bs, qd),
-			})
-		}
 	}
 	return out
 }
@@ -304,15 +350,7 @@ func (r *MixedResult) Spread() float64 {
 	if len(r.Points) == 0 {
 		return 0
 	}
-	min, max := r.Points[0].TotalBW, r.Points[0].TotalBW
-	for _, p := range r.Points[1:] {
-		if p.TotalBW < min {
-			min = p.TotalBW
-		}
-		if p.TotalBW > max {
-			max = p.TotalBW
-		}
-	}
+	min, max := r.MinMax()
 	if max <= 0 {
 		return 0
 	}
@@ -376,25 +414,18 @@ func (r *IOPSResult) IOPSSpread() float64 {
 // for IOPS".
 func RunIOPSSweep(factory Factory, sizes []int64, opts Options) *IOPSResult {
 	opts = opts.withDefaults()
+	sw := opts.sweep(factory, "o4-iops")
+	sw.Patterns = []workload.Pattern{workload.RandWrite}
+	sw.BlockSizes = sizes
+	sw.QueueDepths = []int{32}
+	sw.Precondition = expgrid.PrecondWrites
 	out := &IOPSResult{}
-	seed := opts.Seed + 0x10b5
-	for _, bs := range sizes {
-		seed++
-		dev := factory(seed)
-		out.Device = dev.Name()
-		Precondition(dev, true)
-		res := workload.Run(dev, workload.Spec{
-			Pattern:    workload.RandWrite,
-			BlockSize:  bs,
-			QueueDepth: 32,
-			Duration:   opts.CellDuration,
-			Warmup:     opts.Warmup,
-			Seed:       seed,
-		})
+	for _, r := range opts.runGrid(sw) {
+		out.Device = r.Device
 		out.Points = append(out.Points, IOPSPoint{
-			BlockSize: bs,
-			IOPS:      res.IOPS(),
-			Bytes:     res.Throughput(),
+			BlockSize: r.BlockSize,
+			IOPS:      r.Res.IOPS(),
+			Bytes:     r.Res.Throughput(),
 		})
 	}
 	return out
@@ -418,31 +449,24 @@ func RunMixedSweepWith(factory Factory, ratios []int, opts Options) *MixedResult
 	if opts.Warmup >= opts.CellDuration {
 		opts.Warmup = opts.CellDuration / 4
 	}
+	sw := opts.sweep(factory, "fig5")
+	sw.Patterns = []workload.Pattern{workload.Mixed}
+	sw.BlockSizes = []int64{128 << 10}
+	sw.QueueDepths = []int{32}
+	sw.WriteRatiosPct = ratios
+	sw.Precondition = expgrid.PrecondFull // full device so reads hit data
 	out := &MixedResult{}
-	seed := opts.Seed + 0x5e
-	for _, pct := range ratios {
-		seed++
-		dev := factory(seed)
-		out.Device = dev.Name()
-		Precondition(dev, false) // full device so reads hit data
-		res := workload.Run(dev, workload.Spec{
-			Pattern:    workload.Mixed,
-			WriteRatio: float64(pct) / 100,
-			BlockSize:  128 << 10,
-			QueueDepth: 32,
-			Duration:   opts.CellDuration,
-			Warmup:     opts.Warmup,
-			Seed:       seed,
-		})
-		window := (res.Elapsed - opts.Warmup).Seconds()
-		var writeBytes int64
+	for _, r := range opts.runGrid(sw) {
+		out.Device = r.Device
+		window := (r.Res.Elapsed - opts.Warmup).Seconds()
+		var writeBW float64
 		if window > 0 {
-			writeBytes = int64(res.WriteLat.Count()) * (128 << 10)
+			writeBW = float64(int64(r.Res.WriteLat.Count())*(128<<10)) / window
 		}
 		out.Points = append(out.Points, MixedPoint{
-			WriteRatioPct: pct,
-			TotalBW:       res.Throughput(),
-			WriteBW:       float64(writeBytes) / window,
+			WriteRatioPct: r.WriteRatioPct,
+			TotalBW:       r.Res.Throughput(),
+			WriteBW:       writeBW,
 		})
 	}
 	return out

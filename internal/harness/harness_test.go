@@ -2,10 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
 	"essdsim/internal/blockdev"
+	"essdsim/internal/expgrid"
 	"essdsim/internal/profiles"
 	"essdsim/internal/sim"
 	"essdsim/internal/workload"
@@ -54,6 +56,76 @@ func TestLatencyGridDeterministic(t *testing.T) {
 	b := RunLatencyGridWith(essd1Factory, []workload.Pattern{workload.RandRead}, spec, []int{4}, quickOpts)
 	if a.Cells[0].Avg != b.Cells[0].Avg || a.Cells[0].P999 != b.Cells[0].P999 {
 		t.Fatal("same-seed grids differ")
+	}
+}
+
+// TestLatencyGridSeedStability asserts the expgrid coordinate-hash seeding:
+// a cell measures identical numbers whether it runs inside a larger grid or
+// in a 1-cell grid, because its seed depends only on its own coordinates.
+// (The old harness seeded cells from a shared counter, so any change to
+// the axes silently re-seeded every later cell.)
+func TestLatencyGridSeedStability(t *testing.T) {
+	full := RunLatencyGridWith(essd1Factory,
+		[]workload.Pattern{workload.RandWrite, workload.RandRead},
+		[]int64{4 << 10, 64 << 10}, []int{1, 8}, quickOpts)
+	sub := RunLatencyGridWith(essd1Factory,
+		[]workload.Pattern{workload.RandRead}, []int64{64 << 10}, []int{8}, quickOpts)
+	want := full.Cell(workload.RandRead, 64<<10, 8)
+	got := sub.Cell(workload.RandRead, 64<<10, 8)
+	if want == nil || got == nil {
+		t.Fatal("cell missing")
+	}
+	if *want != *got {
+		t.Fatalf("cell changed when axes were subset:\nfull grid: %+v\n1-cell:    %+v", want, got)
+	}
+}
+
+// TestGridParallelDeterminism requires byte-identical Figure 2/4/5 results
+// from 1-worker and 8-worker runs.
+func TestGridParallelDeterminism(t *testing.T) {
+	serial, parallel := quickOpts, quickOpts
+	serial.Workers, parallel.Workers = 1, 8
+	patterns := []workload.Pattern{workload.RandWrite, workload.SeqRead}
+	sizes, qds := []int64{4 << 10, 64 << 10}, []int{1, 8}
+
+	a := RunLatencyGridWith(essd1Factory, patterns, sizes, qds, serial)
+	b := RunLatencyGridWith(essd1Factory, patterns, sizes, qds, parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("latency grid differs between 1 and 8 workers:\n%+v\n%+v", a, b)
+	}
+
+	r4a := RunRandSeqSweepWith(essd1Factory, sizes, qds, serial)
+	r4b := RunRandSeqSweepWith(essd1Factory, sizes, qds, parallel)
+	if !reflect.DeepEqual(r4a, r4b) {
+		t.Fatalf("rand/seq sweep differs between 1 and 8 workers:\n%+v\n%+v", r4a, r4b)
+	}
+
+	r5a := RunMixedSweepWith(ssdFactory, []int{0, 50, 100}, serial)
+	r5b := RunMixedSweepWith(ssdFactory, []int{0, 50, 100}, parallel)
+	if !reflect.DeepEqual(r5a, r5b) {
+		t.Fatalf("mixed sweep differs between 1 and 8 workers:\n%+v\n%+v", r5a, r5b)
+	}
+}
+
+// TestRunSustainedWrites checks the multi-device Figure 3 variant agrees
+// with the single-device runner, device state included.
+func TestRunSustainedWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-device sustained write is slow")
+	}
+	devices := []expgrid.NamedFactory{
+		{Name: "essd1", New: essd1Factory},
+		{Name: "ssd", New: ssdFactory},
+	}
+	both := RunSustainedWrites(devices, 0.3, quickOpts)
+	if len(both) != 2 {
+		t.Fatalf("results = %d", len(both))
+	}
+	if both[0].Device == both[1].Device {
+		t.Fatal("device order lost")
+	}
+	if both[1].WriteAmp < 1 {
+		t.Fatalf("SSD write amp %v", both[1].WriteAmp)
 	}
 }
 

@@ -75,6 +75,9 @@ func TestESSDBudgetNeverExceeded(t *testing.T) {
 // verifies the FTL never loses track of written data (reads of written
 // LBAs resolve, GC preserved mappings).
 func TestSSDDataPathIntegrity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-device GC churn skipped in -short")
+	}
 	s := newSSD(t, 4)
 	s.Precondition(1.0, true)
 	// Churn: enough overwrites to trigger GC on the full device.
