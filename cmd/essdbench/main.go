@@ -8,12 +8,18 @@
 // one fresh preconditioned device per cell) and prints one summary row
 // per cell.
 //
+// A non-zero -rate switches to open-loop mode: requests issue on an
+// arrival schedule (-arrival) instead of a closed queue-depth loop.
+// Comma lists in -device, -rw, -bs, -rate, or -arrival then run as a
+// parallel open-loop sweep over the cross product.
+//
 // Examples:
 //
 //	essdbench -device essd1 -rw randwrite -bs 4k -iodepth 1 -runtime 1s
 //	essdbench -device ssd -rw randread -bs 256k -iodepth 16 -runtime 500ms
 //	essdbench -device essd2 -job job.fio
 //	essdbench -device essd1,ssd -rw randwrite,write -bs 4k,64k,256k -iodepth 1,8 -workers 8
+//	essdbench -device gp2,gp2s -rw randwrite -bs 256k -rate 1500,3000 -arrival uniform,bursty -ops 4000
 package main
 
 import (
@@ -42,19 +48,42 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		jobFile = flag.String("job", "", "fio job file (overrides workload flags)")
 		precond = flag.String("precondition", "auto", "auto, full, half, none")
-		rate    = flag.Float64("rate", 0, "open-loop arrival rate (req/s); 0 = closed loop at -iodepth")
-		arrival = flag.String("arrival", "uniform", "open-loop arrivals: uniform, poisson, bursty")
-		ops     = flag.Uint64("ops", 10000, "open-loop request count (with -rate)")
+		rate    = flag.String("rate", "0", "open-loop arrival rate(s) (req/s); 0 = closed loop at -iodepth")
+		arrival = flag.String("arrival", "uniform", "open-loop arrival shape(s): uniform, poisson, bursty")
+		ops     = flag.Uint64("ops", 10000, "open-loop request count per cell (with -rate)")
 		workers = flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	rates, err := parseRates(*rate)
+	if err != nil {
+		fatal(err)
+	}
+
+	if len(rates) > 0 { // open loop
+		switch {
+		case *jobFile != "":
+			fatal(fmt.Errorf("-job cannot be combined with -rate (open loop)"))
+		case *size != "":
+			fatal(fmt.Errorf("-size cannot be combined with -rate; use -ops"))
+		}
+		if strings.ContainsRune(*device+*rw+*bs+*rate+*arrival, ',') {
+			runOpenSweep(*device, *rw, *bs, *arrival, rates, *ops, *mixPct, *precond, *seed, *workers)
+			return
+		}
+		eng := essdsim.NewEngine()
+		dev, err := essdsim.NewDevice(*device, eng, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		runOpenLoop(dev, *rw, *bs, rates[0], *arrival, *ops, *mixPct, *seed, *precond)
+		return
+	}
 
 	if strings.ContainsRune(*device+*rw+*bs+*iodepth, ',') {
 		switch {
 		case *jobFile != "":
 			fatal(fmt.Errorf("-job cannot be combined with comma-list sweep flags"))
-		case *rate > 0:
-			fatal(fmt.Errorf("-rate (open loop) cannot be combined with comma-list sweep flags"))
 		case *size != "":
 			fatal(fmt.Errorf("-size cannot be combined with comma-list sweep flags; use -runtime"))
 		}
@@ -66,11 +95,6 @@ func main() {
 	dev, err := essdsim.NewDevice(*device, eng, *seed)
 	if err != nil {
 		fatal(err)
-	}
-
-	if *rate > 0 {
-		runOpenLoop(dev, *rw, *bs, *rate, *arrival, *ops, *seed, *precond)
-		return
 	}
 
 	var jobs []fio.Job
@@ -141,10 +165,46 @@ func main() {
 	}
 }
 
+// parseRates parses a comma list of open-loop rates. An empty list (every
+// value zero) means closed-loop mode; mixing zero and non-zero rates is an
+// error.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	zero := false
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -rate %q", f)
+		}
+		if r <= 0 {
+			zero = true
+			continue
+		}
+		rates = append(rates, r)
+	}
+	if zero && len(rates) > 0 {
+		return nil, fmt.Errorf("-rate mixes zero (closed loop) and open-loop rates")
+	}
+	return rates, nil
+}
+
+func parseArrival(s string) (workload.Arrival, error) {
+	switch s {
+	case "uniform":
+		return workload.Uniform, nil
+	case "poisson":
+		return workload.Poisson, nil
+	case "bursty":
+		return workload.Bursty, nil
+	default:
+		return 0, fmt.Errorf("unknown -arrival %q", s)
+	}
+}
+
 // runOpenLoop issues requests on an arrival schedule instead of a closed
 // loop, exposing the queueing that Implication #4 is about.
 func runOpenLoop(dev essdsim.Device, rw, bs string, rate float64,
-	arrival string, ops, seed uint64, precond string) {
+	arrival string, ops uint64, mixPct int, seed uint64, precond string) {
 	pattern, err := workload.ParsePattern(rw)
 	if err != nil {
 		fatal(err)
@@ -153,28 +213,35 @@ func runOpenLoop(dev essdsim.Device, rw, bs string, rate float64,
 	if err != nil {
 		fatal(err)
 	}
-	var arr workload.Arrival
-	switch arrival {
-	case "uniform":
-		arr = workload.Uniform
-	case "poisson":
-		arr = workload.Poisson
-	case "bursty":
-		arr = workload.Bursty
-	default:
-		fatal(fmt.Errorf("unknown -arrival %q", arrival))
+	arr, err := parseArrival(arrival)
+	if err != nil {
+		fatal(err)
 	}
-	if precond == "auto" || precond == "full" {
-		essdsim.Precondition(dev, pattern.IsWrite() && precond == "auto")
+	mode, err := parsePrecond(precond)
+	if err != nil {
+		fatal(err)
 	}
-	res := workload.RunOpen(dev, workload.OpenSpec{
+	switch mode {
+	case essdsim.PrecondAuto:
+		essdsim.Precondition(dev, pattern.IsWrite())
+	case essdsim.PrecondFull:
+		essdsim.Precondition(dev, false)
+	case essdsim.PrecondWrites:
+		essdsim.Precondition(dev, true)
+	}
+	spec := workload.OpenSpec{
 		Pattern:    pattern,
 		BlockSize:  blockSize,
+		WriteRatio: float64(mixPct) / 100,
 		RatePerSec: rate,
 		Arrival:    arr,
 		Count:      ops,
 		Seed:       seed,
-	})
+	}
+	if err := spec.Validate(dev); err != nil {
+		fatal(err)
+	}
+	res := workload.RunOpen(dev, spec)
 	s := res.Lat.Summarize()
 	fmt.Printf("%s: open-loop %s bs=%s rate=%.0f/s arrivals=%s\n",
 		res.Device, pattern, bs, rate, arr)
@@ -182,6 +249,67 @@ func runOpenLoop(dev essdsim.Device, rw, bs string, rate float64,
 		res.Ops, res.Elapsed, res.MaxOutstanding)
 	fmt.Printf("  lat avg=%v p50=%v p99=%v p99.9=%v max=%v\n",
 		s.Mean, s.P50, s.P99, s.P999, s.Max)
+}
+
+// runOpenSweep executes the cross product of comma-separated device,
+// pattern, size, arrival, and rate lists as a parallel open-loop grid and
+// prints one summary row per cell.
+func runOpenSweep(devices, rws, sizes, arrivals string, rates []float64,
+	ops uint64, mixPct int, precond string, seed uint64, workers int) {
+	sw := essdsim.Sweep{Kind: essdsim.SweepOpen, Seed: seed, Label: "essdbench-open"}
+	var names []string
+	for _, name := range strings.Split(devices, ",") {
+		names = append(names, strings.TrimSpace(name))
+	}
+	sw.Devices = essdsim.ProfileDevices(names...)
+	mixed := false
+	for _, s := range strings.Split(rws, ",") {
+		p, err := workload.ParsePattern(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		mixed = mixed || p == essdsim.Mixed
+		sw.Patterns = append(sw.Patterns, p)
+	}
+	for _, s := range strings.Split(sizes, ",") {
+		bs, err := fio.ParseSize(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		sw.BlockSizes = append(sw.BlockSizes, bs)
+	}
+	for _, s := range strings.Split(arrivals, ",") {
+		arr, err := parseArrival(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		sw.Arrivals = append(sw.Arrivals, arr)
+	}
+	sw.RatesPerSec = rates
+	sw.OpenOps = ops
+	if mixed {
+		sw.WriteRatiosPct = []int{mixPct}
+	}
+	var err error
+	if sw.Precondition, err = parsePrecond(precond); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("open-loop sweep: %d cells on %d devices\n",
+		len(sw.Cells()), len(sw.Devices))
+	fmt.Printf("%-8s %-10s %-7s %-8s %9s %11s %11s %11s %8s\n",
+		"device", "rw", "bs", "arrival", "rate/s", "MB/s", "p50", "p99.9", "peak-q")
+	results, err := essdsim.RunSweep(context.Background(), sw, workers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		s := r.Open.Lat.Summarize()
+		fmt.Printf("%-8s %-10s %-7s %-8s %9.0f %11.1f %11v %11v %8d\n",
+			r.DeviceName, r.Pattern, sizeLabel(r.BlockSize), r.Arrival,
+			r.RatePerSec, r.Open.Throughput()/1e6, s.P50, s.P999,
+			r.Open.MaxOutstanding)
+	}
 }
 
 // runSweep executes the cross product of comma-separated device, pattern,

@@ -1,6 +1,8 @@
 // Command ucexperiments regenerates the paper's evaluation artifacts
 // (Table I and Figures 2-5) on the simulated devices and prints them in the
-// paper's layout. Optionally dumps raw CSV series for plotting.
+// paper's layout, plus the burst-credit scenario suite behind
+// Observation #4 on the burstable tiers. Optionally dumps raw CSV series
+// for plotting.
 //
 // Experiment cells run concurrently on an internal/expgrid worker pool
 // (-workers, default GOMAXPROCS); results are deterministic and identical
@@ -10,10 +12,12 @@
 //
 //	ucexperiments -exp table1
 //	ucexperiments -exp fig2 -quick
+//	ucexperiments -exp burst -quick
 //	ucexperiments -exp all -out results/ -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +27,7 @@ import (
 	"essdsim/internal/expgrid"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
+	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
 )
 
@@ -38,7 +43,7 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, or all")
+		exp     = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, or all")
 		quick   = flag.Bool("quick", false, "reduced grids for a fast pass")
 		seed    = flag.Uint64("seed", 7, "deterministic seed")
 		out     = flag.String("out", "", "directory for raw CSV dumps (optional)")
@@ -129,6 +134,29 @@ func main() {
 		if *out != "" {
 			dumpFig5CSV(*out, results)
 		}
+	}
+	if want("burst") {
+		ran = true
+		sweep := scenario.BurstSweep{
+			Devices: []expgrid.NamedFactory{
+				{Name: "gp2", New: factory("gp2", *seed)},
+				{Name: "gp2s", New: factory("gp2s", *seed)},
+			},
+			Seed:    *seed,
+			Workers: *workers,
+		}
+		if *quick {
+			sweep.WriteRatiosPct = []int{0, 50, 100}
+			sweep.RatesPerSec = []float64{3000}
+			sweep.Ops = 3000
+		}
+		rep, err := scenario.RunBurst(context.Background(), sweep)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("--- Burst-credit scenario (Observation #4, burstable tiers) ---")
+		scenario.FormatBurst(os.Stdout, rep)
+		fmt.Println()
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "ucexperiments: unknown -exp %q\n", *exp)

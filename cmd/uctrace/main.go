@@ -122,8 +122,12 @@ func replay(args []string) {
 	}
 	res := trace.Replay(dev, recs)
 	s := res.Lat.Summarize()
-	fmt.Printf("%s: replayed %d ops, %d bytes in %v (stretch %.2fx)\n",
-		res.Device, res.Ops, res.Bytes, res.Elapsed, res.Stretch)
+	stretch := "n/a (instantaneous trace)"
+	if res.Nominal > 0 {
+		stretch = fmt.Sprintf("%.2fx", res.Stretch)
+	}
+	fmt.Printf("%s: replayed %d ops, %d bytes in %v (stretch %s, lag %v, peak queue %d)\n",
+		res.Device, res.Ops, res.Bytes, res.Elapsed, stretch, res.Lag, res.MaxOutstanding)
 	fmt.Printf("latency avg=%v p50=%v p99=%v p99.9=%v max=%v\n",
 		s.Mean, s.P50, s.P99, s.P999, s.Max)
 }

@@ -39,6 +39,7 @@ import (
 	"essdsim/internal/fio"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
+	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
 	"essdsim/internal/ssd"
 	"essdsim/internal/stats"
@@ -132,6 +133,31 @@ func ProfileNames() []string { return profiles.Names() }
 // outstanding I/O drains, and returns the measurements.
 func Run(dev Device, spec Workload) *WorkloadResult { return workload.Run(dev, spec) }
 
+// Open-loop workload types.
+type (
+	// OpenWorkload describes an arrival-driven (open-loop) run: requests
+	// issue on a schedule regardless of completions.
+	OpenWorkload = workload.OpenSpec
+	// OpenWorkloadResult holds open-loop measurements, including the
+	// completion timelines used for latency-cliff analysis.
+	OpenWorkloadResult = workload.OpenResult
+	// Arrival is an open-loop arrival process.
+	Arrival = workload.Arrival
+)
+
+// Arrival processes.
+const (
+	ArrivalUniform = workload.Uniform
+	ArrivalPoisson = workload.Poisson
+	ArrivalBursty  = workload.Bursty
+)
+
+// RunOpen executes an open-loop workload on a device, driving its engine
+// until every request completes.
+func RunOpen(dev Device, spec OpenWorkload) *OpenWorkloadResult {
+	return workload.RunOpen(dev, spec)
+}
+
 // Precondition prepares a device for measurement: write experiments get a
 // GC-free half-filled device; read experiments a fully written one.
 func Precondition(dev Device, forWrites bool) { harness.Precondition(dev, forWrites) }
@@ -195,6 +221,18 @@ type (
 	// SweepPrecond selects how a cell's device is prepared before
 	// measurement (see the Precond* constants).
 	SweepPrecond = expgrid.Precond
+	// SweepKind selects the per-cell workload family of a Sweep (see the
+	// SweepClosed/SweepOpen/SweepTraceReplay constants).
+	SweepKind = expgrid.Kind
+)
+
+// Sweep kinds: closed-loop fio-style cells (the default), open-loop
+// arrival-driven cells with arrival-shape and offered-rate axes, and
+// trace-replay cells (one replay of Sweep.Trace per device).
+const (
+	SweepClosed      = expgrid.Closed
+	SweepOpen        = expgrid.Open
+	SweepTraceReplay = expgrid.TraceReplay
 )
 
 // Device-preconditioning modes for Sweep.Precondition.
@@ -245,6 +283,34 @@ func RunSweep(ctx context.Context, sw Sweep, workers int) ([]SweepCellResult, er
 func RunSustainedWrites(devices []NamedFactory, capMultiple float64, opts ExperimentOptions) []*SustainedResult {
 	return harness.RunSustainedWrites(devices, capMultiple, opts)
 }
+
+// Burst-credit scenario types: the Observation #4 / Implication #4 suite
+// sweeping burstable tiers across write ratio × arrival shape × offered
+// rate on the expgrid worker pool.
+type (
+	// BurstSweep declares a burst-credit exhaustion suite.
+	BurstSweep = scenario.BurstSweep
+	// BurstReport is the suite's full measurement.
+	BurstReport = scenario.BurstReport
+	// BurstCell is one measured point: credit-exhaustion time, throttle
+	// and budget-stall state, and the pre/post-exhaustion latency cliff.
+	BurstCell = scenario.BurstCell
+)
+
+// RunBurstScenario executes a burst-credit scenario sweep; zero-valued
+// BurstSweep fields take defaults (the two calibrated burstable tiers,
+// write ratios 0/50/100, uniform and bursty arrivals). Results are
+// deterministic for any worker count.
+func RunBurstScenario(ctx context.Context, s BurstSweep) (*BurstReport, error) {
+	return scenario.RunBurst(ctx, s)
+}
+
+// FormatBurstReport writes the scenario report as an aligned table.
+func FormatBurstReport(w io.Writer, r *BurstReport) { scenario.FormatBurst(w, r) }
+
+// BurstTierDevices returns the default burstable device axis for a
+// BurstSweep or an open-loop Sweep.
+func BurstTierDevices() []NamedFactory { return scenario.BurstTierDevices() }
 
 // Contract checker types.
 type (

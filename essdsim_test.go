@@ -185,3 +185,67 @@ func TestPublicSweepAPI(t *testing.T) {
 		t.Error("QD8 random write no faster than QD1")
 	}
 }
+
+// TestPublicOpenLoopAndBurst exercises the open-loop façade: RunOpen on a
+// single device, an open-loop sweep kind, and the burst-credit scenario.
+func TestPublicOpenLoopAndBurst(t *testing.T) {
+	eng := essdsim.NewEngine()
+	dev, err := essdsim.NewDevice("gp2", eng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	essdsim.Precondition(dev, true)
+	res := essdsim.RunOpen(dev, essdsim.OpenWorkload{
+		Pattern:    essdsim.RandWrite,
+		BlockSize:  64 << 10,
+		RatePerSec: 2000,
+		Arrival:    essdsim.ArrivalBursty,
+		Count:      400,
+		Seed:       3,
+	})
+	if res.Ops != 400 || res.MaxOutstanding < 2 {
+		t.Fatalf("open loop: ops=%d peak=%d", res.Ops, res.MaxOutstanding)
+	}
+
+	sweep := essdsim.Sweep{
+		Kind:        essdsim.SweepOpen,
+		Devices:     essdsim.ProfileDevices("gp2"),
+		Patterns:    []essdsim.Pattern{essdsim.RandWrite},
+		BlockSizes:  []int64{64 << 10},
+		Arrivals:    []essdsim.Arrival{essdsim.ArrivalUniform, essdsim.ArrivalBursty},
+		RatesPerSec: []float64{2000},
+		OpenOps:     300,
+		Seed:        4,
+	}
+	cells, err := essdsim.RunSweep(context.Background(), sweep, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Open == nil {
+		t.Fatalf("open sweep cells: %+v", cells)
+	}
+	// Bursty arrivals at the same offered rate must queue deeper.
+	if cells[1].Open.MaxOutstanding <= cells[0].Open.MaxOutstanding {
+		t.Errorf("bursty peak %d not above uniform %d",
+			cells[1].Open.MaxOutstanding, cells[0].Open.MaxOutstanding)
+	}
+
+	rep, err := essdsim.RunBurstScenario(context.Background(), essdsim.BurstSweep{
+		WriteRatiosPct: []int{100},
+		Arrivals:       []essdsim.Arrival{essdsim.ArrivalUniform},
+		RatesPerSec:    []float64{3000},
+		Ops:            300,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 { // both default burstable tiers
+		t.Fatalf("burst cells = %d", len(rep.Cells))
+	}
+	var buf bytes.Buffer
+	essdsim.FormatBurstReport(&buf, rep)
+	if !strings.Contains(buf.String(), "gp2s") {
+		t.Errorf("report missing device name:\n%s", buf.String())
+	}
+}

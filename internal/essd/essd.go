@@ -156,6 +156,36 @@ func (e *ESSD) Credits() float64 {
 	return e.credits.Credits()
 }
 
+// Burstable reports whether the volume is a credit-backed burstable tier.
+func (e *ESSD) Burstable() bool { return e.credits != nil }
+
+// CreditExhaustions counts the times the burst-credit balance hit zero
+// (always 0 on non-burstable tiers).
+func (e *ESSD) CreditExhaustions() uint64 {
+	if e.credits == nil {
+		return 0
+	}
+	return e.credits.Exhaustions()
+}
+
+// CreditExhaustedAt returns the virtual time the burst-credit balance first
+// hit zero, or -1 when it never has (or the tier is not burstable).
+func (e *ESSD) CreditExhaustedAt() sim.Time {
+	if e.credits == nil {
+		return -1
+	}
+	return e.credits.ExhaustedAt()
+}
+
+// CreditFloor returns the post-exhaustion sustained rate in bytes/s, or -1
+// when the tier is not burstable.
+func (e *ESSD) CreditFloor() float64 {
+	if e.credits == nil {
+		return -1
+	}
+	return e.credits.SustainedFloor()
+}
+
 // spendCredits serializes n bytes through the burst-credit rate before
 // done, when the volume is a burstable tier.
 func (e *ESSD) spendCredits(n int64, done func()) {

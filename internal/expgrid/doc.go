@@ -2,6 +2,16 @@
 // device factories, access patterns, I/O sizes, queue depths, and write
 // ratios — on a pool of parallel workers.
 //
+// # Cell workload kinds
+//
+// A sweep's Kind selects what each cell runs: Closed (the default) drives a
+// fixed queue depth through workload.Run; Open issues requests on an
+// arrival schedule through workload.RunOpen, adding arrival-shape and
+// offered-rate axes — the regime where provisioned budgets and burst
+// credits dominate; TraceReplay replays one recorded trace per device cell
+// through trace.Replay. All three share the same isolation, seeding, and
+// determinism guarantees below.
+//
 // # Cell-isolation model
 //
 // A Sweep enumerates its axes into a flat list of Cells in a fixed

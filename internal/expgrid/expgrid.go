@@ -2,9 +2,11 @@ package expgrid
 
 import (
 	"fmt"
+	"math"
 
 	"essdsim/internal/blockdev"
 	"essdsim/internal/sim"
+	"essdsim/internal/trace"
 	"essdsim/internal/workload"
 )
 
@@ -47,36 +49,87 @@ const (
 // trimmed drive); read cells get a fully, sequentially written device (the
 // layout after a fio fill pass).
 func Precondition(dev blockdev.Device, forWrites bool) {
+	fill := 1.0
+	if forWrites {
+		fill = 0.5
+	}
 	switch d := dev.(type) {
 	case interface{ Precondition(float64) }:
-		d.Precondition(1.0)
+		d.Precondition(fill)
 	case interface{ Precondition(float64, bool) }:
-		if forWrites {
-			d.Precondition(0.5, false)
-		} else {
-			d.Precondition(1.0, false)
-		}
+		d.Precondition(fill, false)
+	}
+}
+
+// Kind selects the per-cell workload family of a sweep.
+type Kind uint8
+
+// Sweep kinds.
+const (
+	// Closed runs workload.Run: a fixed queue depth of outstanding I/Os,
+	// the paper's fio-style microbenchmark shape.
+	Closed Kind = iota
+	// Open runs workload.RunOpen: requests issued on an arrival schedule
+	// regardless of completions, the regime where provisioned budgets and
+	// burst credits dominate (Observation/Implication #4). The grid gains
+	// Arrivals and RatesPerSec axes; QueueDepths is unused.
+	Open
+	// TraceReplay runs trace.Replay of Sweep.Trace once per device cell.
+	// All axes other than Devices are unused.
+	TraceReplay
+)
+
+// String names the sweep kind.
+func (k Kind) String() string {
+	switch k {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case TraceReplay:
+		return "trace"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Sweep declares an experiment grid: the cross product of its axes, plus
-// the per-cell workload shape shared by every cell.
+// the per-cell workload shape shared by every cell. Kind selects the
+// workload family each cell runs; axes that a kind does not use are
+// ignored by enumeration and validation.
 type Sweep struct {
-	// Axes. Devices, Patterns, BlockSizes, and QueueDepths must be
-	// non-empty. WriteRatiosPct is optional and multiplies only Mixed
-	// cells; cells of every other pattern carry a write-ratio coordinate
-	// of -1 (so adding a ratio axis never re-seeds or duplicates them).
+	// Kind selects the cell workload family (default Closed).
+	Kind Kind
+
+	// Axes. Devices is always required. Closed sweeps need Patterns,
+	// BlockSizes, and QueueDepths; Open sweeps need Patterns, BlockSizes,
+	// Arrivals, and RatesPerSec; TraceReplay sweeps need only Devices and
+	// Trace. WriteRatiosPct is optional and multiplies only Mixed cells;
+	// cells of every other pattern carry a write-ratio coordinate of -1
+	// (so adding a ratio axis never re-seeds or duplicates them).
 	Devices        []NamedFactory
 	Patterns       []workload.Pattern
 	BlockSizes     []int64
 	QueueDepths    []int
 	WriteRatiosPct []int
 
-	// CellDuration bounds each cell's measurement window (default 500 ms);
-	// Warmup is excluded from statistics (default 50 ms; negative values
-	// mean no warmup at all). When CapMultiple is > 0 the cell instead
-	// stops after CapMultiple × device capacity bytes, with no warmup —
-	// the sustained-write shape.
+	// Open-loop axes (Kind == Open): every combination of arrival shape
+	// and offered rate becomes a cell issuing OpenOps requests on that
+	// schedule (default 2000).
+	Arrivals    []workload.Arrival
+	RatesPerSec []float64
+	OpenOps     uint64
+
+	// Trace holds the records a TraceReplay sweep replays, identically,
+	// on each device cell.
+	Trace []trace.Record
+
+	// CellDuration bounds each closed-loop cell's measurement window
+	// (default 500 ms); Warmup is excluded from statistics (default 50 ms;
+	// negative values mean no warmup at all). When CapMultiple is > 0 the
+	// cell instead stops after CapMultiple × device capacity bytes, with
+	// no warmup — the sustained-write shape. Open and TraceReplay cells
+	// run to their request count / trace end and ignore all three.
 	CellDuration sim.Duration
 	Warmup       sim.Duration
 	CapMultiple  float64
@@ -107,24 +160,52 @@ func (s Sweep) withDefaults() Sweep {
 	} else if s.Warmup < 0 {
 		s.Warmup = 0
 	}
+	if s.Kind == Open && s.OpenOps == 0 {
+		s.OpenOps = 2000
+	}
 	return s
 }
 
-// Validate reports a descriptive error for empty axes.
+// Validate reports a descriptive error for empty or nonsensical axes of
+// the sweep's kind.
 func (s Sweep) Validate() error {
-	switch {
-	case len(s.Devices) == 0:
+	if len(s.Devices) == 0 {
 		return fmt.Errorf("expgrid: sweep has no device axis")
-	case len(s.Patterns) == 0:
-		return fmt.Errorf("expgrid: sweep has no pattern axis")
-	case len(s.BlockSizes) == 0:
-		return fmt.Errorf("expgrid: sweep has no block-size axis")
-	case len(s.QueueDepths) == 0:
-		return fmt.Errorf("expgrid: sweep has no queue-depth axis")
 	}
 	for _, d := range s.Devices {
 		if d.New == nil {
 			return fmt.Errorf("expgrid: device %q has a nil factory", d.Name)
+		}
+	}
+	switch s.Kind {
+	case Open:
+		switch {
+		case len(s.Patterns) == 0:
+			return fmt.Errorf("expgrid: open sweep has no pattern axis")
+		case len(s.BlockSizes) == 0:
+			return fmt.Errorf("expgrid: open sweep has no block-size axis")
+		case len(s.Arrivals) == 0:
+			return fmt.Errorf("expgrid: open sweep has no arrival axis")
+		case len(s.RatesPerSec) == 0:
+			return fmt.Errorf("expgrid: open sweep has no rate axis")
+		}
+		for _, r := range s.RatesPerSec {
+			if r <= 0 {
+				return fmt.Errorf("expgrid: open sweep rate %v not positive", r)
+			}
+		}
+	case TraceReplay:
+		if len(s.Trace) == 0 {
+			return fmt.Errorf("expgrid: trace sweep has no records")
+		}
+	default:
+		switch {
+		case len(s.Patterns) == 0:
+			return fmt.Errorf("expgrid: sweep has no pattern axis")
+		case len(s.BlockSizes) == 0:
+			return fmt.Errorf("expgrid: sweep has no block-size axis")
+		case len(s.QueueDepths) == 0:
+			return fmt.Errorf("expgrid: sweep has no queue-depth axis")
 		}
 	}
 	return nil
@@ -139,41 +220,73 @@ type Cell struct {
 
 	Pattern       workload.Pattern
 	BlockSize     int64
-	QueueDepth    int
+	QueueDepth    int // 0 for Open and TraceReplay cells
 	WriteRatioPct int // -1 when the sweep has no write-ratio axis
 
-	Seed uint64 // derived via CellSeed, independent of Index
+	// Open-loop coordinates; zero for Closed and TraceReplay cells.
+	Arrival    workload.Arrival
+	RatePerSec float64
+
+	Seed uint64 // derived from the coordinates, independent of Index
 }
 
-// CellResult pairs a cell with its measurement. Err is set when the cell
-// failed (e.g. an invalid workload spec); Res is nil in that case.
+// describe renders the cell's coordinates for error messages.
+func (c Cell) describe() string {
+	switch {
+	case c.RatePerSec > 0:
+		return fmt.Sprintf("%s %s bs=%d %s@%.0f/s", c.DeviceName, c.Pattern, c.BlockSize, c.Arrival, c.RatePerSec)
+	case c.BlockSize == 0:
+		return fmt.Sprintf("%s trace", c.DeviceName)
+	default:
+		return fmt.Sprintf("%s %s bs=%d qd=%d", c.DeviceName, c.Pattern, c.BlockSize, c.QueueDepth)
+	}
+}
+
+// CellResult pairs a cell with its measurement: Res for Closed cells, Open
+// for Open cells, Replay for TraceReplay cells; the other two are nil. Err
+// is set when the cell failed (e.g. an invalid workload spec), and every
+// measurement field is nil in that case.
 type CellResult struct {
 	Cell
 	Device string // constructed device's display name
 	Res    *workload.Result
+	Open   *workload.OpenResult
+	Replay *trace.ReplayResult
 	Info   any // Sweep.Inspect's capture of post-run device state, or nil
 	Err    error
 }
 
-// Cells enumerates the grid in deterministic row-major order: devices,
-// patterns, block sizes, queue depths, write ratios. The write-ratio axis
-// multiplies only Mixed cells; other patterns get the single sentinel
-// coordinate -1, so their count and seeds are unaffected by the axis.
+// Cells enumerates the grid of the sweep's kind in deterministic row-major
+// order. Closed: devices, patterns, block sizes, queue depths, write
+// ratios. Open: devices, patterns, block sizes, arrivals, rates, write
+// ratios. TraceReplay: devices. The write-ratio axis multiplies only Mixed
+// cells; other patterns get the single sentinel coordinate -1, so their
+// count and seeds are unaffected by the axis.
 func (s Sweep) Cells() []Cell {
-	mixedRatios := s.WriteRatiosPct
-	if len(mixedRatios) == 0 {
-		mixedRatios = []int{-1}
+	switch s.Kind {
+	case Open:
+		return s.openCells()
+	case TraceReplay:
+		return s.traceCells()
+	default:
+		return s.closedCells()
 	}
-	cells := make([]Cell, 0, len(s.Devices)*len(s.Patterns)*len(s.BlockSizes)*len(s.QueueDepths)*len(mixedRatios))
+}
+
+func (s Sweep) mixedRatios(p workload.Pattern) []int {
+	if p == workload.Mixed && len(s.WriteRatiosPct) > 0 {
+		return s.WriteRatiosPct
+	}
+	return []int{-1}
+}
+
+func (s Sweep) closedCells() []Cell {
+	cells := make([]Cell, 0, len(s.Devices)*len(s.Patterns)*len(s.BlockSizes)*len(s.QueueDepths))
 	for di, d := range s.Devices {
 		for _, p := range s.Patterns {
-			ratios := mixedRatios
-			if p != workload.Mixed {
-				ratios = []int{-1}
-			}
 			for _, bs := range s.BlockSizes {
 				for _, qd := range s.QueueDepths {
-					for _, wr := range ratios {
+					for _, wr := range s.mixedRatios(p) {
 						cells = append(cells, Cell{
 							Index:         len(cells),
 							DeviceIndex:   di,
@@ -182,7 +295,7 @@ func (s Sweep) Cells() []Cell {
 							BlockSize:     bs,
 							QueueDepth:    qd,
 							WriteRatioPct: wr,
-							Seed:          s.cellSeed(d.Name, p, bs, qd, wr),
+							Seed:          CellSeed(s.Seed, s.Label, d.Name, p, bs, qd, wr),
 						})
 					}
 				}
@@ -192,88 +305,194 @@ func (s Sweep) Cells() []Cell {
 	return cells
 }
 
-func (s Sweep) cellSeed(device string, p workload.Pattern, bs int64, qd, ratioPct int) uint64 {
-	return CellSeed(s.Seed, s.Label, device, p, bs, qd, ratioPct)
+func (s Sweep) openCells() []Cell {
+	cells := make([]Cell, 0, len(s.Devices)*len(s.Patterns)*len(s.BlockSizes)*len(s.Arrivals)*len(s.RatesPerSec))
+	for di, d := range s.Devices {
+		for _, p := range s.Patterns {
+			for _, bs := range s.BlockSizes {
+				for _, a := range s.Arrivals {
+					for _, rate := range s.RatesPerSec {
+						for _, wr := range s.mixedRatios(p) {
+							cells = append(cells, Cell{
+								Index:         len(cells),
+								DeviceIndex:   di,
+								DeviceName:    d.Name,
+								Pattern:       p,
+								BlockSize:     bs,
+								WriteRatioPct: wr,
+								Arrival:       a,
+								RatePerSec:    rate,
+								Seed:          OpenCellSeed(s.Seed, s.Label, d.Name, p, bs, a, rate, wr),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
 }
 
-// CellSeed derives a cell's RNG seed as a pure hash of the root seed, the
-// sweep label, and the cell coordinates. It is deliberately independent of
-// the cell's enumeration index: subsetting or reordering axes never
-// changes the seed (and hence the measurement) of a surviving cell.
+func (s Sweep) traceCells() []Cell {
+	cells := make([]Cell, 0, len(s.Devices))
+	for di, d := range s.Devices {
+		cells = append(cells, Cell{
+			Index:         di,
+			DeviceIndex:   di,
+			DeviceName:    d.Name,
+			WriteRatioPct: -1,
+			Seed:          TraceCellSeed(s.Seed, s.Label, d.Name),
+		})
+	}
+	return cells
+}
+
+// coordHash is the FNV-1a accumulator behind the seed derivations; finish
+// applies a splitmix64 finalizer so adjacent coordinates land far apart in
+// seed space.
+type coordHash uint64
+
+const (
+	coordOffset = 0xcbf29ce484222325
+	coordPrime  = 0x100000001b3
+)
+
+func newCoordHash() coordHash { return coordOffset }
+
+func (h *coordHash) word(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x = (x ^ (v & 0xff)) * coordPrime
+		v >>= 8
+	}
+	*h = coordHash(x)
+}
+
+func (h *coordHash) str(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * coordPrime
+	}
+	x = (x ^ 0xff) * coordPrime // terminator so "ab","c" != "a","bc"
+	*h = coordHash(x)
+}
+
+func (h coordHash) finish() uint64 {
+	x := uint64(h)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CellSeed derives a closed-loop cell's RNG seed as a pure hash of the
+// root seed, the sweep label, and the cell coordinates. It is deliberately
+// independent of the cell's enumeration index: subsetting or reordering
+// axes never changes the seed (and hence the measurement) of a surviving
+// cell. Open and TraceReplay cells use OpenCellSeed / TraceCellSeed, which
+// extend the same hash with their own coordinates.
 func CellSeed(root uint64, label, device string, p workload.Pattern, bs int64, qd, ratioPct int) uint64 {
-	// FNV-1a over the coordinate words, then a splitmix64 finalizer so
-	// adjacent coordinates land far apart in seed space.
-	const (
-		offset = 0xcbf29ce484222325
-		prime  = 0x100000001b3
-	)
-	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h = (h ^ (v & 0xff)) * prime
-			v >>= 8
-		}
-	}
-	str := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h = (h ^ uint64(s[i])) * prime
-		}
-		h = (h ^ 0xff) * prime // terminator so "ab","c" != "a","bc"
-	}
-	mix(root)
-	str(label)
-	str(device)
-	mix(uint64(p) + 1)
-	mix(uint64(bs))
-	mix(uint64(qd))
-	mix(uint64(int64(ratioPct) + 2))
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
+	h := newCoordHash()
+	h.word(root)
+	h.str(label)
+	h.str(device)
+	h.word(uint64(p) + 1)
+	h.word(uint64(bs))
+	h.word(uint64(qd))
+	h.word(uint64(int64(ratioPct) + 2))
+	return h.finish()
 }
 
-// run executes one cell: fresh device, precondition, one workload. Panics
-// from invalid specs (or device bugs) are captured into CellResult.Err so
-// one bad cell fails the sweep cleanly instead of killing the worker pool.
+// OpenCellSeed derives an open-loop cell's seed from its coordinates,
+// including the arrival shape and offered rate. A distinguishing tag keeps
+// open cells decorrelated from closed cells that share the remaining
+// coordinates.
+func OpenCellSeed(root uint64, label, device string, p workload.Pattern, bs int64, a workload.Arrival, ratePerSec float64, ratioPct int) uint64 {
+	h := newCoordHash()
+	h.word(root)
+	h.str(label)
+	h.str(device)
+	h.str("open")
+	h.word(uint64(p) + 1)
+	h.word(uint64(bs))
+	h.word(uint64(a) + 1)
+	h.word(math.Float64bits(ratePerSec))
+	h.word(uint64(int64(ratioPct) + 2))
+	return h.finish()
+}
+
+// TraceCellSeed derives a trace-replay cell's seed. The trace itself is
+// deterministic, so only the device identity needs decorrelating.
+func TraceCellSeed(root uint64, label, device string) uint64 {
+	h := newCoordHash()
+	h.word(root)
+	h.str(label)
+	h.str(device)
+	h.str("trace")
+	return h.finish()
+}
+
+// run executes one cell: fresh device, precondition, one workload of the
+// sweep's kind. Panics from invalid specs (or device bugs) are captured
+// into CellResult.Err so one bad cell fails the sweep cleanly instead of
+// killing the worker pool.
 func (s Sweep) run(c Cell) (out CellResult) {
 	out = CellResult{Cell: c}
 	defer func() {
 		if p := recover(); p != nil {
-			out.Err = fmt.Errorf("expgrid: cell %d (%s %s bs=%d qd=%d): %v",
-				c.Index, c.DeviceName, c.Pattern, c.BlockSize, c.QueueDepth, p)
-			out.Res = nil
+			out.Err = fmt.Errorf("expgrid: cell %d (%s): %v", c.Index, c.describe(), p)
+			out.Res, out.Open, out.Replay = nil, nil, nil
 		}
 	}()
 	dev := s.Devices[c.DeviceIndex].New(c.Seed)
 	out.Device = dev.Name()
 	switch s.Precondition {
 	case PrecondAuto:
-		Precondition(dev, c.Pattern.IsWrite())
+		// Trace cells mix reads and writes, so the auto mode gives them a
+		// fully written device (reads must hit data).
+		Precondition(dev, s.Kind != TraceReplay && c.Pattern.IsWrite())
 	case PrecondWrites:
 		Precondition(dev, true)
 	case PrecondFull:
 		Precondition(dev, false)
 	}
-	spec := workload.Spec{
-		Pattern:    c.Pattern,
-		BlockSize:  c.BlockSize,
-		QueueDepth: c.QueueDepth,
-		Duration:   s.CellDuration,
-		Warmup:     s.Warmup,
-		Seed:       c.Seed,
+	switch s.Kind {
+	case Open:
+		spec := workload.OpenSpec{
+			Pattern:    c.Pattern,
+			BlockSize:  c.BlockSize,
+			RatePerSec: c.RatePerSec,
+			Arrival:    c.Arrival,
+			Count:      s.OpenOps,
+			Seed:       c.Seed,
+		}
+		if c.WriteRatioPct >= 0 {
+			spec.WriteRatio = float64(c.WriteRatioPct) / 100
+		}
+		out.Open = workload.RunOpen(dev, spec)
+	case TraceReplay:
+		out.Replay = trace.Replay(dev, s.Trace)
+	default:
+		spec := workload.Spec{
+			Pattern:    c.Pattern,
+			BlockSize:  c.BlockSize,
+			QueueDepth: c.QueueDepth,
+			Duration:   s.CellDuration,
+			Warmup:     s.Warmup,
+			Seed:       c.Seed,
+		}
+		if c.WriteRatioPct >= 0 {
+			spec.WriteRatio = float64(c.WriteRatioPct) / 100
+		}
+		if s.CapMultiple > 0 {
+			spec.TotalBytes = int64(s.CapMultiple * float64(dev.Capacity()))
+			spec.Duration = 0
+			spec.Warmup = 0
+		}
+		out.Res = workload.Run(dev, spec)
 	}
-	if c.WriteRatioPct >= 0 {
-		spec.WriteRatio = float64(c.WriteRatioPct) / 100
-	}
-	if s.CapMultiple > 0 {
-		spec.TotalBytes = int64(s.CapMultiple * float64(dev.Capacity()))
-		spec.Duration = 0
-		spec.Warmup = 0
-	}
-	out.Res = workload.Run(dev, spec)
 	if s.Inspect != nil {
 		out.Info = s.Inspect(dev, c)
 	}

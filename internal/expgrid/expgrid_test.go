@@ -7,9 +7,11 @@ import (
 	"testing"
 
 	"essdsim/internal/blockdev"
+	"essdsim/internal/essd"
 	"essdsim/internal/profiles"
 	"essdsim/internal/sim"
 	"essdsim/internal/stats"
+	"essdsim/internal/trace"
 	"essdsim/internal/workload"
 )
 
@@ -319,6 +321,227 @@ func TestNegativeWarmupMeansNone(t *testing.T) {
 	}
 	if def := (Sweep{}).withDefaults(); def.Warmup != 50*sim.Millisecond {
 		t.Fatalf("default warmup = %v", def.Warmup)
+	}
+}
+
+// readAt submits one block-sized read at off and drains the engine.
+func readAt(t *testing.T, dev blockdev.Device, off int64) {
+	t.Helper()
+	done := false
+	dev.Submit(&blockdev.Request{
+		Op: blockdev.Read, Offset: off, Size: int64(dev.BlockSize()),
+		OnComplete: func(*blockdev.Request, sim.Time) { done = true },
+	})
+	dev.Engine().Run()
+	if !done {
+		t.Fatalf("read at %d never completed", off)
+	}
+}
+
+// TestPreconditionHalfFillsForWrites is the regression test for the
+// single-arg Precondition branch (ESSDs): write cells must get the
+// documented half-filled GC-free window, not a full device.
+func TestPreconditionHalfFillsForWrites(t *testing.T) {
+	dev := essd1Factory(3)
+	Precondition(dev, true)
+	e := dev.(*essd.ESSD)
+	bs := int64(dev.BlockSize())
+
+	readAt(t, dev, 0) // first block: filled
+	if got := e.Counters().UnwrittenReads; got != 0 {
+		t.Fatalf("first block unwritten after write precondition (unwritten reads = %d)", got)
+	}
+	readAt(t, dev, dev.Capacity()-bs) // last block: must be beyond the half fill
+	if got := e.Counters().UnwrittenReads; got != 1 {
+		t.Fatalf("write precondition filled the whole ESSD (unwritten reads = %d, want 1)", got)
+	}
+
+	full := essd1Factory(3)
+	Precondition(full, false)
+	fe := full.(*essd.ESSD)
+	readAt(t, full, full.Capacity()-bs)
+	if got := fe.Counters().UnwrittenReads; got != 0 {
+		t.Fatalf("read precondition left the ESSD partly empty (unwritten reads = %d)", got)
+	}
+}
+
+// openProjection is the comparable content of an open-loop CellResult.
+type openProjection struct {
+	Cell           Cell
+	Device         string
+	Summary        stats.Summary
+	Ops            uint64
+	Bytes          int64
+	Elapsed        sim.Duration
+	MaxOutstanding int
+}
+
+func projectOpen(results []CellResult) []openProjection {
+	out := make([]openProjection, len(results))
+	for i, r := range results {
+		out[i] = openProjection{
+			Cell: r.Cell, Device: r.Device,
+			Summary: r.Open.Lat.Summarize(), Ops: r.Open.Ops, Bytes: r.Open.Bytes,
+			Elapsed: r.Open.Elapsed, MaxOutstanding: r.Open.MaxOutstanding,
+		}
+	}
+	return out
+}
+
+func openSweep() Sweep {
+	return Sweep{
+		Kind: Open,
+		Devices: []NamedFactory{
+			{Name: "essd1", New: essd1Factory},
+			{Name: "ssd", New: ssdFactory},
+		},
+		Patterns:       []workload.Pattern{workload.RandRead, workload.Mixed},
+		BlockSizes:     []int64{64 << 10},
+		WriteRatiosPct: []int{30, 70},
+		Arrivals:       []workload.Arrival{workload.Uniform, workload.Bursty, workload.Poisson},
+		RatesPerSec:    []float64{2000, 8000},
+		OpenOps:        300,
+		Seed:           9,
+		Label:          "open-test",
+	}
+}
+
+// TestOpenSweepParallelDeterminism extends the subsystem's core contract to
+// open-loop cells: 1 worker and 8 workers must yield identical results.
+func TestOpenSweepParallelDeterminism(t *testing.T) {
+	sw := openSweep()
+	cells := sw.Cells()
+	// 2 devices × (randread + 2 mixed ratios) × 1 bs × 3 arrivals × 2 rates.
+	if len(cells) != 36 {
+		t.Fatalf("cells = %d, want 36", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i || c.QueueDepth != 0 || c.RatePerSec == 0 {
+			t.Fatalf("bad open cell %d: %+v", i, c)
+		}
+	}
+	serial, err := Runner{Workers: 1}.Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Workers: 8}.Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, pp := projectOpen(serial), projectOpen(parallel)
+	for i := range ps {
+		if !reflect.DeepEqual(ps[i], pp[i]) {
+			t.Fatalf("open cell %d differs between 1 and 8 workers:\nserial:   %+v\nparallel: %+v",
+				i, ps[i], pp[i])
+		}
+	}
+}
+
+// testTrace builds a deterministic mixed trace (writes, reads, a flush
+// every 64 ops) pacing count ops at the given gap.
+func testTrace(count int, gap sim.Duration) []trace.Record {
+	recs := make([]trace.Record, 0, count)
+	for i := 0; i < count; i++ {
+		rec := trace.Record{At: sim.Duration(i) * gap, Offset: int64(i%512) * 4096, Size: 4096}
+		switch {
+		case i%64 == 63:
+			rec.Op, rec.Offset, rec.Size = blockdev.Flush, 0, 1
+		case i%3 == 0:
+			rec.Op = blockdev.Read
+		default:
+			rec.Op = blockdev.Write
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// TestTraceSweepParallelDeterminism does the same for trace-replay cells.
+func TestTraceSweepParallelDeterminism(t *testing.T) {
+	sw := Sweep{
+		Kind: TraceReplay,
+		Devices: []NamedFactory{
+			{Name: "essd1", New: essd1Factory},
+			{Name: "ssd", New: ssdFactory},
+		},
+		Trace: testTrace(400, 50*sim.Microsecond),
+		Seed:  13,
+		Label: "trace-test",
+	}
+	if got := len(sw.Cells()); got != 2 {
+		t.Fatalf("trace cells = %d, want one per device", got)
+	}
+	run := func(workers int) []CellResult {
+		res, err := Runner{Workers: workers}.Run(context.Background(), sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	for i := range serial {
+		s, p := serial[i].Replay, parallel[i].Replay
+		if s.Ops != 400 {
+			t.Fatalf("cell %d replayed %d ops", i, s.Ops)
+		}
+		if s.Ops != p.Ops || s.Bytes != p.Bytes || s.Elapsed != p.Elapsed ||
+			s.MaxOutstanding != p.MaxOutstanding ||
+			!reflect.DeepEqual(s.Lat.Summarize(), p.Lat.Summarize()) {
+			t.Fatalf("trace cell %d differs between 1 and 8 workers:\nserial:   %+v\nparallel: %+v",
+				i, s, p)
+		}
+	}
+	if serial[0].Replay.Elapsed == serial[1].Replay.Elapsed {
+		t.Fatal("both devices replayed identically; device axis inert")
+	}
+}
+
+// TestKindValidation checks the per-kind axis requirements.
+func TestKindValidation(t *testing.T) {
+	open := openSweep()
+	if err := open.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	broken := open
+	broken.Arrivals = nil
+	if err := broken.Validate(); err == nil {
+		t.Error("open sweep without arrivals validated")
+	}
+	broken = open
+	broken.RatesPerSec = []float64{0}
+	if err := broken.Validate(); err == nil {
+		t.Error("open sweep with zero rate validated")
+	}
+	broken = open
+	broken.QueueDepths = nil // open sweeps don't need queue depths
+	if err := broken.Validate(); err != nil {
+		t.Errorf("open sweep rejected for missing queue depths: %v", err)
+	}
+	tr := Sweep{Kind: TraceReplay, Devices: Devices("essd1", essd1Factory)}
+	if err := tr.Validate(); err == nil {
+		t.Error("trace sweep without records validated")
+	}
+	tr.Trace = testTrace(4, sim.Microsecond)
+	if err := tr.Validate(); err != nil {
+		t.Errorf("minimal trace sweep rejected: %v", err)
+	}
+}
+
+// TestOpenSeedCoordinates asserts arrival and rate feed the seed and that
+// open cells are decorrelated from closed cells at the same coordinates.
+func TestOpenSeedCoordinates(t *testing.T) {
+	base := OpenCellSeed(1, "l", "d", workload.RandRead, 4096, workload.Uniform, 1000, -1)
+	if OpenCellSeed(1, "l", "d", workload.RandRead, 4096, workload.Bursty, 1000, -1) == base {
+		t.Error("arrival does not decorrelate open seeds")
+	}
+	if OpenCellSeed(1, "l", "d", workload.RandRead, 4096, workload.Uniform, 2000, -1) == base {
+		t.Error("rate does not decorrelate open seeds")
+	}
+	if CellSeed(1, "l", "d", workload.RandRead, 4096, 0, -1) == base {
+		t.Error("open and closed cells share a seed")
+	}
+	if TraceCellSeed(1, "l", "d") == TraceCellSeed(1, "l", "e") {
+		t.Error("device does not decorrelate trace seeds")
 	}
 }
 

@@ -26,16 +26,20 @@ type Factory = expgrid.Factory
 // Options tune experiment durations; zero values take defaults.
 type Options struct {
 	CellDuration sim.Duration // per-cell measurement window (default 500 ms)
-	Warmup       sim.Duration // excluded from statistics (default 50 ms)
-	Seed         uint64
-	Workers      int // worker-pool size for the grid (default GOMAXPROCS)
+	// Warmup is excluded from statistics (default 50 ms). Negative values
+	// mean explicitly no warmup, matching the expgrid convention.
+	Warmup  sim.Duration
+	Seed    uint64
+	Workers int // worker-pool size for the grid (default GOMAXPROCS)
 }
 
 func (o Options) withDefaults() Options {
 	if o.CellDuration <= 0 {
 		o.CellDuration = 500 * sim.Millisecond
 	}
-	if o.Warmup <= 0 {
+	if o.Warmup == 0 {
+		// Negative warmup passes through: expgrid turns it into "no
+		// warmup at all" rather than the 50 ms default.
 		o.Warmup = 50 * sim.Millisecond
 	}
 	return o
@@ -458,7 +462,9 @@ func RunMixedSweepWith(factory Factory, ratios []int, opts Options) *MixedResult
 	out := &MixedResult{}
 	for _, r := range opts.runGrid(sw) {
 		out.Device = r.Device
-		window := (r.Res.Elapsed - opts.Warmup).Seconds()
+		// Use the warmup the cell actually ran with (negative Options
+		// warmup reaches the spec as zero).
+		window := (r.Res.Elapsed - r.Res.Spec.Warmup).Seconds()
 		var writeBW float64
 		if window > 0 {
 			writeBW = float64(int64(r.Res.WriteLat.Count())*(128<<10)) / window

@@ -182,7 +182,8 @@ func TestSustainedWriteSmallMultiple(t *testing.T) {
 }
 
 func TestPreconditionDispatch(t *testing.T) {
-	// ESSD: full precondition regardless.
+	// ESSD read cells get a full fill (write cells a half fill — covered
+	// by the expgrid regression test).
 	e := essd1Factory(1)
 	Precondition(e, false)
 	lat := runOne(e, blockdev.Read, 0, 4096)
@@ -195,6 +196,32 @@ func TestPreconditionDispatch(t *testing.T) {
 		FTLWriteAmp() float64
 	})
 	Precondition(s, true)
+}
+
+// TestNegativeWarmupPassesThrough is the regression test for withDefaults
+// clobbering an explicit "no warmup" request back to the 50 ms default:
+// expgrid defines negative warmup as "no warmup at all", so the harness
+// API must preserve the sign.
+func TestNegativeWarmupPassesThrough(t *testing.T) {
+	o := Options{Warmup: -1}.withDefaults()
+	if o.Warmup != -1 {
+		t.Fatalf("negative warmup became %v", o.Warmup)
+	}
+	if def := (Options{}).withDefaults(); def.Warmup != 50*sim.Millisecond {
+		t.Fatalf("default warmup = %v", def.Warmup)
+	}
+	// End to end: a cell run with negative warmup must reach the workload
+	// with zero warmup and record from the very first completion.
+	opts := Options{CellDuration: 40 * sim.Millisecond, Warmup: -1, Seed: 3, Workers: 1}
+	grid := RunLatencyGridWith(essd1Factory, []workload.Pattern{workload.RandRead},
+		[]int64{4 << 10}, []int{1}, opts)
+	warmed := RunLatencyGridWith(essd1Factory, []workload.Pattern{workload.RandRead},
+		[]int64{4 << 10}, []int{1},
+		Options{CellDuration: 40 * sim.Millisecond, Warmup: 20 * sim.Millisecond, Seed: 3, Workers: 1})
+	if grid.Cells[0].Ops <= warmed.Cells[0].Ops {
+		t.Fatalf("no-warmup cell recorded %d ops, warmed cell %d: warmup not disabled",
+			grid.Cells[0].Ops, warmed.Cells[0].Ops)
+	}
 }
 
 func runOne(d blockdev.Device, op blockdev.Op, off, size int64) sim.Duration {

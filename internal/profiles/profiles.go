@@ -204,6 +204,22 @@ func GP2Config() essd.Config {
 	return cfg
 }
 
+// GP2SmallConfig returns a small burstable (gp2-like) volume: as on real
+// burstable tiers, a smaller volume earns credits more slowly and peaks
+// lower, so its credits exhaust sooner under the same offered load. Paired
+// with GP2Config it gives burst-credit scenario sweeps a second burstable
+// device axis value.
+func GP2SmallConfig() essd.Config {
+	cfg := GP2Config()
+	cfg.Name = "ESSD (AWS gp2 small)"
+	cfg.ThroughputBudget = 0.5e9 // burst ceiling
+	cfg.BudgetBurst = 4 << 20
+	cfg.IOPSBudget = 8000
+	cfg.BurstBaseline = 0.1e9
+	cfg.BurstCreditBytes = 4 << 30 / CapacityScale * 8 // half the gp2 bank
+	return cfg
+}
+
 // NewESSD1 builds the ESSD-1 device on the engine.
 func NewESSD1(eng *sim.Engine, rng *sim.RNG) *essd.ESSD {
 	return essd.New(eng, ESSD1Config(), rng)
@@ -233,12 +249,14 @@ func ByName(name string, eng *sim.Engine, rng *sim.RNG) (blockdev.Device, error)
 		return essd.New(eng, GP3Config(), rng), nil
 	case "gp2":
 		return essd.New(eng, GP2Config(), rng), nil
+	case "gp2s":
+		return essd.New(eng, GP2SmallConfig(), rng), nil
 	case "pl1":
 		return essd.New(eng, PL1Config(), rng), nil
 	default:
-		return nil, fmt.Errorf("profiles: unknown device %q (want essd1, essd2, ssd, gp3, gp2, pl1)", name)
+		return nil, fmt.Errorf("profiles: unknown device %q (want essd1, essd2, ssd, gp3, gp2, gp2s, pl1)", name)
 	}
 }
 
 // Names lists the valid ByName keys.
-func Names() []string { return []string{"essd1", "essd2", "ssd", "gp3", "gp2", "pl1"} }
+func Names() []string { return []string{"essd1", "essd2", "ssd", "gp3", "gp2", "gp2s", "pl1"} }

@@ -7,7 +7,8 @@ import (
 // CreditBucket models burstable cloud volume tiers (AWS gp2-style burst
 // credits): the volume earns credits at a baseline rate and may spend them
 // above baseline up to a burst ceiling; when the credit balance empties,
-// throughput falls back to baseline. This is the general form of the
+// throughput falls to the sustained floor (see SustainedFloor) as spends
+// queue behind the ongoing baseline earn. This is the general form of the
 // budget machinery behind Observation #4 for the cheaper volume classes.
 type CreditBucket struct {
 	eng *sim.Engine
@@ -22,6 +23,7 @@ type CreditBucket struct {
 
 	spentAboveBase float64
 	exhaustions    uint64
+	firstEmpty     sim.Time // virtual time of the first exhaustion; -1 until then
 }
 
 // NewCreditBucket returns a bucket with a full credit balance.
@@ -36,11 +38,12 @@ func NewCreditBucket(eng *sim.Engine, baseline, burst, capacity float64) *Credit
 		capacity = 0
 	}
 	return &CreditBucket{
-		eng:      eng,
-		baseline: baseline,
-		burst:    burst,
-		capacity: capacity,
-		credits:  capacity,
+		eng:        eng,
+		baseline:   baseline,
+		burst:      burst,
+		capacity:   capacity,
+		credits:    capacity,
+		firstEmpty: -1,
 	}
 }
 
@@ -58,6 +61,31 @@ func (c *CreditBucket) Credits() float64 {
 
 // Exhaustions counts the times the balance hit zero.
 func (c *CreditBucket) Exhaustions() uint64 { return c.exhaustions }
+
+// ExhaustedAt returns the virtual time the balance first hit zero, or -1
+// when it never has. Spends are charged at enqueue time, so the timestamp
+// marks when the exhausting spend was accepted, not when its bytes drained.
+func (c *CreditBucket) ExhaustedAt() sim.Time { return c.firstEmpty }
+
+// SustainedFloor returns the long-run rate (bytes/s) a continuously
+// backlogged workload sustains after exhaustion when spends are charged
+// just in time (a closed feedback loop). Credits earned while draining let
+// a slice of each spend ride the burst rate (each burst byte costs
+// 1-baseline/burst credits), so the floor is min(burst, 2×baseline) rather
+// than the bare baseline. Open-loop schedules that charge their whole
+// backlog at enqueue time earn less between spends and land between
+// baseline and this floor.
+func (c *CreditBucket) SustainedFloor() float64 {
+	if c.capacity <= 0 {
+		// Nothing can bank, so earned credits are lost and the floor is
+		// the bare baseline.
+		return c.baseline
+	}
+	if f := 2 * c.baseline; f < c.burst {
+		return f
+	}
+	return c.burst
+}
 
 // settle accrues earned credits up to now and debits spend bytes consumed
 // above baseline.
@@ -77,6 +105,9 @@ func (c *CreditBucket) settle(spendAboveBase float64) {
 		if c.credits <= 0 {
 			c.credits = 0
 			c.exhaustions++
+			if c.firstEmpty < 0 {
+				c.firstEmpty = now
+			}
 		}
 	}
 }

@@ -110,6 +110,82 @@ func TestAcquireFIFO(t *testing.T) {
 	}
 }
 
+func TestCreditBucketExhaustedAt(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCreditBucket(eng, 100e6, 300e6, 1e9)
+	if c.ExhaustedAt() >= 0 {
+		t.Fatalf("fresh bucket reports exhaustion at %v", c.ExhaustedAt())
+	}
+	c.Spend(100e6) // partial: still credited
+	if c.ExhaustedAt() >= 0 {
+		t.Fatal("partial spend reported exhaustion")
+	}
+	// Drain the rest 2 simulated seconds in.
+	eng.Schedule(2*sim.Second, func() { c.Spend(5e9) })
+	eng.Run()
+	if c.Exhaustions() == 0 {
+		t.Fatal("drain not counted as exhaustion")
+	}
+	if got := c.ExhaustedAt(); got != sim.Time(2*sim.Second) {
+		t.Fatalf("exhausted at %v, want 2s (enqueue-time charge)", got)
+	}
+	// A later exhaustion must not move the first timestamp.
+	eng.Schedule(3*sim.Second, func() { c.Spend(5e9) })
+	eng.Run()
+	if got := c.ExhaustedAt(); got != sim.Time(2*sim.Second) {
+		t.Fatalf("first exhaustion timestamp moved to %v", got)
+	}
+}
+
+func TestSustainedFloor(t *testing.T) {
+	eng := sim.NewEngine()
+	// Baseline below half the burst: floor is 2× baseline.
+	if got := NewCreditBucket(eng, 100e6, 300e6, 1e9).SustainedFloor(); got != 200e6 {
+		t.Fatalf("floor = %v, want 200e6", got)
+	}
+	// Baseline above half the burst: earned credits outpace spends, so the
+	// floor is the burst ceiling itself.
+	if got := NewCreditBucket(eng, 200e6, 300e6, 1e9).SustainedFloor(); got != 300e6 {
+		t.Fatalf("floor = %v, want 300e6", got)
+	}
+	// Zero capacity banks nothing: earned credits are lost, floor is the
+	// bare baseline.
+	if got := NewCreditBucket(eng, 100e6, 300e6, 0).SustainedFloor(); got != 100e6 {
+		t.Fatalf("capacity-0 floor = %v, want baseline", got)
+	}
+}
+
+// TestSustainedFloorMatchesDrain drains a bucket, then drives it with
+// just-in-time spends and checks the measured long-run rate against
+// SustainedFloor.
+func TestSustainedFloorMatchesDrain(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewCreditBucket(eng, 100e6, 400e6, 50e6)
+	c.Spend(200e6) // empty the bank: post-cliff regime
+	if c.Credits() != 0 || c.Exhaustions() == 0 {
+		t.Fatalf("bank not drained: %v credits", c.Credits())
+	}
+	const chunk = 1e6
+	var done int
+	var start, finish sim.Time
+	start = c.nextFree // the drain of the exhausting spend
+	var next func()
+	next = func() {
+		done++
+		finish = eng.Now()
+		if done < 2000 {
+			c.Acquire(chunk, next)
+		}
+	}
+	c.Acquire(chunk, next)
+	eng.Run()
+	measured := 2000 * chunk / finish.Sub(start).Seconds()
+	want := c.SustainedFloor()
+	if measured < 0.95*want || measured > 1.05*want {
+		t.Fatalf("backlogged drain rate %.3g, want ≈ floor %.3g", measured, want)
+	}
+}
+
 func TestCreditBucketDegenerate(t *testing.T) {
 	eng := sim.NewEngine()
 	c := NewCreditBucket(eng, 100e6, 50e6, 0) // burst < baseline: clamped

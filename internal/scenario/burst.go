@@ -1,0 +1,303 @@
+// Package scenario builds opinionated experiment suites on top of the
+// internal/expgrid worker pool. Where internal/harness reproduces the
+// paper's figures, scenario answers the operational questions the figures
+// imply. The first suite targets Observation #4 / Implication #4 on
+// burstable volume tiers: how long do burst credits last under a given
+// write ratio, arrival shape, and offered rate — and how hard is the
+// latency cliff when they run out.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/expgrid"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+	"essdsim/internal/stats"
+	"essdsim/internal/workload"
+)
+
+// BurstSweep declares a burst-credit exhaustion suite: mixed random I/O
+// across write-ratio × arrival-shape × offered-rate on each burstable
+// device, run open-loop so the offered timeline (not device back-pressure)
+// drives credit consumption. Zero-valued fields take defaults.
+type BurstSweep struct {
+	// Devices are the volume tiers under test (default BurstTierDevices).
+	// Non-burstable devices are allowed; their credit columns read as
+	// "not burstable".
+	Devices []expgrid.NamedFactory
+
+	WriteRatiosPct []int              // default 0, 50, 100
+	Arrivals       []workload.Arrival // default Uniform, Bursty
+	RatesPerSec    []float64          // offered req/s (default 1500, 3000)
+
+	BlockSize int64  // bytes per request (default 256 KiB)
+	Ops       uint64 // requests per cell (default 12000)
+
+	Seed    uint64
+	Workers int    // expgrid pool size (0 = GOMAXPROCS)
+	Label   string // seed decorrelation label (default "burst")
+}
+
+func (s BurstSweep) withDefaults() BurstSweep {
+	if len(s.Devices) == 0 {
+		s.Devices = BurstTierDevices()
+	}
+	if len(s.WriteRatiosPct) == 0 {
+		s.WriteRatiosPct = []int{0, 50, 100}
+	}
+	if len(s.Arrivals) == 0 {
+		s.Arrivals = []workload.Arrival{workload.Uniform, workload.Bursty}
+	}
+	if len(s.RatesPerSec) == 0 {
+		s.RatesPerSec = []float64{1500, 3000}
+	}
+	if s.BlockSize <= 0 {
+		s.BlockSize = 256 << 10
+	}
+	if s.Ops == 0 {
+		s.Ops = 12000
+	}
+	if s.Label == "" {
+		s.Label = "burst"
+	}
+	return s
+}
+
+// BurstTierDevices returns the default device axis: the two calibrated
+// burstable tiers (gp2 class and its smaller sibling).
+func BurstTierDevices() []expgrid.NamedFactory {
+	return []expgrid.NamedFactory{
+		{Name: "gp2", New: profileFactory("gp2")},
+		{Name: "gp2s", New: profileFactory("gp2s")},
+	}
+}
+
+func profileFactory(name string) expgrid.Factory {
+	return func(seed uint64) blockdev.Device {
+		dev, err := profiles.ByName(name, sim.NewEngine(), sim.NewRNG(seed, seed^0x5c))
+		if err != nil {
+			panic(err) // expgrid recovers this into CellResult.Err
+		}
+		return dev
+	}
+}
+
+// BurstCell is one measured point of the suite.
+type BurstCell struct {
+	Device        string
+	WriteRatioPct int
+	Arrival       workload.Arrival
+	RatePerSec    float64 // offered requests/s
+	OfferedBps    float64 // offered bytes/s (rate × block size)
+
+	Ops            uint64
+	Bytes          int64
+	Elapsed        sim.Duration
+	Lat            stats.Summary
+	MaxOutstanding int
+
+	// Credit state captured on the still-alive device after the run.
+	Burstable bool
+	// CreditsLeft is the balance when the cell finished draining — spends
+	// are charged at enqueue time, so it includes credits re-earned while
+	// the backlog completed and can sit well above the mid-run trough.
+	CreditsLeft float64
+	Exhaustions uint64       // times the balance hit zero
+	ExhaustedAt sim.Duration // time to first exhaustion; -1 when never
+	Floor       float64      // post-exhaustion sustained bytes/s; -1 if n/a
+	Throttled   bool         // provider flow limiter engaged
+	BudgetStall sim.Duration // cumulative throughput-budget wait
+
+	// The latency cliff: completion-weighted mean latency and throughput
+	// before and after the first exhaustion. Zero/whole-run when the cell
+	// never exhausted.
+	PreCliffLat  sim.Duration
+	PostCliffLat sim.Duration
+	PreCliffBps  float64
+	PostCliffBps float64
+}
+
+// BurstReport is the full suite's measurement.
+type BurstReport struct {
+	BlockSize int64
+	Ops       uint64
+	Cells     []BurstCell
+}
+
+// creditInfo is the post-run device state the sweep's Inspect hook captures
+// on the worker, while the cell's device is still alive.
+type creditInfo struct {
+	burstable   bool
+	credits     float64
+	exhaustions uint64
+	exhaustedAt sim.Time
+	floor       float64
+	throttled   bool
+	stall       sim.Duration
+}
+
+func inspectCredits(dev blockdev.Device, _ expgrid.Cell) any {
+	info := creditInfo{exhaustedAt: -1, floor: -1}
+	if d, ok := dev.(interface{ Burstable() bool }); ok {
+		info.burstable = d.Burstable()
+	}
+	if d, ok := dev.(interface{ Credits() float64 }); ok && info.burstable {
+		info.credits = d.Credits()
+	}
+	if d, ok := dev.(interface{ CreditExhaustions() uint64 }); ok {
+		info.exhaustions = d.CreditExhaustions()
+	}
+	if d, ok := dev.(interface{ CreditExhaustedAt() sim.Time }); ok {
+		info.exhaustedAt = d.CreditExhaustedAt()
+	}
+	if d, ok := dev.(interface{ CreditFloor() float64 }); ok {
+		info.floor = d.CreditFloor()
+	}
+	if d, ok := dev.(interface{ Throttled() bool }); ok {
+		info.throttled = d.Throttled()
+	}
+	if d, ok := dev.(interface{ BudgetStall() sim.Duration }); ok {
+		info.stall = d.BudgetStall()
+	}
+	return info
+}
+
+// RunBurst executes the suite on the expgrid worker pool and folds the
+// cells into a report. Results are deterministic and identical for any
+// worker count. Cancel ctx to stop early.
+func RunBurst(ctx context.Context, s BurstSweep) (*BurstReport, error) {
+	s = s.withDefaults()
+	sw := expgrid.Sweep{
+		Kind:           expgrid.Open,
+		Devices:        s.Devices,
+		Patterns:       []workload.Pattern{workload.Mixed},
+		BlockSizes:     []int64{s.BlockSize},
+		WriteRatiosPct: s.WriteRatiosPct,
+		Arrivals:       s.Arrivals,
+		RatesPerSec:    s.RatesPerSec,
+		OpenOps:        s.Ops,
+		Precondition:   expgrid.PrecondFull, // reads must hit data
+		Inspect:        inspectCredits,
+		Seed:           s.Seed,
+		Label:          s.Label,
+	}
+	results, err := expgrid.Runner{Workers: s.Workers}.Run(ctx, sw)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BurstReport{BlockSize: s.BlockSize, Ops: s.Ops}
+	for _, r := range results {
+		rep.Cells = append(rep.Cells, foldBurstCell(r))
+	}
+	return rep, nil
+}
+
+func foldBurstCell(r expgrid.CellResult) BurstCell {
+	open := r.Open
+	info := r.Info.(creditInfo)
+	// Prefer the short, stable axis name over the device's display name;
+	// the axis name is what a caller sweeps and filters on.
+	name := r.DeviceName
+	if name == "" {
+		name = r.Device
+	}
+	cell := BurstCell{
+		Device:        name,
+		WriteRatioPct: r.WriteRatioPct,
+		Arrival:       r.Arrival,
+		RatePerSec:    r.RatePerSec,
+		OfferedBps:    r.RatePerSec * float64(r.BlockSize),
+
+		Ops:            open.Ops,
+		Bytes:          open.Bytes,
+		Elapsed:        open.Elapsed,
+		Lat:            open.Lat.Summarize(),
+		MaxOutstanding: open.MaxOutstanding,
+
+		Burstable:   info.burstable,
+		CreditsLeft: info.credits,
+		Exhaustions: info.exhaustions,
+		ExhaustedAt: -1,
+		Floor:       info.floor,
+		Throttled:   info.throttled,
+		BudgetStall: info.stall,
+	}
+	n := open.LatSeries.Len()
+	if info.exhaustedAt >= 0 {
+		// The cell's device starts on a fresh engine at time zero and
+		// preconditioning consumes no virtual time, so the exhaustion
+		// timestamp is already relative to the cell start.
+		cell.ExhaustedAt = sim.Duration(info.exhaustedAt)
+		split := int(int64(info.exhaustedAt) / int64(open.LatSeries.Interval()))
+		if split > n {
+			split = n
+		}
+		cell.PreCliffLat = open.LatSeries.MeanRange(0, split)
+		cell.PostCliffLat = open.LatSeries.MeanRange(split, n)
+		cell.PreCliffBps = open.Series.MeanRate(0, split)
+		cell.PostCliffBps = open.Series.MeanRate(split, open.Series.Len())
+	} else {
+		cell.PreCliffLat = open.LatSeries.MeanRange(0, n)
+		cell.PreCliffBps = open.Series.MeanRate(0, open.Series.Len())
+	}
+	return cell
+}
+
+// FormatBurst writes the report as an aligned table: one row per cell with
+// its credit-exhaustion time, post-run credit state, throttle and
+// budget-stall columns, and the pre/post-exhaustion latency cliff.
+func FormatBurst(w io.Writer, r *BurstReport) {
+	fmt.Fprintf(w, "Burst-credit scenario: %d KiB mixed random I/O, %d requests per cell (open loop)\n",
+		r.BlockSize>>10, r.Ops)
+	fmt.Fprintf(w, "%-6s %4s %-8s %9s %9s %9s %9s %10s %10s %10s %10s\n",
+		"device", "wr%", "arrival", "offered", "exhaust@", "credits", "stall",
+		"pre-lat", "post-lat", "pre-MB/s", "post-MB/s")
+	for _, c := range r.Cells {
+		exhaust, credits := "-", "-"
+		if c.Burstable {
+			credits = fmt.Sprintf("%.0fMB", c.CreditsLeft/1e6)
+			if c.ExhaustedAt >= 0 {
+				exhaust = fmt.Sprintf("%.2fs", c.ExhaustedAt.Seconds())
+			} else {
+				exhaust = "never"
+			}
+		}
+		post := "-"
+		postBW := "-"
+		if c.ExhaustedAt >= 0 {
+			post = fmtLat(c.PostCliffLat)
+			postBW = fmt.Sprintf("%.1f", c.PostCliffBps/1e6)
+		}
+		name := c.Device
+		if len(name) > 6 {
+			name = name[:6]
+		}
+		// BudgetStall sums every request's wait on the throughput budget,
+		// so heavy queueing makes it far exceed the wall-clock span.
+		fmt.Fprintf(w, "%-6s %4d %-8s %8.1fM %9s %9s %8.0fs %10s %10s %10.1f %10s",
+			name, c.WriteRatioPct, c.Arrival, c.OfferedBps/1e6, exhaust, credits,
+			c.BudgetStall.Seconds(), fmtLat(c.PreCliffLat), post,
+			c.PreCliffBps/1e6, postBW)
+		if c.Throttled {
+			fmt.Fprint(w, "  THROTTLED")
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fmtLat(d sim.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < sim.Millisecond:
+		return fmt.Sprintf("%.0fµs", d.Seconds()*1e6)
+	case d < sim.Second:
+		return fmt.Sprintf("%.2fms", d.Seconds()*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -106,6 +106,79 @@ func (t *ThroughputSeries) KneeIndex(frac float64, window int) int {
 	return -1
 }
 
+// LatencySeries accumulates completion latencies into fixed-width time
+// buckets keyed by completion time, reporting a mean-latency timeline. It is
+// the measurement behind pre/post-cliff latency comparisons: split the
+// buckets at an event time (credit exhaustion, throttle engagement) and
+// compare the two halves.
+type LatencySeries struct {
+	interval sim.Duration
+	sums     []sim.Duration
+	counts   []uint64
+}
+
+// NewLatencySeries returns a series with the given bucket width.
+func NewLatencySeries(interval sim.Duration) *LatencySeries {
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	return &LatencySeries{interval: interval}
+}
+
+// Interval returns the bucket width.
+func (l *LatencySeries) Interval() sim.Duration { return l.interval }
+
+// Len returns the number of buckets.
+func (l *LatencySeries) Len() int { return len(l.sums) }
+
+// Add records one completion with the given latency at time at.
+func (l *LatencySeries) Add(at sim.Time, lat sim.Duration) {
+	idx := int(int64(at) / int64(l.interval))
+	for len(l.sums) <= idx {
+		l.sums = append(l.sums, 0)
+		l.counts = append(l.counts, 0)
+	}
+	l.sums[idx] += lat
+	l.counts[idx]++
+}
+
+// Count returns the completions recorded in bucket i.
+func (l *LatencySeries) Count(i int) uint64 {
+	if i < 0 || i >= len(l.counts) {
+		return 0
+	}
+	return l.counts[i]
+}
+
+// Mean returns the mean latency of bucket i (0 when empty).
+func (l *LatencySeries) Mean(i int) sim.Duration {
+	if i < 0 || i >= len(l.sums) || l.counts[i] == 0 {
+		return 0
+	}
+	return l.sums[i] / sim.Duration(l.counts[i])
+}
+
+// MeanRange returns the completion-weighted mean latency over buckets
+// [from, to), or 0 when the range holds no completions.
+func (l *LatencySeries) MeanRange(from, to int) sim.Duration {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(l.sums) {
+		to = len(l.sums)
+	}
+	var sum sim.Duration
+	var n uint64
+	for i := from; i < to; i++ {
+		sum += l.sums[i]
+		n += l.counts[i]
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Duration(n)
+}
+
 // Counter is a simple monotonically increasing tally of operations and bytes.
 type Counter struct {
 	Ops   uint64

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"testing"
+
+	"essdsim/internal/sim"
+)
+
+func TestLatencySeriesBuckets(t *testing.T) {
+	l := NewLatencySeries(10 * sim.Millisecond)
+	l.Add(sim.Time(1*sim.Millisecond), 100*sim.Microsecond)
+	l.Add(sim.Time(9*sim.Millisecond), 300*sim.Microsecond)
+	l.Add(sim.Time(25*sim.Millisecond), 1*sim.Millisecond)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if got := l.Count(0); got != 2 {
+		t.Fatalf("bucket 0 count = %d", got)
+	}
+	if got := l.Mean(0); got != 200*sim.Microsecond {
+		t.Fatalf("bucket 0 mean = %v", got)
+	}
+	if got := l.Mean(1); got != 0 {
+		t.Fatalf("empty bucket mean = %v", got)
+	}
+	if got := l.Mean(2); got != sim.Millisecond {
+		t.Fatalf("bucket 2 mean = %v", got)
+	}
+}
+
+func TestLatencySeriesMeanRange(t *testing.T) {
+	l := NewLatencySeries(sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		l.Add(sim.Time(i)*sim.Time(sim.Millisecond), sim.Duration(i+1)*sim.Microsecond)
+	}
+	// Completion-weighted mean over the whole span: (1+..+10)/10 = 5.5 µs,
+	// truncated to 5µs500ns by integer division — compute it exactly.
+	want := sim.Duration(55) * sim.Microsecond / 10
+	if got := l.MeanRange(0, l.Len()); got != want {
+		t.Fatalf("mean range = %v, want %v", got, want)
+	}
+	// Split ranges: first half vs second half.
+	if first, second := l.MeanRange(0, 5), l.MeanRange(5, 10); first >= second {
+		t.Fatalf("range split wrong: %v vs %v", first, second)
+	}
+	// Out-of-range queries clamp; empty ranges are 0.
+	if got := l.MeanRange(-5, 100); got != want {
+		t.Fatalf("clamped range = %v", got)
+	}
+	if got := l.MeanRange(20, 30); got != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+}

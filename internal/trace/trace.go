@@ -116,13 +116,30 @@ func Read(r io.Reader) ([]Record, error) {
 
 // ReplayResult summarizes a trace replay.
 type ReplayResult struct {
-	Device  string
-	Ops     uint64
-	Bytes   int64
+	Device string
+	Ops    uint64
+	Bytes  int64
+	// Elapsed spans replay start to the last completion, so it includes the
+	// drain of whatever was still in flight after the final issue.
 	Elapsed sim.Duration
-	Lat     *stats.Histogram
-	// Stretch is Elapsed divided by the trace's nominal duration: >1 means
-	// the device could not keep up with the traced issue rate.
+	// Nominal is the replay's nominal span: replay start to the last
+	// record's scheduled issue time. Issues never slip (the replay is open
+	// loop), so Nominal is a property of the trace alone.
+	Nominal sim.Duration
+	// Lag is Elapsed - Nominal: how long past the last scheduled issue the
+	// replay ran. A device keeping up shows roughly one request latency;
+	// a backlogged device shows the accumulated queue drain. Unlike
+	// Stretch, Lag is meaningful even for instantaneous traces.
+	Lag sim.Duration
+	Lat *stats.Histogram
+	// MaxOutstanding is the peak number of in-flight requests — the queue
+	// the traced arrival schedule built up on this device.
+	MaxOutstanding int
+	// Stretch is Elapsed divided by Nominal: >1 means completions trailed
+	// the traced issue rate. Because Elapsed includes the final drain, a
+	// device that keeps up perfectly still reports slightly above 1 on
+	// short traces. Stretch is 0 (undefined) when Nominal is 0 — a
+	// single-record or instantaneous-burst trace — in which case use Lag.
 	Stretch float64
 }
 
@@ -135,8 +152,11 @@ func Replay(dev blockdev.Device, recs []Record) *ReplayResult {
 	outstanding := 0
 	for _, rec := range recs {
 		rec := rec
-		outstanding++
 		eng.At(start.Add(rec.At), func() {
+			outstanding++
+			if outstanding > res.MaxOutstanding {
+				res.MaxOutstanding = outstanding
+			}
 			dev.Submit(&blockdev.Request{
 				Op:     rec.Op,
 				Offset: rec.Offset,
@@ -153,10 +173,11 @@ func Replay(dev blockdev.Device, recs []Record) *ReplayResult {
 	eng.Run()
 	res.Elapsed = eng.Now().Sub(start)
 	if len(recs) > 0 {
-		nominal := recs[len(recs)-1].At
-		if nominal > 0 {
-			res.Stretch = float64(res.Elapsed) / float64(nominal)
-		}
+		res.Nominal = recs[len(recs)-1].At
+	}
+	res.Lag = res.Elapsed - res.Nominal
+	if res.Nominal > 0 {
+		res.Stretch = float64(res.Elapsed) / float64(res.Nominal)
 	}
 	return res
 }

@@ -141,4 +141,114 @@ func TestReplayOpenLoopOverlap(t *testing.T) {
 	if res.Elapsed != sim.Duration(sim.Millisecond) {
 		t.Fatalf("open-loop replay serialized: elapsed %v", res.Elapsed)
 	}
+	if res.MaxOutstanding != 2 {
+		t.Fatalf("max outstanding = %d, want 2", res.MaxOutstanding)
+	}
+	// An instantaneous trace has no issue span: Stretch is undefined (0)
+	// and Lag carries the drain time.
+	if res.Nominal != 0 || res.Stretch != 0 {
+		t.Fatalf("instantaneous trace: nominal %v stretch %v", res.Nominal, res.Stretch)
+	}
+	if res.Lag != sim.Duration(sim.Millisecond) {
+		t.Fatalf("lag = %v, want the drain time", res.Lag)
+	}
+}
+
+// TestReplaySingleRecord is the regression test for Stretch's division by
+// the last issue time: a single-record trace must not report a bogus ratio.
+func TestReplaySingleRecord(t *testing.T) {
+	dev := &echoDevice{eng: sim.NewEngine(), lat: 100 * sim.Microsecond}
+	res := Replay(dev, []Record{{At: 0, Op: blockdev.Write, Offset: 0, Size: 4096}})
+	if res.Ops != 1 || res.Stretch != 0 {
+		t.Fatalf("ops=%d stretch=%v", res.Ops, res.Stretch)
+	}
+	if res.Lag != 100*sim.Microsecond {
+		t.Fatalf("lag = %v, want the op's latency", res.Lag)
+	}
+	if res.MaxOutstanding != 1 {
+		t.Fatalf("max outstanding = %d", res.MaxOutstanding)
+	}
+}
+
+func TestReplayNominalAndLag(t *testing.T) {
+	dev := &echoDevice{eng: sim.NewEngine(), lat: 100 * sim.Microsecond}
+	recs := []Record{
+		{At: 0, Op: blockdev.Write, Offset: 0, Size: 4096},
+		{At: sim.Duration(2 * sim.Millisecond), Op: blockdev.Read, Offset: 0, Size: 4096},
+	}
+	res := Replay(dev, recs)
+	if res.Nominal != sim.Duration(2*sim.Millisecond) {
+		t.Fatalf("nominal = %v", res.Nominal)
+	}
+	if res.Lag != 100*sim.Microsecond {
+		t.Fatalf("lag = %v", res.Lag)
+	}
+	want := float64(res.Elapsed) / float64(res.Nominal)
+	if res.Stretch != want {
+		t.Fatalf("stretch = %v, want %v", res.Stretch, want)
+	}
+}
+
+// TestRecorderRoundTripReplay captures a synthetic workload (including a
+// flush) through a Recorder, serializes the trace, reads it back, and
+// replays it on a fresh device: the full write→read→replay path.
+func TestRecorderRoundTripReplay(t *testing.T) {
+	dev := &echoDevice{eng: sim.NewEngine(), lat: 50 * sim.Microsecond}
+	rec := NewRecorder(dev)
+	ops := []struct {
+		op   blockdev.Op
+		off  int64
+		size int64
+	}{
+		{blockdev.Write, 0, 4096},
+		{blockdev.Write, 8192, 8192},
+		{blockdev.Flush, 0, 1},
+		{blockdev.Read, 0, 4096},
+	}
+	for _, o := range ops {
+		rec.Submit(&blockdev.Request{Op: o.op, Offset: o.off, Size: o.size})
+		dev.eng.Run() // space issues 50µs apart (each waits the echo latency)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, rec.Recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(ops))
+	}
+	for i, r := range back {
+		if r != rec.Recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, r, rec.Recs[i])
+		}
+		if r.At != sim.Duration(i)*50*sim.Microsecond {
+			t.Fatalf("record %d issue time %v", i, r.At)
+		}
+	}
+	if back[2].Op != blockdev.Flush {
+		t.Fatalf("flush not preserved: %+v", back[2])
+	}
+
+	fresh := &echoDevice{eng: sim.NewEngine(), lat: 50 * sim.Microsecond}
+	res := Replay(fresh, back)
+	if res.Ops != uint64(len(ops)) {
+		t.Fatalf("replayed %d ops", res.Ops)
+	}
+	var wantBytes int64
+	for _, o := range ops {
+		wantBytes += o.size
+	}
+	if res.Bytes != wantBytes {
+		t.Fatalf("replayed %d bytes, want %d", res.Bytes, wantBytes)
+	}
+	if res.Nominal != 3*50*sim.Microsecond {
+		t.Fatalf("nominal = %v", res.Nominal)
+	}
+	if res.Lag != 50*sim.Microsecond {
+		t.Fatalf("lag = %v", res.Lag)
+	}
 }

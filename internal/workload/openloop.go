@@ -59,12 +59,20 @@ type OpenSpec struct {
 	// Hotspot, when non-nil, skews offsets (random patterns only).
 	Hotspot *Zipf
 
+	// SampleInterval is the bucket width of the result's completion
+	// timelines (default 10 ms).
+	SampleInterval sim.Duration
+
 	Seed uint64
 }
 
 // Validate reports a descriptive error for nonsensical specs.
 func (s OpenSpec) Validate(dev blockdev.Device) error {
 	bs := int64(dev.BlockSize())
+	region := s.Region
+	if region == 0 {
+		region = dev.Capacity()
+	}
 	switch {
 	case s.BlockSize <= 0 || s.BlockSize%bs != 0:
 		return fmt.Errorf("workload: block size %d not a multiple of device block %d", s.BlockSize, bs)
@@ -72,8 +80,13 @@ func (s OpenSpec) Validate(dev blockdev.Device) error {
 		return fmt.Errorf("workload: rate must be positive")
 	case s.Count == 0:
 		return fmt.Errorf("workload: count must be positive")
+	case s.Pattern == Mixed && (s.WriteRatio < 0 || s.WriteRatio > 1):
+		return fmt.Errorf("workload: write ratio %v out of [0,1]", s.WriteRatio)
 	case s.Region < 0 || s.Region > dev.Capacity():
 		return fmt.Errorf("workload: region %d out of range", s.Region)
+	case region < s.BlockSize:
+		// A zero-slot region would panic the offset draw (Int64N(0)).
+		return fmt.Errorf("workload: region %d smaller than one %d-byte I/O", region, s.BlockSize)
 	}
 	return nil
 }
@@ -91,6 +104,22 @@ type OpenResult struct {
 	// MaxOutstanding is the peak number of in-flight requests — the queue
 	// the arrival process built up.
 	MaxOutstanding int
+
+	// Series buckets completed bytes by completion time and LatSeries the
+	// mean latency, both at Spec.SampleInterval width. Splitting them at an
+	// event time (credit exhaustion, throttle engagement) exposes the
+	// before/after cliff of burstable tiers.
+	Series    *stats.ThroughputSeries
+	LatSeries *stats.LatencySeries
+}
+
+// Throughput returns mean completed bytes/s over the elapsed span.
+func (r *OpenResult) Throughput() float64 {
+	secs := r.Elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / secs
 }
 
 // RunOpen executes the open-loop workload, driving the engine until all
@@ -101,7 +130,14 @@ func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
 	}
 	eng := dev.Engine()
 	rng := sim.NewRNG(spec.Seed^0x09e4, spec.Seed+0x11)
-	res := &OpenResult{Spec: spec, Device: dev.Name(), Lat: stats.NewHistogram()}
+	if spec.SampleInterval <= 0 {
+		spec.SampleInterval = 10 * sim.Millisecond
+	}
+	res := &OpenResult{
+		Spec: spec, Device: dev.Name(), Lat: stats.NewHistogram(),
+		Series:    stats.NewThroughputSeries(spec.SampleInterval),
+		LatSeries: stats.NewLatencySeries(spec.SampleInterval),
+	}
 	region := spec.Region
 	if region == 0 {
 		region = dev.Capacity()
@@ -163,7 +199,11 @@ func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
 				Op: opC, Offset: offC, Size: spec.BlockSize,
 				OnComplete: func(r *blockdev.Request, done sim.Time) {
 					outstanding--
-					res.Lat.Record(done.Sub(issueAt))
+					lat := done.Sub(issueAt)
+					rel := sim.Time(done.Sub(start))
+					res.Lat.Record(lat)
+					res.Series.Add(rel, r.Size)
+					res.LatSeries.Add(rel, lat)
 					res.Ops++
 					res.Bytes += r.Size
 				},

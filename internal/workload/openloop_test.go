@@ -15,11 +15,44 @@ func TestOpenSpecValidate(t *testing.T) {
 		{BlockSize: 4096, RatePerSec: 0, Count: 1},
 		{BlockSize: 4096, RatePerSec: 10, Count: 0},
 		{BlockSize: 4096, RatePerSec: 10, Count: 1, Region: 1 << 40},
+		// Zero-slot regions used to reach the offset draw and panic there.
+		{BlockSize: 8192, RatePerSec: 10, Count: 1, Region: 4096},
+		{BlockSize: 2 << 30, RatePerSec: 10, Count: 1}, // block > capacity
+		{Pattern: Mixed, WriteRatio: 1.5, BlockSize: 4096, RatePerSec: 10, Count: 1},
+		{Pattern: Mixed, WriteRatio: -0.1, BlockSize: 4096, RatePerSec: 10, Count: 1},
 	}
 	for i, s := range bad {
 		if err := s.Validate(d); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+	ok := OpenSpec{Pattern: Mixed, WriteRatio: 0.5, BlockSize: 4096, RatePerSec: 10, Count: 1}
+	if err := ok.Validate(d); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestOpenLoopTimelines checks the completion timelines the result carries
+// for cliff analysis: bucketed bytes and mean latency.
+func TestOpenLoopTimelines(t *testing.T) {
+	d := newFake(100 * sim.Microsecond)
+	res := RunOpen(d, OpenSpec{
+		Pattern: RandRead, BlockSize: 4096,
+		RatePerSec: 1000, Arrival: Uniform, Count: 100,
+		SampleInterval: 10 * sim.Millisecond, Seed: 1,
+	})
+	if res.Series.Total() != 100*4096 {
+		t.Fatalf("series total = %d", res.Series.Total())
+	}
+	// 100 req at 1 kHz over 10 ms buckets: 10 completions per bucket.
+	if got := res.LatSeries.Count(0); got != 10 {
+		t.Fatalf("bucket 0 completions = %d, want 10", got)
+	}
+	if got := res.LatSeries.MeanRange(0, res.LatSeries.Len()); got != 100*sim.Microsecond {
+		t.Fatalf("mean latency over timeline = %v", got)
+	}
+	if got := res.Throughput(); got <= 0 {
+		t.Fatalf("throughput = %v", got)
 	}
 }
 

@@ -105,6 +105,9 @@ func (s Spec) Validate(dev blockdev.Device) error {
 		return fmt.Errorf("workload: region %d out of range", s.Region)
 	case s.Region > 0 && s.Region < s.BlockSize:
 		return fmt.Errorf("workload: region smaller than one I/O")
+	case s.Region == 0 && s.BlockSize > dev.Capacity():
+		// A zero-slot region would panic the offset draw (Int64N(0)).
+		return fmt.Errorf("workload: block size %d exceeds device capacity %d", s.BlockSize, dev.Capacity())
 	}
 	return nil
 }
