@@ -13,6 +13,16 @@
 // Comma lists in -device, -rw, -bs, -rate, or -arrival then run as a
 // parallel open-loop sweep over the cross product.
 //
+// A non-zero -slo-p99 switches to latency-SLO search mode: instead of
+// measuring one offered rate, essdbench binary-searches the -slo-range for
+// the highest rate whose steady-state p99 meets the target, reporting both
+// the pre-exhaustion and the post-cliff (credit-floor) SLO-max rates of
+// burstable tiers. With -cache FILE the search's probes persist across
+// invocations.
+//
+// All invalid flag and workload-spec combinations print a diagnostic to
+// stderr and exit non-zero.
+//
 // Examples:
 //
 //	essdbench -device essd1 -rw randwrite -bs 4k -iodepth 1 -runtime 1s
@@ -20,6 +30,7 @@
 //	essdbench -device essd2 -job job.fio
 //	essdbench -device essd1,ssd -rw randwrite,write -bs 4k,64k,256k -iodepth 1,8 -workers 8
 //	essdbench -device gp2,gp2s -rw randwrite -bs 256k -rate 1500,3000 -arrival uniform,bursty -ops 4000
+//	essdbench -device gp2s -rw randwrite -bs 256k -slo-p99 20ms -slo-range 200,3000
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"essdsim"
 	"essdsim/internal/fio"
@@ -37,27 +49,54 @@ import (
 
 func main() {
 	var (
-		device  = flag.String("device", "essd1", "device profile(s): "+strings.Join(essdsim.ProfileNames(), ", "))
-		rw      = flag.String("rw", "randread", "pattern(s): randread, randwrite, read, write, randrw")
-		bs      = flag.String("bs", "4k", "I/O size(s) (k/m suffixes)")
-		iodepth = flag.String("iodepth", "1", "queue depth(s)")
-		runtime = flag.String("runtime", "1s", "measurement duration (simulated)")
-		warmup  = flag.String("warmup", "100ms", "warmup excluded from stats")
-		size    = flag.String("size", "", "stop after this many bytes instead of runtime")
-		mixPct  = flag.Int("rwmixwrite", 50, "write percentage for randrw")
-		seed    = flag.Uint64("seed", 1, "deterministic seed")
-		jobFile = flag.String("job", "", "fio job file (overrides workload flags)")
-		precond = flag.String("precondition", "auto", "auto, full, half, none")
-		rate    = flag.String("rate", "0", "open-loop arrival rate(s) (req/s); 0 = closed loop at -iodepth")
-		arrival = flag.String("arrival", "uniform", "open-loop arrival shape(s): uniform, poisson, bursty")
-		ops     = flag.Uint64("ops", 10000, "open-loop request count per cell (with -rate)")
-		workers = flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
+		device   = flag.String("device", "essd1", "device profile(s): "+strings.Join(essdsim.ProfileNames(), ", "))
+		rw       = flag.String("rw", "randread", "pattern(s): randread, randwrite, read, write, randrw")
+		bs       = flag.String("bs", "4k", "I/O size(s) (k/m suffixes)")
+		iodepth  = flag.String("iodepth", "1", "queue depth(s)")
+		runtime  = flag.String("runtime", "1s", "measurement duration (simulated)")
+		warmup   = flag.String("warmup", "100ms", "warmup excluded from stats")
+		size     = flag.String("size", "", "stop after this many bytes instead of runtime")
+		mixPct   = flag.Int("rwmixwrite", 50, "write percentage for randrw")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		jobFile  = flag.String("job", "", "fio job file (overrides workload flags)")
+		precond  = flag.String("precondition", "auto", "auto, full, half, none")
+		rate     = flag.String("rate", "0", "open-loop arrival rate(s) (req/s); 0 = closed loop at -iodepth")
+		arrival  = flag.String("arrival", "uniform", "open-loop arrival shape(s): uniform, poisson, bursty")
+		ops      = flag.Uint64("ops", 10000, "open-loop request count per cell (with -rate)")
+		workers  = flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS)")
+		sloP99   = flag.Duration("slo-p99", 0, "latency-SLO search mode: find the highest rate with p99 under this")
+		sloP999  = flag.Duration("slo-p999", 0, "additional p99.9 target for the SLO search")
+		sloRange = flag.String("slo-range", "100,4000", "SLO search rate range min,max (req/s)")
+		sloTol   = flag.Float64("slo-tol", 0, "SLO search convergence width in req/s (default range/64)")
+		cacheF   = flag.String("cache", "", "sweep-cache JSON file for SLO probes (loaded if present, saved on exit)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (essdbench takes no positional arguments)", flag.Arg(0)))
+	}
+	if *mixPct < 0 || *mixPct > 100 {
+		fatal(fmt.Errorf("-rwmixwrite %d out of [0, 100]", *mixPct))
+	}
 
 	rates, err := parseRates(*rate)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *sloP99 > 0 || *sloP999 > 0 { // latency-SLO search
+		switch {
+		case *jobFile != "":
+			fatal(fmt.Errorf("-job cannot be combined with -slo-p99 search mode"))
+		case *size != "":
+			fatal(fmt.Errorf("-size cannot be combined with -slo-p99 search mode"))
+		case len(rates) > 0:
+			fatal(fmt.Errorf("-rate cannot be combined with -slo-p99; the search picks the rates"))
+		case strings.ContainsRune(*device+*rw+*bs+*arrival+*iodepth, ','):
+			fatal(fmt.Errorf("-slo-p99 search mode takes no axis lists: a single device, pattern, size, and arrival"))
+		}
+		runSLOSearch(*device, *rw, *bs, *arrival, *sloRange, *sloTol,
+			*sloP99, *sloP999, *ops, *mixPct, *precond, *seed, *cacheF)
+		return
 	}
 
 	if len(rates) > 0 { // open loop
@@ -66,6 +105,8 @@ func main() {
 			fatal(fmt.Errorf("-job cannot be combined with -rate (open loop)"))
 		case *size != "":
 			fatal(fmt.Errorf("-size cannot be combined with -rate; use -ops"))
+		case strings.ContainsRune(*iodepth, ','):
+			fatal(fmt.Errorf("-iodepth lists are a closed-loop axis; they cannot be combined with -rate"))
 		}
 		if strings.ContainsRune(*device+*rw+*bs+*rate+*arrival, ',') {
 			runOpenSweep(*device, *rw, *bs, *arrival, rates, *ops, *mixPct, *precond, *seed, *workers)
@@ -108,6 +149,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if len(jobs) == 0 {
+			fatal(fmt.Errorf("job file %s defines no jobs", *jobFile))
+		}
 	} else {
 		pattern, err := workload.ParsePattern(*rw)
 		if err != nil {
@@ -149,6 +193,13 @@ func main() {
 	mode, err := parsePrecond(*precond)
 	if err != nil {
 		fatal(err)
+	}
+	// Validate every job before running any: workload.Run panics on a bad
+	// spec, and a panic's stack trace is no way to report a flag typo.
+	for _, job := range jobs {
+		if err := job.Spec.Validate(dev); err != nil {
+			fatal(fmt.Errorf("job %s: %w", job.Name, err))
+		}
 	}
 	for _, job := range jobs {
 		switch mode {
@@ -198,6 +249,76 @@ func parseArrival(s string) (workload.Arrival, error) {
 		return workload.Bursty, nil
 	default:
 		return 0, fmt.Errorf("unknown -arrival %q", s)
+	}
+}
+
+// runSLOSearch binary-searches offered rate for the highest rate whose
+// steady-state tail latency meets the target, on one device profile.
+func runSLOSearch(device, rws, sizes, arrivals, rateRange string, tol float64,
+	p99, p999 time.Duration, ops uint64, mixPct int, precond string, seed uint64, cacheFile string) {
+	pattern, err := workload.ParsePattern(rws)
+	if err != nil {
+		fatal(err)
+	}
+	blockSize, err := fio.ParseSize(sizes)
+	if err != nil {
+		fatal(err)
+	}
+	arr, err := parseArrival(arrivals)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parsePrecond(precond)
+	if err != nil {
+		fatal(err)
+	}
+	parts := strings.Split(rateRange, ",")
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("-slo-range wants min,max (req/s), got %q", rateRange))
+	}
+	minRate, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	maxRate, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil || minRate <= 0 || maxRate <= minRate {
+		fatal(fmt.Errorf("bad -slo-range %q (want 0 < min < max)", rateRange))
+	}
+
+	var cache *essdsim.SweepCache
+	if cacheFile != "" {
+		cache = essdsim.NewSweepCache(0)
+		if err := cache.LoadFile(cacheFile); err != nil {
+			fatal(err)
+		}
+	}
+	search := essdsim.SLOSearch{
+		Device:        essdsim.ProfileDevices(device)[0],
+		Pattern:       pattern,
+		BlockSize:     blockSize,
+		WriteRatioPct: mixPct,
+		Arrival:       arr,
+		MinRate:       minRate,
+		MaxRate:       maxRate,
+		Tolerance:     tol,
+		Target: essdsim.SLOTarget{
+			P99:  essdsim.Duration(p99.Nanoseconds()),
+			P999: essdsim.Duration(p999.Nanoseconds()),
+		},
+		MaxOps:       ops * 6, // -ops bounds one probe's nominal length
+		Precondition: mode,
+		Cache:        cache,
+		Seed:         seed,
+	}
+	if search.MaxOps == 0 {
+		search.MaxOps = 60000
+	}
+	rep, err := essdsim.SearchSLO(context.Background(), search)
+	if err != nil {
+		fatal(err)
+	}
+	essdsim.FormatSLOReport(os.Stdout, rep)
+	if cache != nil {
+		if err := cache.SaveFile(cacheFile); err != nil {
+			fatal(err)
+		}
 	}
 }
 

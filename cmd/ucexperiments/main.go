@@ -1,18 +1,24 @@
 // Command ucexperiments regenerates the paper's evaluation artifacts
 // (Table I and Figures 2-5) on the simulated devices and prints them in the
-// paper's layout, plus the burst-credit scenario suite behind
-// Observation #4 on the burstable tiers. Optionally dumps raw CSV series
-// for plotting.
+// paper's layout, plus the burst-credit scenario suite and the latency-SLO
+// search behind Observation #4 on the burstable tiers. Optionally dumps
+// raw CSV series for plotting (docs/formats.md describes the schemas).
 //
 // Experiment cells run concurrently on an internal/expgrid worker pool
 // (-workers, default GOMAXPROCS); results are deterministic and identical
-// to a serial run regardless of worker count.
+// to a serial run regardless of worker count. With -cache FILE, burst and
+// SLO cells are memoized in a persistent sweep cache: a repeat run loads
+// the file and executes zero new cells, reproducing the same measurements
+// and byte-identical -out CSV dumps (the text output annotates
+// cache-served probes).
 //
 // Examples:
 //
 //	ucexperiments -exp table1
 //	ucexperiments -exp fig2 -quick
 //	ucexperiments -exp burst -quick
+//	ucexperiments -exp slo -slo-p99 20ms -out results/
+//	ucexperiments -exp slo -quick -cache sweepcache.json
 //	ucexperiments -exp all -out results/ -workers 8
 package main
 
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"essdsim/internal/blockdev"
 	"essdsim/internal/expgrid"
@@ -29,6 +36,8 @@ import (
 	"essdsim/internal/profiles"
 	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
+	"essdsim/internal/slo"
+	"essdsim/internal/workload"
 )
 
 func factory(name string, seed uint64) harness.Factory {
@@ -43,13 +52,28 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, or all")
-		quick   = flag.Bool("quick", false, "reduced grids for a fast pass")
-		seed    = flag.Uint64("seed", 7, "deterministic seed")
-		out     = flag.String("out", "", "directory for raw CSV dumps (optional)")
-		workers = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
+		exp       = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, or all")
+		quick     = flag.Bool("quick", false, "reduced grids for a fast pass")
+		seed      = flag.Uint64("seed", 7, "deterministic seed")
+		out       = flag.String("out", "", "directory for raw CSV dumps (optional)")
+		workers   = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
+		cacheFile = flag.String("cache", "", "sweep-cache JSON file for burst/slo cells (loaded if present, saved on exit)")
+		sloP99    = flag.Duration("slo-p99", 20*time.Millisecond, "p99 target of the -exp slo search")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ucexperiments: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(1)
+	}
+
+	var cache *expgrid.Cache
+	if *cacheFile != "" {
+		cache = expgrid.NewCache(0)
+		if err := cache.LoadFile(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "ucexperiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	opts := harness.Options{Seed: *seed, Workers: *workers}
 	if *quick {
@@ -142,6 +166,7 @@ func main() {
 				{Name: "gp2", New: factory("gp2", *seed)},
 				{Name: "gp2s", New: factory("gp2s", *seed)},
 			},
+			Cache:   cache,
 			Seed:    *seed,
 			Workers: *workers,
 		}
@@ -157,10 +182,50 @@ func main() {
 		fmt.Println("--- Burst-credit scenario (Observation #4, burstable tiers) ---")
 		scenario.FormatBurst(os.Stdout, rep)
 		fmt.Println()
+		if *out != "" {
+			dumpBurstCSV(*out, rep)
+		}
+	}
+	if want("slo") {
+		ran = true
+		fmt.Println("--- Latency-SLO search (highest rate meeting the target) ---")
+		for _, name := range []string{"gp2", "gp2s"} {
+			search := slo.Search{
+				Device:  expgrid.NamedFactory{Name: name, New: factory(name, *seed)},
+				Pattern: workload.RandWrite,
+				Target:  slo.Target{P99: sim.Duration(sloP99.Nanoseconds())},
+				Cache:   cache,
+				Seed:    *seed,
+			}
+			if *quick {
+				search.MaxRate = 3000
+				search.Tolerance = 100
+				search.Horizon = 3 * sim.Second
+			}
+			rep, err := slo.Run(context.Background(), search)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ucexperiments: %v\n", err)
+				os.Exit(1)
+			}
+			slo.Format(os.Stdout, rep)
+			fmt.Println()
+			if *out != "" {
+				dumpSLOCSV(*out, name, rep)
+			}
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "ucexperiments: unknown -exp %q\n", *exp)
 		os.Exit(1)
+	}
+	if cache != nil {
+		if err := cache.SaveFile(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "ucexperiments: %v\n", err)
+			os.Exit(1)
+		}
+		hits, misses := cache.Stats()
+		fmt.Printf("sweep cache: %d entries, %d hits, %d cells simulated (%s)\n",
+			cache.Len(), hits, misses, *cacheFile)
 	}
 }
 
@@ -203,6 +268,27 @@ func dumpFig5CSV(dir string, results []*harness.MixedResult) {
 	f := csvFile(dir, "fig5.csv")
 	defer f.Close()
 	if err := harness.WriteFig5CSV(f, results); err != nil {
+		panic(err)
+	}
+}
+
+func dumpBurstCSV(dir string, rep *scenario.BurstReport) {
+	f := csvFile(dir, "burst_cells.csv")
+	if err := scenario.WriteBurstCSV(f, rep); err != nil {
+		panic(err)
+	}
+	f.Close()
+	f = csvFile(dir, "burst_timeline.csv")
+	defer f.Close()
+	if err := scenario.WriteBurstTimelineCSV(f, rep); err != nil {
+		panic(err)
+	}
+}
+
+func dumpSLOCSV(dir, device string, rep *slo.Report) {
+	f := csvFile(dir, fmt.Sprintf("slo_probes_%s.csv", device))
+	defer f.Close()
+	if err := slo.WriteProbesCSV(f, rep); err != nil {
 		panic(err)
 	}
 }

@@ -1,0 +1,56 @@
+package essdsim_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackageDocs is the docs-lint gate: every internal/* package
+// (and the root package) must carry package-level documentation of a
+// non-trivial length. CI runs this test by name, so a new package without
+// a doc comment fails the build, not just the review.
+func TestInternalPackageDocs(t *testing.T) {
+	dirs := []string{"."}
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("internal", e.Name()))
+		}
+	}
+	for _, dir := range dirs {
+		doc := packageDoc(t, dir)
+		if len(doc) < 100 {
+			t.Errorf("package %s has no substantial package documentation (%d chars); add a doc comment or doc.go", dir, len(doc))
+		}
+	}
+}
+
+// packageDoc returns the longest package comment across the directory's
+// non-test files (test-only packages may keep theirs on the _test file).
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	best := ""
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			if strings.HasSuffix(name, "_test.go") && best != "" {
+				continue
+			}
+			if file.Doc != nil && len(file.Doc.Text()) > len(best) {
+				best = file.Doc.Text()
+			}
+		}
+	}
+	return best
+}

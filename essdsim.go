@@ -10,9 +10,18 @@
 //   - a fio-style workload engine with latency histograms and throughput
 //     timelines measured in deterministic virtual time;
 //   - experiment harnesses that regenerate every table and figure of the
-//     paper; and
+//     paper;
 //   - a contract checker that verdicts the paper's four observations on
-//     any device and prints the five implications.
+//     any device and prints the five implications;
+//   - declarative experiment grids (Sweep) executed on a parallel worker
+//     pool with deterministic per-cell seeding, plus a sweep-level result
+//     cache (SweepCache) that memoizes cells across sweeps and persists to
+//     JSON;
+//   - the burst-credit scenario suite (RunBurstScenario) and a latency-SLO
+//     search (SearchSLO) that binary-searches offered rate for the highest
+//     rate meeting a p99/p99.9 target, reporting both the pre-exhaustion
+//     and post-cliff answers of burstable tiers; and
+//   - CSV/JSON exports of every suite for plotting (docs/formats.md).
 //
 // Quick start:
 //
@@ -41,6 +50,7 @@ import (
 	"essdsim/internal/profiles"
 	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
+	"essdsim/internal/slo"
 	"essdsim/internal/ssd"
 	"essdsim/internal/stats"
 	"essdsim/internal/trace"
@@ -300,7 +310,8 @@ type (
 // RunBurstScenario executes a burst-credit scenario sweep; zero-valued
 // BurstSweep fields take defaults (the two calibrated burstable tiers,
 // write ratios 0/50/100, uniform and bursty arrivals). Results are
-// deterministic for any worker count.
+// deterministic for any worker count, and a cache-warm re-run (BurstSweep.Cache)
+// is byte-identical to a cold one.
 func RunBurstScenario(ctx context.Context, s BurstSweep) (*BurstReport, error) {
 	return scenario.RunBurst(ctx, s)
 }
@@ -308,9 +319,61 @@ func RunBurstScenario(ctx context.Context, s BurstSweep) (*BurstReport, error) {
 // FormatBurstReport writes the scenario report as an aligned table.
 func FormatBurstReport(w io.Writer, r *BurstReport) { scenario.FormatBurst(w, r) }
 
+// WriteBurstCSV dumps the scenario report as one CSV row per cell; see
+// docs/formats.md for the schema.
+func WriteBurstCSV(w io.Writer, r *BurstReport) error { return scenario.WriteBurstCSV(w, r) }
+
+// WriteBurstTimelineCSV dumps every cell's per-interval completion
+// timeline as CSV; see docs/formats.md for the schema.
+func WriteBurstTimelineCSV(w io.Writer, r *BurstReport) error {
+	return scenario.WriteBurstTimelineCSV(w, r)
+}
+
 // BurstTierDevices returns the default burstable device axis for a
 // BurstSweep or an open-loop Sweep.
 func BurstTierDevices() []NamedFactory { return scenario.BurstTierDevices() }
+
+// Sweep-result caching: a SweepCache memoizes cell results across sweeps
+// and searches, keyed by the cell's coordinate hash plus a fingerprint of
+// the sweep's result-shaping settings. Attach one via Sweep.Cache,
+// BurstSweep.Cache, or SLOSearch.Cache; persist it with SaveFile/LoadFile.
+type SweepCache = expgrid.Cache
+
+// NewSweepCache returns an empty result cache holding at most capacity
+// entries (a sensible default when capacity <= 0).
+func NewSweepCache(capacity int) *SweepCache { return expgrid.NewCache(capacity) }
+
+// Latency-SLO search types: binary-searching offered rate for the highest
+// rate whose steady-state tail latency meets a target, reporting both the
+// pre-exhaustion and the post-cliff (credit-floor) answers.
+type (
+	// SLOSearch declares one search: device × workload spec, rate range,
+	// and latency target.
+	SLOSearch = slo.Search
+	// SLOTarget is the tail-latency objective (p99 and/or p99.9).
+	SLOTarget = slo.Target
+	// SLOReport is a completed search with both SLO-max rates and every
+	// probe.
+	SLOReport = slo.Report
+	// SLOProbe is one evaluated rate of a search.
+	SLOProbe = slo.Probe
+)
+
+// SearchSLO runs a latency-SLO search. Probes repeat coordinates, so
+// attach a SweepCache to skip re-simulation; a cache-warm repeat run
+// executes zero new cells and reproduces identical measurements and CSV
+// output (only the SLOProbe.Cached / SLOReport.CellsRun bookkeeping
+// records the difference).
+func SearchSLO(ctx context.Context, s SLOSearch) (*SLOReport, error) {
+	return slo.Run(ctx, s)
+}
+
+// FormatSLOReport writes a human-readable search report.
+func FormatSLOReport(w io.Writer, r *SLOReport) { slo.Format(w, r) }
+
+// WriteSLOProbesCSV dumps the search's probes as CSV; see docs/formats.md
+// for the schema.
+func WriteSLOProbesCSV(w io.Writer, r *SLOReport) error { return slo.WriteProbesCSV(w, r) }
 
 // Contract checker types.
 type (

@@ -186,6 +186,25 @@ func (e *ESSD) CreditFloor() float64 {
 	return e.credits.SustainedFloor()
 }
 
+// CreditBaseline returns the continuous credit-earn rate in bytes/s, or -1
+// when the tier is not burstable. Together with CreditBurst it lets SLO
+// searches bound the sustainable offered rate analytically.
+func (e *ESSD) CreditBaseline() float64 {
+	if e.credits == nil {
+		return -1
+	}
+	return e.credits.Baseline()
+}
+
+// CreditBurst returns the credit-backed burst ceiling in bytes/s, or -1
+// when the tier is not burstable.
+func (e *ESSD) CreditBurst() float64 {
+	if e.credits == nil {
+		return -1
+	}
+	return e.credits.Burst()
+}
+
 // spendCredits serializes n bytes through the burst-credit rate before
 // done, when the volume is a burstable tier.
 func (e *ESSD) spendCredits(n int64, done func()) {

@@ -36,4 +36,20 @@
 // 1000-cell sweep, with 1 worker or with N. This replaces the old
 // harness scheme of incrementing a shared counter per cell, under which
 // any change to the grid silently re-seeded every cell after it.
+//
+// # Result caching
+//
+// A Sweep with a Cache attached memoizes successful cell results across
+// sweeps: a cell is keyed by its coordinate-hash seed plus a fingerprint
+// of every result-shaping sweep setting (Sweep.Fingerprint), so two sweeps
+// share an entry exactly when the cell would measure byte-identical
+// results. Probing workloads that revisit coordinates — a latency-SLO
+// binary search, a re-run of a whole suite — skip the simulation and
+// return the stored measurement, marked CellResult.Cached. The cache is a
+// bounded LRU, safe for concurrent workers, and persists to JSON
+// (Cache.SaveFile/LoadFile) with deterministic bytes; sweeps that combine
+// persistence with an Inspect hook must also set DecodeInfo so loaded
+// captures can be rehydrated. Two identities live outside the key and must
+// be kept stable by the caller: the factory behind a device name, and the
+// semantics of Inspect — change either together with the sweep Label.
 package expgrid

@@ -120,6 +120,13 @@ type Sweep struct {
 	RatesPerSec []float64
 	OpenOps     uint64
 
+	// OpenSampleInterval overrides the completion-timeline bucket width of
+	// open cells (default 10 ms). OpenWindowPercentiles additionally keeps
+	// a latency histogram per bucket so windowed p99/p99.9 can be read
+	// from the result (see workload.OpenSpec.WindowPercentiles).
+	OpenSampleInterval    sim.Duration
+	OpenWindowPercentiles bool
+
 	// Trace holds the records a TraceReplay sweep replays, identically,
 	// on each device cell.
 	Trace []trace.Record
@@ -144,11 +151,27 @@ type Sweep struct {
 	// anything shared between cells.
 	Inspect func(dev blockdev.Device, c Cell) any
 
+	// Cache, when non-nil, memoizes successful cell results keyed by the
+	// cell seed plus a fingerprint of the sweep's result-shaping settings:
+	// a cell whose coordinates and settings match a cached entry returns
+	// the stored measurement without constructing a device. Results served
+	// from the cache are shared pointers — treat them as read-only.
+	Cache *Cache
+
+	// DecodeInfo rehydrates an Inspect capture loaded from a persisted
+	// cache file (raw JSON in, the same concrete type Inspect returns
+	// out). Sweeps that use both Cache persistence and Inspect must set
+	// it; without it, disk-loaded entries miss and the cell re-runs.
+	DecodeInfo func(raw []byte) (any, error)
+
 	// Seed is the root seed; Label further decorrelates sweeps that share
 	// a root seed and coordinates (e.g. two experiments on one CLI seed).
 	// Both feed CellSeed.
 	Seed  uint64
 	Label string
+
+	// fingerprint memoizes the cache fingerprint; set by withDefaults.
+	fingerprint uint64
 }
 
 func (s Sweep) withDefaults() Sweep {
@@ -163,7 +186,45 @@ func (s Sweep) withDefaults() Sweep {
 	if s.Kind == Open && s.OpenOps == 0 {
 		s.OpenOps = 2000
 	}
+	s.fingerprint = s.fp()
 	return s
+}
+
+// Fingerprint hashes every sweep setting that shapes a cell's measurement
+// but is not part of the cell's coordinates (and hence its seed): the
+// kind, time bounds, preconditioning, open-loop knobs, and the trace
+// content. A Cache entry is shared between two sweeps only when their
+// fingerprints and the cell seeds both match. Zero-valued fields are
+// normalized to their runtime defaults first, so the returned value is
+// exactly what the runner keys the cache with.
+func (s Sweep) Fingerprint() uint64 {
+	if s.fingerprint == 0 {
+		s = s.withDefaults()
+	}
+	return s.fingerprint
+}
+
+// fp computes the fingerprint of the (already defaulted) sweep settings.
+func (s Sweep) fp() uint64 {
+	h := newCoordHash()
+	h.str("essdsim-cache-v1")
+	h.word(uint64(s.Kind))
+	h.word(uint64(s.CellDuration))
+	h.word(uint64(int64(s.Warmup) + 1))
+	h.word(math.Float64bits(s.CapMultiple))
+	h.word(uint64(s.Precondition))
+	h.word(s.OpenOps)
+	h.word(uint64(s.OpenSampleInterval))
+	if s.OpenWindowPercentiles {
+		h.str("winpct")
+	}
+	for _, r := range s.Trace {
+		h.word(uint64(r.At))
+		h.word(uint64(r.Op))
+		h.word(uint64(r.Offset))
+		h.word(uint64(r.Size))
+	}
+	return h.finish()
 }
 
 // Validate reports a descriptive error for empty or nonsensical axes of
@@ -252,7 +313,8 @@ type CellResult struct {
 	Res    *workload.Result
 	Open   *workload.OpenResult
 	Replay *trace.ReplayResult
-	Info   any // Sweep.Inspect's capture of post-run device state, or nil
+	Info   any  // Sweep.Inspect's capture of post-run device state, or nil
+	Cached bool // served from Sweep.Cache instead of a fresh simulation
 	Err    error
 }
 
@@ -439,11 +501,19 @@ func TraceCellSeed(root uint64, label, device string) uint64 {
 // into CellResult.Err so one bad cell fails the sweep cleanly instead of
 // killing the worker pool.
 func (s Sweep) run(c Cell) (out CellResult) {
+	if s.Cache != nil {
+		if res, ok := s.Cache.lookup(s.fingerprint, c, s.Inspect != nil, s.DecodeInfo); ok {
+			return res
+		}
+	}
 	out = CellResult{Cell: c}
 	defer func() {
 		if p := recover(); p != nil {
 			out.Err = fmt.Errorf("expgrid: cell %d (%s): %v", c.Index, c.describe(), p)
 			out.Res, out.Open, out.Replay = nil, nil, nil
+		}
+		if s.Cache != nil && out.Err == nil {
+			s.Cache.store(s.fingerprint, out)
 		}
 	}()
 	dev := s.Devices[c.DeviceIndex].New(c.Seed)
@@ -461,12 +531,14 @@ func (s Sweep) run(c Cell) (out CellResult) {
 	switch s.Kind {
 	case Open:
 		spec := workload.OpenSpec{
-			Pattern:    c.Pattern,
-			BlockSize:  c.BlockSize,
-			RatePerSec: c.RatePerSec,
-			Arrival:    c.Arrival,
-			Count:      s.OpenOps,
-			Seed:       c.Seed,
+			Pattern:           c.Pattern,
+			BlockSize:         c.BlockSize,
+			RatePerSec:        c.RatePerSec,
+			Arrival:           c.Arrival,
+			Count:             s.OpenOps,
+			SampleInterval:    s.OpenSampleInterval,
+			WindowPercentiles: s.OpenWindowPercentiles,
+			Seed:              c.Seed,
 		}
 		if c.WriteRatioPct >= 0 {
 			spec.WriteRatio = float64(c.WriteRatioPct) / 100

@@ -1,0 +1,28 @@
+package qos_test
+
+import (
+	"fmt"
+
+	"essdsim/internal/qos"
+	"essdsim/internal/sim"
+)
+
+// ExampleCreditBucket shows the burstable-tier arithmetic on exact
+// numbers: a bucket earning 100 B/s with a 400 B/s burst ceiling and a
+// 1000-credit bank. Each byte served at the burst rate costs
+// 1 - 100/400 = 0.75 credits, so the bank covers 1333⅓ burst bytes
+// (3⅓ s at 400 B/s); the remaining 666⅔ bytes of a 2000-byte spend move
+// at baseline (6⅔ s) — 10 s in total. After exhaustion a backlogged
+// closed loop sustains min(burst, 2×baseline) = 200 B/s.
+func ExampleCreditBucket() {
+	eng := sim.NewEngine()
+	b := qos.NewCreditBucket(eng, 100, 400, 1000)
+
+	fmt.Printf("floor=%v B/s\n", b.SustainedFloor())
+	fmt.Printf("spend(2000)=%v\n", b.Spend(2000))
+	fmt.Printf("exhausted at %v, credits left %v\n", b.ExhaustedAt(), b.Credits())
+	// Output:
+	// floor=200 B/s
+	// spend(2000)=10.000s
+	// exhausted at 0, credits left 0
+}

@@ -1,7 +1,3 @@
-// Package qos implements the provider-side quality-of-service machinery of
-// an ESSD volume: token buckets for the provisioned throughput and IOPS
-// budgets, and the flow limiter the paper speculates providers engage when
-// background cleaning can no longer hide GC (Observation #2, #4).
 package qos
 
 import (

@@ -1,0 +1,118 @@
+// Package results renders experiment measurements as machine-readable
+// tables for plotting and downstream analysis. A Table is an ordered list
+// of named columns plus string rows; WriteCSV and WriteJSON emit it as
+// RFC 4180 CSV (header row first) or as a JSON array of objects with keys
+// in column order. All value formatting goes through the helpers in this
+// package, which are locale-free and deterministic — two runs that measure
+// identical numbers serialize to identical bytes, which is what lets the
+// sweep cache promise byte-identical warm re-runs.
+//
+// The package is shared by internal/scenario (burst-suite cell and
+// timeline dumps) and internal/slo (search probe dumps); docs/formats.md
+// documents the concrete schemas.
+package results
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"essdsim/internal/sim"
+)
+
+// Table is an ordered set of columns and rows. Rows must match the column
+// count; AddRow enforces it.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given column order.
+func NewTable(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// AddRow appends one row. It panics when the cell count does not match the
+// column count — a programming error in the table builder, not user input.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("results: table %q row has %d cells, want %d",
+			t.Name, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteCSV emits the table as CSV: one header row of column names, then
+// the data rows.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the table as a JSON array of objects, one per row, with
+// keys in column order. Values stay strings, exactly as they appear in the
+// CSV form, so the two encodings carry identical data.
+func (t *Table) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, row := range t.Rows {
+		sep := ","
+		if i == len(t.Rows)-1 {
+			sep = ""
+		}
+		line := "  {"
+		for j, col := range t.Columns {
+			if j > 0 {
+				line += ","
+			}
+			line += strconv.Quote(col) + ":" + strconv.Quote(row[j])
+		}
+		line += "}" + sep + "\n"
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// Float formats a float64 with the shortest representation that
+// round-trips, the same encoding encoding/json uses.
+func Float(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Int formats a signed integer.
+func Int(v int64) string { return strconv.FormatInt(v, 10) }
+
+// Uint formats an unsigned integer.
+func Uint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// Bool formats a boolean as "true" or "false".
+func Bool(b bool) string { return strconv.FormatBool(b) }
+
+// Seconds formats a duration as fractional seconds. Negative durations
+// (the "never"/"not applicable" sentinels) format as -1.
+func Seconds(d sim.Duration) string {
+	if d < 0 {
+		return "-1"
+	}
+	return Float(d.Seconds())
+}
+
+// Millis formats a duration as fractional milliseconds, -1 for negative
+// sentinels.
+func Millis(d sim.Duration) string {
+	if d < 0 {
+		return "-1"
+	}
+	return Float(d.Seconds() * 1e3)
+}

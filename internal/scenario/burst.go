@@ -1,14 +1,8 @@
-// Package scenario builds opinionated experiment suites on top of the
-// internal/expgrid worker pool. Where internal/harness reproduces the
-// paper's figures, scenario answers the operational questions the figures
-// imply. The first suite targets Observation #4 / Implication #4 on
-// burstable volume tiers: how long do burst credits last under a given
-// write ratio, arrival shape, and offered rate — and how hard is the
-// latency cliff when they run out.
 package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -36,6 +30,12 @@ type BurstSweep struct {
 
 	BlockSize int64  // bytes per request (default 256 KiB)
 	Ops       uint64 // requests per cell (default 12000)
+
+	// Cache, when non-nil, serves already-computed cells from the
+	// sweep-level result cache instead of re-simulating them; a warm
+	// re-run of the same suite executes zero new cells and reports
+	// byte-identical results.
+	Cache *expgrid.Cache
 
 	Seed    uint64
 	Workers int    // expgrid pool size (0 = GOMAXPROCS)
@@ -119,51 +119,90 @@ type BurstCell struct {
 	PostCliffLat sim.Duration
 	PreCliffBps  float64
 	PostCliffBps float64
+
+	// Timeline is the cell's per-interval completion record (10 ms
+	// buckets): plotted, it is the latency cliff itself. WriteBurstTimelineCSV
+	// dumps it across all cells.
+	Timeline []TimelinePoint
+}
+
+// TimelinePoint is one sample interval of a cell's completion timeline.
+type TimelinePoint struct {
+	Start       sim.Duration // interval start, relative to cell start
+	Bytes       int64        // bytes completed in the interval
+	Completions uint64       // requests completed in the interval
+	MeanLat     sim.Duration // mean latency of those completions (0 if none)
 }
 
 // BurstReport is the full suite's measurement.
 type BurstReport struct {
 	BlockSize int64
 	Ops       uint64
-	Cells     []BurstCell
+	// SampleInterval is the bucket width of every cell's Timeline.
+	SampleInterval sim.Duration
+	Cells          []BurstCell
 }
 
-// creditInfo is the post-run device state the sweep's Inspect hook captures
-// on the worker, while the cell's device is still alive.
-type creditInfo struct {
-	burstable   bool
-	credits     float64
-	exhaustions uint64
-	exhaustedAt sim.Time
-	floor       float64
-	throttled   bool
-	stall       sim.Duration
+// CreditInfo is the post-run credit and throttle state InspectCredits
+// captures on the worker, while the cell's device is still alive. It is
+// the Inspect payload of every credit-aware suite (burst scenarios, SLO
+// searches) and is JSON-round-trippable so cached cells survive
+// persistence (see DecodeCreditInfo).
+type CreditInfo struct {
+	Burstable   bool         `json:"burstable"`
+	Credits     float64      `json:"credits"`
+	Exhaustions uint64       `json:"exhaustions"`
+	ExhaustedAt sim.Time     `json:"exhausted_at"` // -1 when never exhausted
+	Floor       float64      `json:"floor"`        // -1 when not burstable
+	Baseline    float64      `json:"baseline"`     // credit-earn bytes/s; -1 when not burstable
+	Burst       float64      `json:"burst"`        // burst-ceiling bytes/s; -1 when not burstable
+	Throttled   bool         `json:"throttled"`
+	Stall       sim.Duration `json:"stall"`
 }
 
-func inspectCredits(dev blockdev.Device, _ expgrid.Cell) any {
-	info := creditInfo{exhaustedAt: -1, floor: -1}
+// InspectCredits is an expgrid Inspect hook capturing a CreditInfo from
+// whatever credit interfaces the cell's device implements. Non-burstable
+// devices report the -1 sentinels.
+func InspectCredits(dev blockdev.Device, _ expgrid.Cell) any {
+	info := CreditInfo{ExhaustedAt: -1, Floor: -1, Baseline: -1, Burst: -1}
 	if d, ok := dev.(interface{ Burstable() bool }); ok {
-		info.burstable = d.Burstable()
+		info.Burstable = d.Burstable()
 	}
-	if d, ok := dev.(interface{ Credits() float64 }); ok && info.burstable {
-		info.credits = d.Credits()
+	if d, ok := dev.(interface{ Credits() float64 }); ok && info.Burstable {
+		info.Credits = d.Credits()
 	}
 	if d, ok := dev.(interface{ CreditExhaustions() uint64 }); ok {
-		info.exhaustions = d.CreditExhaustions()
+		info.Exhaustions = d.CreditExhaustions()
 	}
 	if d, ok := dev.(interface{ CreditExhaustedAt() sim.Time }); ok {
-		info.exhaustedAt = d.CreditExhaustedAt()
+		info.ExhaustedAt = d.CreditExhaustedAt()
 	}
 	if d, ok := dev.(interface{ CreditFloor() float64 }); ok {
-		info.floor = d.CreditFloor()
+		info.Floor = d.CreditFloor()
+	}
+	if d, ok := dev.(interface{ CreditBaseline() float64 }); ok {
+		info.Baseline = d.CreditBaseline()
+	}
+	if d, ok := dev.(interface{ CreditBurst() float64 }); ok {
+		info.Burst = d.CreditBurst()
 	}
 	if d, ok := dev.(interface{ Throttled() bool }); ok {
-		info.throttled = d.Throttled()
+		info.Throttled = d.Throttled()
 	}
 	if d, ok := dev.(interface{ BudgetStall() sim.Duration }); ok {
-		info.stall = d.BudgetStall()
+		info.Stall = d.BudgetStall()
 	}
 	return info
+}
+
+// DecodeCreditInfo is the expgrid DecodeInfo hook matching InspectCredits:
+// it rehydrates a persisted CreditInfo from its JSON form.
+func DecodeCreditInfo(raw []byte) (any, error) {
+	var info CreditInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return nil, err
+	}
+	return info, nil
 }
 
 // RunBurst executes the suite on the expgrid worker pool and folds the
@@ -181,7 +220,9 @@ func RunBurst(ctx context.Context, s BurstSweep) (*BurstReport, error) {
 		RatesPerSec:    s.RatesPerSec,
 		OpenOps:        s.Ops,
 		Precondition:   expgrid.PrecondFull, // reads must hit data
-		Inspect:        inspectCredits,
+		Inspect:        InspectCredits,
+		Cache:          s.Cache,
+		DecodeInfo:     DecodeCreditInfo,
 		Seed:           s.Seed,
 		Label:          s.Label,
 	}
@@ -191,6 +232,9 @@ func RunBurst(ctx context.Context, s BurstSweep) (*BurstReport, error) {
 	}
 	rep := &BurstReport{BlockSize: s.BlockSize, Ops: s.Ops}
 	for _, r := range results {
+		if rep.SampleInterval == 0 {
+			rep.SampleInterval = r.Open.Series.Interval()
+		}
 		rep.Cells = append(rep.Cells, foldBurstCell(r))
 	}
 	return rep, nil
@@ -198,7 +242,7 @@ func RunBurst(ctx context.Context, s BurstSweep) (*BurstReport, error) {
 
 func foldBurstCell(r expgrid.CellResult) BurstCell {
 	open := r.Open
-	info := r.Info.(creditInfo)
+	info := r.Info.(CreditInfo)
 	// Prefer the short, stable axis name over the device's display name;
 	// the axis name is what a caller sweeps and filters on.
 	name := r.DeviceName
@@ -218,21 +262,21 @@ func foldBurstCell(r expgrid.CellResult) BurstCell {
 		Lat:            open.Lat.Summarize(),
 		MaxOutstanding: open.MaxOutstanding,
 
-		Burstable:   info.burstable,
-		CreditsLeft: info.credits,
-		Exhaustions: info.exhaustions,
+		Burstable:   info.Burstable,
+		CreditsLeft: info.Credits,
+		Exhaustions: info.Exhaustions,
 		ExhaustedAt: -1,
-		Floor:       info.floor,
-		Throttled:   info.throttled,
-		BudgetStall: info.stall,
+		Floor:       info.Floor,
+		Throttled:   info.Throttled,
+		BudgetStall: info.Stall,
 	}
 	n := open.LatSeries.Len()
-	if info.exhaustedAt >= 0 {
+	if info.ExhaustedAt >= 0 {
 		// The cell's device starts on a fresh engine at time zero and
 		// preconditioning consumes no virtual time, so the exhaustion
 		// timestamp is already relative to the cell start.
-		cell.ExhaustedAt = sim.Duration(info.exhaustedAt)
-		split := int(int64(info.exhaustedAt) / int64(open.LatSeries.Interval()))
+		cell.ExhaustedAt = sim.Duration(info.ExhaustedAt)
+		split := int(int64(info.ExhaustedAt) / int64(open.LatSeries.Interval()))
 		if split > n {
 			split = n
 		}
@@ -243,6 +287,20 @@ func foldBurstCell(r expgrid.CellResult) BurstCell {
 	} else {
 		cell.PreCliffLat = open.LatSeries.MeanRange(0, n)
 		cell.PreCliffBps = open.Series.MeanRate(0, open.Series.Len())
+	}
+	points := open.Series.Len()
+	if n > points {
+		points = n
+	}
+	interval := open.Series.Interval()
+	cell.Timeline = make([]TimelinePoint, points)
+	for i := 0; i < points; i++ {
+		cell.Timeline[i] = TimelinePoint{
+			Start:       sim.Duration(i) * interval,
+			Bytes:       open.Series.Bytes(i),
+			Completions: open.LatSeries.Count(i),
+			MeanLat:     open.LatSeries.Mean(i),
+		}
 	}
 	return cell
 }

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"essdsim/internal/expgrid"
+)
+
+func cachedSweep(cache *expgrid.Cache) BurstSweep {
+	return BurstSweep{
+		WriteRatiosPct: []int{50},
+		RatesPerSec:    []float64{3000},
+		Ops:            2000,
+		Cache:          cache,
+		Seed:           7,
+	}
+}
+
+func burstCSVs(t *testing.T, rep *BurstReport) (cells, timeline []byte) {
+	t.Helper()
+	var c, tl bytes.Buffer
+	if err := WriteBurstCSV(&c, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBurstTimelineCSV(&tl, rep); err != nil {
+		t.Fatal(err)
+	}
+	return c.Bytes(), tl.Bytes()
+}
+
+// TestBurstWarmRunByteIdentical asserts that a cache-warm re-run of the
+// burst suite executes zero new cells and dumps byte-identical CSV, both
+// in-process and across a simulated restart (JSON file round trip).
+func TestBurstWarmRunByteIdentical(t *testing.T) {
+	cache := expgrid.NewCache(0)
+	cold, err := RunBurst(context.Background(), cachedSweep(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCells, coldTimeline := burstCSVs(t, cold)
+	if _, misses := cache.Stats(); misses != uint64(len(cold.Cells)) {
+		t.Fatalf("cold run missed %d times, want %d", misses, len(cold.Cells))
+	}
+
+	warm, err := RunBurst(context.Background(), cachedSweep(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if got := hits; got != uint64(len(cold.Cells)) {
+		t.Fatalf("warm run hit %d cells, want %d (misses %d)", got, len(cold.Cells), misses)
+	}
+	if misses != uint64(len(cold.Cells)) {
+		t.Fatalf("warm run executed %d new cells, want 0", misses-uint64(len(cold.Cells)))
+	}
+	warmCells, warmTimeline := burstCSVs(t, warm)
+	if !bytes.Equal(coldCells, warmCells) {
+		t.Fatal("cell CSV differs between cold and warm run")
+	}
+	if !bytes.Equal(coldTimeline, warmTimeline) {
+		t.Fatal("timeline CSV differs between cold and warm run")
+	}
+
+	// Restart: persist, reload into a fresh cache, re-run.
+	path := filepath.Join(t.TempDir(), "burstcache.json")
+	if err := cache.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := expgrid.NewCache(0)
+	if err := reloaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunBurst(context.Background(), cachedSweep(reloaded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := reloaded.Stats(); misses != 0 {
+		t.Fatalf("restart-warm run executed %d new cells, want 0", misses)
+	}
+	againCells, againTimeline := burstCSVs(t, again)
+	if !bytes.Equal(coldCells, againCells) || !bytes.Equal(coldTimeline, againTimeline) {
+		t.Fatal("CSV differs after cache persistence round trip")
+	}
+}

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"io"
+
+	"essdsim/internal/results"
+	"essdsim/internal/sim"
+)
+
+// BurstCellsTable renders the suite as one row per cell: coordinates,
+// credit state, throttle/stall columns, and the pre/post-cliff latency and
+// throughput split. Schema documented in docs/formats.md.
+func BurstCellsTable(r *BurstReport) *results.Table {
+	t := results.NewTable("burst_cells",
+		"device", "write_ratio_pct", "arrival", "rate_per_s", "offered_mbps",
+		"block_size", "ops", "bytes", "elapsed_s",
+		"lat_mean_ms", "lat_p50_ms", "lat_p99_ms", "lat_p999_ms", "lat_max_ms",
+		"max_outstanding",
+		"burstable", "credits_left", "exhaustions", "exhausted_at_s",
+		"floor_bps", "throttled", "budget_stall_s",
+		"pre_cliff_lat_ms", "post_cliff_lat_ms", "pre_cliff_mbps", "post_cliff_mbps",
+	)
+	for _, c := range r.Cells {
+		t.AddRow(
+			c.Device,
+			results.Int(int64(c.WriteRatioPct)),
+			c.Arrival.String(),
+			results.Float(c.RatePerSec),
+			results.Float(c.OfferedBps/1e6),
+			results.Int(r.BlockSize),
+			results.Uint(c.Ops),
+			results.Int(c.Bytes),
+			results.Seconds(c.Elapsed),
+			results.Millis(c.Lat.Mean),
+			results.Millis(c.Lat.P50),
+			results.Millis(c.Lat.P99),
+			results.Millis(c.Lat.P999),
+			results.Millis(c.Lat.Max),
+			results.Int(int64(c.MaxOutstanding)),
+			results.Bool(c.Burstable),
+			results.Float(c.CreditsLeft),
+			results.Uint(c.Exhaustions),
+			results.Seconds(c.ExhaustedAt),
+			results.Float(c.Floor),
+			results.Bool(c.Throttled),
+			results.Seconds(c.BudgetStall),
+			results.Millis(c.PreCliffLat),
+			results.Millis(c.PostCliffLat),
+			results.Float(c.PreCliffBps/1e6),
+			results.Float(c.PostCliffBps/1e6),
+		)
+	}
+	return t
+}
+
+// BurstTimelinesTable renders every cell's per-interval completion
+// timeline: one row per (cell, sample interval), keyed by the cell
+// coordinates. Plot mean_lat_ms against interval_start_s and the credit
+// cliff is the knee. Schema documented in docs/formats.md.
+func BurstTimelinesTable(r *BurstReport) *results.Table {
+	t := results.NewTable("burst_timeline",
+		"device", "write_ratio_pct", "arrival", "rate_per_s",
+		"interval_start_s", "bytes", "mbps", "completions", "mean_lat_ms",
+	)
+	interval := r.SampleInterval
+	if interval <= 0 {
+		interval = 10 * sim.Millisecond
+	}
+	secs := interval.Seconds()
+	for _, c := range r.Cells {
+		for _, p := range c.Timeline {
+			t.AddRow(
+				c.Device,
+				results.Int(int64(c.WriteRatioPct)),
+				c.Arrival.String(),
+				results.Float(c.RatePerSec),
+				results.Seconds(p.Start),
+				results.Int(p.Bytes),
+				results.Float(float64(p.Bytes)/secs/1e6),
+				results.Uint(p.Completions),
+				results.Millis(p.MeanLat),
+			)
+		}
+	}
+	return t
+}
+
+// WriteBurstCSV dumps the per-cell table as CSV.
+func WriteBurstCSV(w io.Writer, r *BurstReport) error {
+	return BurstCellsTable(r).WriteCSV(w)
+}
+
+// WriteBurstTimelineCSV dumps the per-interval timeline table as CSV.
+func WriteBurstTimelineCSV(w io.Writer, r *BurstReport) error {
+	return BurstTimelinesTable(r).WriteCSV(w)
+}

@@ -1,0 +1,30 @@
+// Package scenario builds opinionated experiment suites on top of the
+// internal/expgrid worker pool. Where internal/harness reproduces the
+// paper's figures, scenario answers the operational questions the figures
+// imply.
+//
+// The burst-credit suite (BurstSweep, RunBurst) targets Observation #4 /
+// Implication #4 on burstable volume tiers: mixed random I/O swept across
+// write ratio × arrival shape × offered rate, run open-loop so the offered
+// timeline — not device back-pressure — drives credit consumption. Each
+// cell reports when the tier's burst credits ran out, the post-run credit
+// and throttle state (captured by InspectCredits while the cell's device
+// is still alive), and the latency cliff: completion-weighted latency and
+// throughput before and after the first exhaustion, from the open-loop
+// result's per-interval timelines.
+//
+// # Model assumptions
+//
+// Every cell runs on a fresh, fully written device (reads must hit data)
+// whose engine starts at virtual time zero; preconditioning consumes no
+// virtual time, so credit-exhaustion timestamps are directly comparable
+// across cells. Results are deterministic and identical for any worker
+// count. Attaching an expgrid.Cache (BurstSweep.Cache) makes warm re-runs
+// skip simulation entirely while producing byte-identical reports;
+// CreditInfo is JSON-round-trippable (DecodeCreditInfo) so cached cells
+// survive persistence.
+//
+// Reports render as aligned tables (FormatBurst) or as CSV for plotting
+// (WriteBurstCSV per cell, WriteBurstTimelineCSV per sample interval); the
+// CSV schemas are documented in docs/formats.md.
+package scenario

@@ -1,0 +1,33 @@
+package scenario_test
+
+import (
+	"context"
+	"fmt"
+
+	"essdsim/internal/scenario"
+	"essdsim/internal/workload"
+)
+
+// ExampleRunBurst runs a single-cell burst-credit scenario: the small
+// burstable tier offered 256 KiB writes at twice what its credits can
+// sustain. The suite reports whether (and that) the bank drained and that
+// the post-cliff throughput fell below the pre-cliff burst window.
+func ExampleRunBurst() {
+	rep, err := scenario.RunBurst(context.Background(), scenario.BurstSweep{
+		Devices:        scenario.BurstTierDevices()[1:], // gp2s only
+		WriteRatiosPct: []int{100},
+		Arrivals:       []workload.Arrival{workload.Uniform},
+		RatesPerSec:    []float64{3000},
+		Ops:            6000,
+		Seed:           7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c := rep.Cells[0]
+	fmt.Printf("%s offered %.0f MB/s: burstable=%v exhausted=%v cliff=%v\n",
+		c.Device, c.OfferedBps/1e6, c.Burstable,
+		c.ExhaustedAt >= 0, c.PostCliffBps < c.PreCliffBps)
+	// Output:
+	// gp2s offered 786 MB/s: burstable=true exhausted=true cliff=true
+}

@@ -1,0 +1,47 @@
+package slo
+
+import (
+	"io"
+
+	"essdsim/internal/results"
+)
+
+// ProbesTable renders the search's probes as one row per evaluated rate.
+// The Cached flag is deliberately not a column: a cache-warm search
+// serializes byte-identically to the cold run that populated the cache.
+// Schema documented in docs/formats.md.
+func ProbesTable(r *Report) *results.Table {
+	t := results.NewTable("slo_probes",
+		"device", "pattern", "arrival", "block_size", "rate_per_s", "offered_mbps",
+		"ops", "elapsed_s", "exhausted", "exhausted_at_s",
+		"pre_p99_ms", "pre_p999_ms", "post_p99_ms", "post_p999_ms",
+		"max_outstanding", "pre_pass", "post_pass",
+	)
+	for _, p := range r.Probes {
+		t.AddRow(
+			r.Device,
+			r.Pattern.String(),
+			r.Arrival.String(),
+			results.Int(r.BlockSize),
+			results.Float(p.RatePerSec),
+			results.Float(p.OfferedBps/1e6),
+			results.Uint(p.Ops),
+			results.Seconds(p.Elapsed),
+			results.Bool(p.Exhausted),
+			results.Seconds(p.ExhaustedAt),
+			results.Millis(p.PreP99),
+			results.Millis(p.PreP999),
+			results.Millis(p.PostP99),
+			results.Millis(p.PostP999),
+			results.Int(int64(p.MaxOutstanding)),
+			results.Bool(p.PrePass),
+			results.Bool(p.PostPass),
+		)
+	}
+	return t
+}
+
+// WriteProbesCSV dumps the probe table as CSV.
+func WriteProbesCSV(w io.Writer, r *Report) error {
+	return ProbesTable(r).WriteCSV(w)
+}

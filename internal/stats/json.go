@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"essdsim/internal/sim"
+)
+
+// JSON round-tripping for the measurement types. Persisted sweep caches
+// (expgrid.Cache) store whole workload results, so every field that feeds a
+// summary, percentile, or timeline must survive a marshal/unmarshal cycle
+// exactly: counts are integers, and float64 values round-trip bit-exact
+// through encoding/json's shortest-representation encoding.
+
+// histogramJSON is the wire form of a Histogram. Counts are stored sparsely
+// as [bucket, count] pairs in ascending bucket order, since most of the
+// 2048 log-linear buckets of a typical latency distribution are empty.
+type histogramJSON struct {
+	Counts [][2]int64 `json:"counts,omitempty"`
+	Count  uint64     `json:"count"`
+	Sum    float64    `json:"sum"`
+	Min    int64      `json:"min"`
+	Max    int64      `json:"max"`
+}
+
+// MarshalJSON encodes the histogram with sparse bucket counts.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   int64(h.min),
+		Max:   int64(h.max),
+	}
+	for i, c := range h.counts {
+		if c != 0 {
+			out.Counts = append(out.Counts, [2]int64{int64(i), int64(c)})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a histogram previously encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Histogram{
+		counts: make([]uint32, histogramSlots),
+		count:  in.Count,
+		sum:    in.Sum,
+		min:    sim.Duration(in.Min),
+		max:    sim.Duration(in.Max),
+	}
+	for _, pair := range in.Counts {
+		idx, c := pair[0], pair[1]
+		if idx < 0 || idx >= histogramSlots {
+			return fmt.Errorf("stats: histogram bucket %d out of range", idx)
+		}
+		if c < 0 || c > int64(^uint32(0)) {
+			return fmt.Errorf("stats: histogram count %d out of range", c)
+		}
+		h.counts[idx] = uint32(c)
+	}
+	return nil
+}
+
+// throughputSeriesJSON is the wire form of a ThroughputSeries.
+type throughputSeriesJSON struct {
+	Interval sim.Duration `json:"interval"`
+	Buckets  []int64      `json:"buckets"`
+	Total    int64        `json:"total"`
+}
+
+// MarshalJSON encodes the series' bucket timeline.
+func (t *ThroughputSeries) MarshalJSON() ([]byte, error) {
+	return json.Marshal(throughputSeriesJSON{
+		Interval: t.interval,
+		Buckets:  t.buckets,
+		Total:    t.total,
+	})
+}
+
+// UnmarshalJSON decodes a series previously encoded by MarshalJSON.
+func (t *ThroughputSeries) UnmarshalJSON(data []byte) error {
+	var in throughputSeriesJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Interval <= 0 {
+		in.Interval = sim.Second
+	}
+	*t = ThroughputSeries{interval: in.Interval, buckets: in.Buckets, total: in.Total}
+	return nil
+}
+
+// latencySeriesJSON is the wire form of a LatencySeries. Hists is present
+// only for series built by NewLatencySeriesHist.
+type latencySeriesJSON struct {
+	Interval sim.Duration   `json:"interval"`
+	Sums     []sim.Duration `json:"sums"`
+	Counts   []uint64       `json:"counts"`
+	Hists    []*Histogram   `json:"hists,omitempty"`
+}
+
+// MarshalJSON encodes the series, including per-bucket histograms when the
+// series tracks them.
+func (l *LatencySeries) MarshalJSON() ([]byte, error) {
+	return json.Marshal(latencySeriesJSON{
+		Interval: l.interval,
+		Sums:     l.sums,
+		Counts:   l.counts,
+		Hists:    l.hists,
+	})
+}
+
+// UnmarshalJSON decodes a series previously encoded by MarshalJSON.
+func (l *LatencySeries) UnmarshalJSON(data []byte) error {
+	var in latencySeriesJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Interval <= 0 {
+		in.Interval = sim.Second
+	}
+	if len(in.Sums) != len(in.Counts) {
+		return fmt.Errorf("stats: latency series sums/counts length mismatch (%d vs %d)",
+			len(in.Sums), len(in.Counts))
+	}
+	if in.Hists != nil && len(in.Hists) != len(in.Sums) {
+		return fmt.Errorf("stats: latency series hists length mismatch (%d vs %d)",
+			len(in.Hists), len(in.Sums))
+	}
+	*l = LatencySeries{
+		interval:  in.Interval,
+		sums:      in.Sums,
+		counts:    in.Counts,
+		hists:     in.Hists,
+		trackHist: in.Hists != nil,
+	}
+	return nil
+}

@@ -112,9 +112,11 @@ func (t *ThroughputSeries) KneeIndex(frac float64, window int) int {
 // buckets at an event time (credit exhaustion, throttle engagement) and
 // compare the two halves.
 type LatencySeries struct {
-	interval sim.Duration
-	sums     []sim.Duration
-	counts   []uint64
+	interval  sim.Duration
+	sums      []sim.Duration
+	counts    []uint64
+	hists     []*Histogram // per-bucket distributions; nil unless trackHist
+	trackHist bool
 }
 
 // NewLatencySeries returns a series with the given bucket width.
@@ -124,6 +126,20 @@ func NewLatencySeries(interval sim.Duration) *LatencySeries {
 	}
 	return &LatencySeries{interval: interval}
 }
+
+// NewLatencySeriesHist returns a series that additionally keeps a full
+// latency histogram per bucket, enabling PercentileRange over arbitrary
+// windows. Each non-empty bucket costs a few KiB, so use it for bounded
+// runs (SLO probes) rather than unbounded timelines.
+func NewLatencySeriesHist(interval sim.Duration) *LatencySeries {
+	l := NewLatencySeries(interval)
+	l.trackHist = true
+	return l
+}
+
+// HasHistograms reports whether the series tracks per-bucket histograms
+// (and hence supports PercentileRange).
+func (l *LatencySeries) HasHistograms() bool { return l.trackHist }
 
 // Interval returns the bucket width.
 func (l *LatencySeries) Interval() sim.Duration { return l.interval }
@@ -137,9 +153,18 @@ func (l *LatencySeries) Add(at sim.Time, lat sim.Duration) {
 	for len(l.sums) <= idx {
 		l.sums = append(l.sums, 0)
 		l.counts = append(l.counts, 0)
+		if l.trackHist {
+			l.hists = append(l.hists, nil)
+		}
 	}
 	l.sums[idx] += lat
 	l.counts[idx]++
+	if l.trackHist {
+		if l.hists[idx] == nil {
+			l.hists[idx] = NewHistogram()
+		}
+		l.hists[idx].Record(lat)
+	}
 }
 
 // Count returns the completions recorded in bucket i.
@@ -177,6 +202,43 @@ func (l *LatencySeries) MeanRange(from, to int) sim.Duration {
 		return 0
 	}
 	return sum / sim.Duration(n)
+}
+
+// CountRange returns the completions recorded over buckets [from, to).
+func (l *LatencySeries) CountRange(from, to int) uint64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(l.counts) {
+		to = len(l.counts)
+	}
+	var n uint64
+	for i := from; i < to; i++ {
+		n += l.counts[i]
+	}
+	return n
+}
+
+// PercentileRange returns the latency at quantile p over buckets [from,
+// to). It requires a series built with NewLatencySeriesHist and returns 0
+// when histograms are not tracked or the window holds no completions.
+func (l *LatencySeries) PercentileRange(from, to int, p float64) sim.Duration {
+	if !l.trackHist {
+		return 0
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > len(l.hists) {
+		to = len(l.hists)
+	}
+	merged := NewHistogram()
+	for i := from; i < to; i++ {
+		if l.hists[i] != nil {
+			merged.Merge(l.hists[i])
+		}
+	}
+	return merged.Percentile(p)
 }
 
 // Counter is a simple monotonically increasing tally of operations and bytes.

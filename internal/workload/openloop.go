@@ -63,6 +63,12 @@ type OpenSpec struct {
 	// timelines (default 10 ms).
 	SampleInterval sim.Duration
 
+	// WindowPercentiles keeps a full latency histogram per SampleInterval
+	// bucket so LatSeries.PercentileRange can report p99/p99.9 over
+	// arbitrary windows (pre- vs post-exhaustion). Costs a few KiB per
+	// non-empty bucket; SLO searches turn it on, bulk sweeps need not.
+	WindowPercentiles bool
+
 	Seed uint64
 }
 
@@ -133,10 +139,14 @@ func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
 	if spec.SampleInterval <= 0 {
 		spec.SampleInterval = 10 * sim.Millisecond
 	}
+	newLatSeries := stats.NewLatencySeries
+	if spec.WindowPercentiles {
+		newLatSeries = stats.NewLatencySeriesHist
+	}
 	res := &OpenResult{
 		Spec: spec, Device: dev.Name(), Lat: stats.NewHistogram(),
 		Series:    stats.NewThroughputSeries(spec.SampleInterval),
-		LatSeries: stats.NewLatencySeries(spec.SampleInterval),
+		LatSeries: newLatSeries(spec.SampleInterval),
 	}
 	region := spec.Region
 	if region == 0 {

@@ -1,9 +1,3 @@
-// Package workload generates the paper's FIO-style workloads against a
-// simulated device: the four access patterns (random/sequential ×
-// read/write), mixed read/write ratios, configurable I/O size and queue
-// depth, bounded by duration or volume (§III-A). It runs a closed loop at
-// fixed queue depth and collects latency histograms and a throughput
-// timeline in virtual time.
 package workload
 
 import (
