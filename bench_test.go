@@ -8,6 +8,7 @@
 package essdsim_test
 
 import (
+	"context"
 	"io"
 	"reflect"
 	"testing"
@@ -360,6 +361,34 @@ func BenchmarkFig2Workers(b *testing.B) {
 			b.ReportMetric(identical, "identical")
 		})
 	}
+}
+
+// BenchmarkNeighborSweep measures multi-tenant sweep throughput: a 3-cell
+// noisy-neighbor grid (0/2/4 aggressors on one shared backend per cell).
+// cells/sec is the perf-trajectory metric for shared-backend simulation;
+// the p99.9 inflation metric pins that the interference signal stays
+// present as the simulator evolves.
+//
+// Run: go test -bench=NeighborSweep -benchtime=1x
+func BenchmarkNeighborSweep(b *testing.B) {
+	sweep := essdsim.NeighborSweep{
+		AggressorCounts:      []int{0, 2, 4},
+		AggressorRatesPerSec: []float64{1600},
+		VictimOps:            900,
+		Seed:                 7,
+	}
+	var inflation float64
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := essdsim.RunNeighborScenario(context.Background(), sweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(rep.Cells)
+		inflation = rep.Cells[cells-1].P999Inflation
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	b.ReportMetric(inflation, "victim-p999-x")
 }
 
 // BenchmarkEngineThroughput measures raw simulator event throughput.

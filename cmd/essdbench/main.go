@@ -20,6 +20,11 @@
 // burstable tiers. With -cache FILE the search's probes persist across
 // invocations.
 //
+// A non-empty -trace switches to trace-replay mode: the file (native text
+// format, or MSR-Cambridge CSV with -trace-format msr) replays on every
+// listed device as a parallel trace-replay sweep. MSR traces are fitted
+// onto each device's scaled geometry first.
+//
 // All invalid flag and workload-spec combinations print a diagnostic to
 // stderr and exit non-zero.
 //
@@ -31,6 +36,7 @@
 //	essdbench -device essd1,ssd -rw randwrite,write -bs 4k,64k,256k -iodepth 1,8 -workers 8
 //	essdbench -device gp2,gp2s -rw randwrite -bs 256k -rate 1500,3000 -arrival uniform,bursty -ops 4000
 //	essdbench -device gp2s -rw randwrite -bs 256k -slo-p99 20ms -slo-range 200,3000
+//	essdbench -device essd1,essd2 -trace msr-rows.csv -trace-format msr
 package main
 
 import (
@@ -69,6 +75,8 @@ func main() {
 		sloRange = flag.String("slo-range", "100,4000", "SLO search rate range min,max (req/s)")
 		sloTol   = flag.Float64("slo-tol", 0, "SLO search convergence width in req/s (default range/64)")
 		cacheF   = flag.String("cache", "", "sweep-cache JSON file for SLO probes (loaded if present, saved on exit)")
+		traceF   = flag.String("trace", "", "trace-replay mode: replay this trace file on the device(s)")
+		traceFmt = flag.String("trace-format", "text", "trace file format: text (native) or msr (MSR-Cambridge CSV)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -81,6 +89,25 @@ func main() {
 	rates, err := parseRates(*rate)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *traceF != "" { // trace replay
+		switch {
+		case *jobFile != "":
+			fatal(fmt.Errorf("-job cannot be combined with -trace replay mode"))
+		case *size != "":
+			fatal(fmt.Errorf("-size cannot be combined with -trace; the trace sets the load"))
+		case len(rates) > 0:
+			fatal(fmt.Errorf("-rate cannot be combined with -trace; the trace sets the arrival times"))
+		case *sloP99 > 0 || *sloP999 > 0:
+			fatal(fmt.Errorf("-slo-p99 cannot be combined with -trace replay mode"))
+		case *cacheF != "":
+			fatal(fmt.Errorf("-cache is not supported in -trace replay mode"))
+		case strings.ContainsRune(*rw+*bs+*iodepth+*arrival, ','):
+			fatal(fmt.Errorf("-trace replays ignore workload axes; only -device may be a list"))
+		}
+		runTraceReplay(*traceF, *traceFmt, *device, *precond, *seed, *workers)
+		return
 	}
 
 	if *sloP99 > 0 || *sloP999 > 0 { // latency-SLO search
@@ -239,16 +266,53 @@ func parseRates(s string) ([]float64, error) {
 	return rates, nil
 }
 
-func parseArrival(s string) (workload.Arrival, error) {
-	switch s {
-	case "uniform":
-		return workload.Uniform, nil
-	case "poisson":
-		return workload.Poisson, nil
-	case "bursty":
-		return workload.Bursty, nil
-	default:
-		return 0, fmt.Errorf("unknown -arrival %q", s)
+// runTraceReplay replays one trace file on every listed device profile as
+// a parallel trace-replay sweep and prints one summary row per device.
+// MSR-format traces are fitted onto each device's scaled geometry.
+func runTraceReplay(file, format, devices, precond string, seed uint64, workers int) {
+	f, err := os.Open(file)
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := essdsim.ReadTraceFormat(f, format)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("trace %s has no records", file))
+	}
+	sw := essdsim.Sweep{
+		Kind:     essdsim.SweepTraceReplay,
+		Seed:     seed,
+		Label:    "essdbench-trace",
+		Trace:    recs,
+		FitTrace: format == "msr",
+	}
+	var names []string
+	for _, name := range strings.Split(devices, ",") {
+		names = append(names, strings.TrimSpace(name))
+	}
+	sw.Devices = essdsim.ProfileDevices(names...)
+	if sw.Precondition, err = parsePrecond(precond); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace replay: %d records on %d devices\n", len(recs), len(sw.Devices))
+	fmt.Printf("%-8s %10s %12s %11s %9s %8s %11s %11s\n",
+		"device", "ops", "bytes", "elapsed", "stretch", "peak-q", "p50", "p99.9")
+	results, err := essdsim.RunSweep(context.Background(), sw, workers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		s := r.Replay.Lat.Summarize()
+		stretch := "n/a"
+		if r.Replay.Nominal > 0 {
+			stretch = fmt.Sprintf("%.2fx", r.Replay.Stretch)
+		}
+		fmt.Printf("%-8s %10d %12d %11v %9s %8d %11v %11v\n",
+			r.DeviceName, r.Replay.Ops, r.Replay.Bytes, r.Replay.Elapsed,
+			stretch, r.Replay.MaxOutstanding, s.P50, s.P999)
 	}
 }
 
@@ -264,7 +328,7 @@ func runSLOSearch(device, rws, sizes, arrivals, rateRange string, tol float64,
 	if err != nil {
 		fatal(err)
 	}
-	arr, err := parseArrival(arrivals)
+	arr, err := workload.ParseArrival(arrivals)
 	if err != nil {
 		fatal(err)
 	}
@@ -334,7 +398,7 @@ func runOpenLoop(dev essdsim.Device, rw, bs string, rate float64,
 	if err != nil {
 		fatal(err)
 	}
-	arr, err := parseArrival(arrival)
+	arr, err := workload.ParseArrival(arrival)
 	if err != nil {
 		fatal(err)
 	}
@@ -400,7 +464,7 @@ func runOpenSweep(devices, rws, sizes, arrivals string, rates []float64,
 		sw.BlockSizes = append(sw.BlockSizes, bs)
 	}
 	for _, s := range strings.Split(arrivals, ",") {
-		arr, err := parseArrival(strings.TrimSpace(s))
+		arr, err := workload.ParseArrival(strings.TrimSpace(s))
 		if err != nil {
 			fatal(err)
 		}

@@ -1,22 +1,25 @@
 // Command ucexperiments regenerates the paper's evaluation artifacts
 // (Table I and Figures 2-5) on the simulated devices and prints them in the
-// paper's layout, plus the burst-credit scenario suite and the latency-SLO
-// search behind Observation #4 on the burstable tiers. Optionally dumps
-// raw CSV series for plotting (docs/formats.md describes the schemas).
+// paper's layout, plus the burst-credit scenario suite, the latency-SLO
+// search behind Observation #4 on the burstable tiers, and the
+// noisy-neighbor suite measuring cross-tenant interference on a shared
+// backend. Optionally dumps raw CSV series for plotting (docs/formats.md
+// describes the schemas).
 //
 // Experiment cells run concurrently on an internal/expgrid worker pool
 // (-workers, default GOMAXPROCS); results are deterministic and identical
-// to a serial run regardless of worker count. With -cache FILE, burst and
-// SLO cells are memoized in a persistent sweep cache: a repeat run loads
-// the file and executes zero new cells, reproducing the same measurements
-// and byte-identical -out CSV dumps (the text output annotates
-// cache-served probes).
+// to a serial run regardless of worker count. With -cache FILE, burst,
+// SLO, and neighbor cells are memoized in a persistent sweep cache: a
+// repeat run loads the file, executes zero new cells, and prints how many
+// cells each suite skipped, reproducing the same measurements and
+// byte-identical -out CSV dumps.
 //
 // Examples:
 //
 //	ucexperiments -exp table1
 //	ucexperiments -exp fig2 -quick
 //	ucexperiments -exp burst -quick
+//	ucexperiments -exp neighbor -quick -out results/
 //	ucexperiments -exp slo -slo-p99 20ms -out results/
 //	ucexperiments -exp slo -quick -cache sweepcache.json
 //	ucexperiments -exp all -out results/ -workers 8
@@ -40,6 +43,13 @@ import (
 	"essdsim/internal/workload"
 )
 
+// fatal prints the diagnostic to stderr and exits non-zero — every
+// user-facing error path goes through it rather than a raw panic.
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ucexperiments: %v\n", err)
+	os.Exit(1)
+}
+
 func factory(name string, seed uint64) harness.Factory {
 	return func(s uint64) blockdev.Device {
 		d, err := profiles.ByName(name, sim.NewEngine(), sim.NewRNG(seed^s, s+0x9))
@@ -52,13 +62,14 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, or all")
-		quick     = flag.Bool("quick", false, "reduced grids for a fast pass")
-		seed      = flag.Uint64("seed", 7, "deterministic seed")
-		out       = flag.String("out", "", "directory for raw CSV dumps (optional)")
-		workers   = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
-		cacheFile = flag.String("cache", "", "sweep-cache JSON file for burst/slo cells (loaded if present, saved on exit)")
-		sloP99    = flag.Duration("slo-p99", 20*time.Millisecond, "p99 target of the -exp slo search")
+		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, or all")
+		quick       = flag.Bool("quick", false, "reduced grids for a fast pass")
+		seed        = flag.Uint64("seed", 7, "deterministic seed")
+		out         = flag.String("out", "", "directory for raw CSV dumps (optional)")
+		workers     = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
+		cacheFile   = flag.String("cache", "", "sweep-cache JSON file for burst/slo/neighbor cells (loaded if present, saved on exit)")
+		sloP99      = flag.Duration("slo-p99", 20*time.Millisecond, "p99 target of the -exp slo search")
+		aggrArrival = flag.String("aggr-arrival", "bursty", "-exp neighbor aggressor arrival shape: bursty or poisson")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -70,8 +81,7 @@ func main() {
 	if *cacheFile != "" {
 		cache = expgrid.NewCache(0)
 		if err := cache.LoadFile(*cacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "ucexperiments: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
@@ -177,13 +187,48 @@ func main() {
 		}
 		rep, err := scenario.RunBurst(context.Background(), sweep)
 		if err != nil {
-			panic(err)
+			fatal(err)
 		}
 		fmt.Println("--- Burst-credit scenario (Observation #4, burstable tiers) ---")
 		scenario.FormatBurst(os.Stdout, rep)
+		if cache != nil {
+			fmt.Printf("burst: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, len(rep.Cells))
+		}
 		fmt.Println()
 		if *out != "" {
 			dumpBurstCSV(*out, rep)
+		}
+	}
+	if want("neighbor") {
+		ran = true
+		arr, err := workload.ParseArrival(*aggrArrival)
+		if err != nil || arr == workload.Uniform {
+			fmt.Fprintf(os.Stderr, "ucexperiments: -aggr-arrival wants bursty or poisson, got %q\n", *aggrArrival)
+			os.Exit(1)
+		}
+		sweep := scenario.NeighborSweep{
+			AggressorArrival: arr,
+			Cache:            cache,
+			Seed:             *seed,
+			Workers:          *workers,
+		}
+		if *quick {
+			sweep.AggressorCounts = []int{0, 2, 4}
+			sweep.AggressorRatesPerSec = []float64{1600}
+			sweep.VictimOps = 1200
+		}
+		rep, err := scenario.RunNeighbor(context.Background(), sweep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- Noisy-neighbor scenario (shared backend, cross-tenant contract) ---")
+		scenario.FormatNeighbor(os.Stdout, rep)
+		if cache != nil {
+			fmt.Printf("neighbor: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, len(rep.Cells))
+		}
+		fmt.Println()
+		if *out != "" {
+			dumpNeighborCSV(*out, rep)
 		}
 	}
 	if want("slo") {
@@ -204,8 +249,7 @@ func main() {
 			}
 			rep, err := slo.Run(context.Background(), search)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "ucexperiments: %v\n", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			slo.Format(os.Stdout, rep)
 			fmt.Println()
@@ -220,8 +264,7 @@ func main() {
 	}
 	if cache != nil {
 		if err := cache.SaveFile(*cacheFile); err != nil {
-			fmt.Fprintf(os.Stderr, "ucexperiments: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		hits, misses := cache.Stats()
 		fmt.Printf("sweep cache: %d entries, %d hits, %d cells simulated (%s)\n",
@@ -281,6 +324,14 @@ func dumpBurstCSV(dir string, rep *scenario.BurstReport) {
 	f = csvFile(dir, "burst_timeline.csv")
 	defer f.Close()
 	if err := scenario.WriteBurstTimelineCSV(f, rep); err != nil {
+		panic(err)
+	}
+}
+
+func dumpNeighborCSV(dir string, rep *scenario.NeighborReport) {
+	f := csvFile(dir, "neighbor_cells.csv")
+	defer f.Close()
+	if err := scenario.WriteNeighborCSV(f, rep); err != nil {
 		panic(err)
 	}
 }

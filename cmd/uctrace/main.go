@@ -1,11 +1,16 @@
 // Command uctrace replays block I/O traces against simulated devices and
 // generates synthetic traces from fio-style workload parameters.
 //
+// Replay accepts the native text format (-format text, the default) and
+// MSR-Cambridge CSV rows (-format msr); MSR traces are automatically
+// fitted onto the scaled simulated device (offsets wrapped and aligned,
+// see the trace package's Fit).
+//
 // Examples:
 //
 //	uctrace gen -rw randwrite -bs 4k -iodepth 8 -ops 10000 -o trace.txt
 //	uctrace replay -device essd1 trace.txt
-//	uctrace replay -device ssd trace.txt
+//	uctrace replay -device essd2 -format msr msr-rows.csv
 package main
 
 import (
@@ -36,7 +41,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   uctrace gen -rw <pattern> -bs <size> -iodepth <n> -ops <n> [-device <name>] [-o file]
-  uctrace replay -device <name> <trace-file>`)
+  uctrace replay -device <name> [-format text|msr] <trace-file>`)
 	os.Exit(1)
 }
 
@@ -98,6 +103,7 @@ func replay(args []string) {
 		device  = fs.String("device", "essd1", "device to replay onto")
 		seed    = fs.Uint64("seed", 1, "deterministic seed")
 		precond = fs.Bool("precondition", true, "fill the device before replay")
+		format  = fs.String("format", "text", "trace format: text (native) or msr (MSR-Cambridge CSV)")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -107,7 +113,7 @@ func replay(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	recs, err := trace.Read(f)
+	recs, err := trace.ReadFormat(f, *format)
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -116,6 +122,11 @@ func replay(args []string) {
 	dev, err := essdsim.NewDevice(*device, eng, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *format == "msr" {
+		// Foreign traces address production-size volumes; wrap them onto
+		// the scaled simulated device.
+		recs = trace.Fit(recs, dev.Capacity(), int64(dev.BlockSize()))
 	}
 	if *precond {
 		essdsim.Precondition(dev, false)

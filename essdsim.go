@@ -20,7 +20,13 @@
 //   - the burst-credit scenario suite (RunBurstScenario) and a latency-SLO
 //     search (SearchSLO) that binary-searches offered rate for the highest
 //     rate meeting a p99/p99.9 target, reporting both the pre-exhaustion
-//     and post-cliff answers of burstable tiers; and
+//     and post-cliff answers of burstable tiers;
+//   - shared-backend multi-tenancy: many volumes attached to one Backend
+//     (NewBackend/AttachVolume) contending on its cluster, fabric, and
+//     cleaner, a tenant-mix driver (RunTenantMix) running their
+//     generators inside one engine, and the noisy-neighbor scenario suite
+//     (RunNeighborScenario) measuring victim tail inflation and
+//     shared-debt throttle onset; and
 //   - CSV/JSON exports of every suite for plotting (docs/formats.md).
 //
 // Quick start:
@@ -136,6 +142,49 @@ func NewDevice(name string, eng *Engine, seed uint64) (Device, error) {
 	return profiles.ByName(name, eng, sim.NewRNG(seed, seed^0x4))
 }
 
+// Shared-backend multi-tenancy types: the storage side of the stack
+// (cluster + fabric + background cleaner) is a Backend that any number of
+// volumes attach to, as in the paper's disaggregated Fig 1. Attached
+// volumes contend on the backend's resources and the backend attributes
+// debt, cluster operations, and fabric bytes per volume.
+type (
+	// Backend is a shared storage backend (one cluster + one fabric).
+	Backend = essd.Backend
+	// BackendConfig parameterizes a shared backend.
+	BackendConfig = essd.BackendConfig
+	// VolumeConfig parameterizes one volume attached to a backend.
+	VolumeConfig = essd.VolumeConfig
+	// Volume is an ESSD volume attached to a (possibly shared) backend.
+	Volume = essd.ESSD
+	// BackendVolumeStats is one volume's attributed use of its backend.
+	BackendVolumeStats = essd.VolumeStats
+)
+
+// NewBackend builds a shared storage backend on the engine. Attach volumes
+// with AttachVolume (or Backend.Attach).
+func NewBackend(eng *Engine, cfg BackendConfig, seed uint64) *Backend {
+	return essd.NewBackend(eng, cfg, sim.NewRNG(seed, seed^0x6))
+}
+
+// AttachVolume attaches a volume to the shared backend with a fresh RNG
+// built from the seed and decorrelated by the volume name. Because each
+// call constructs its own RNG (nothing shared between calls), attach
+// order does not perturb other volumes' draws — unlike Backend.Attach
+// calls sharing one parent RNG, whose order is part of the deterministic
+// construction sequence.
+func AttachVolume(b *Backend, cfg VolumeConfig, seed uint64) *Volume {
+	return b.Attach(cfg, sim.NewRNG(seed, seed^0x7))
+}
+
+// NeighborBackendConfig returns the shared backend used by the
+// noisy-neighbor studies: ESSD-1-class fabric and cluster with a modest
+// background cleaner.
+func NeighborBackendConfig() BackendConfig { return profiles.NeighborBackendConfig() }
+
+// NeighborVolumeConfig returns the per-volume half of a tenant on the
+// neighbor backend: gp3-class budgets with a tight spare-capacity margin.
+func NeighborVolumeConfig(name string) VolumeConfig { return profiles.NeighborVolumeConfig(name) }
+
 // ProfileNames lists the valid NewDevice profile names.
 func ProfileNames() []string { return profiles.Names() }
 
@@ -168,6 +217,30 @@ func RunOpen(dev Device, spec OpenWorkload) *OpenWorkloadResult {
 	return workload.RunOpen(dev, spec)
 }
 
+// ParseArrival converts an arrival-shape name ("uniform", "poisson",
+// "bursty") into an Arrival.
+func ParseArrival(s string) (Arrival, error) { return workload.ParseArrival(s) }
+
+// Tenant-mix types: several generators driving distinct volumes inside one
+// engine — the multi-tenant regime where volumes sharing a Backend
+// interfere.
+type (
+	// Tenant pairs one volume with its generator (open- or closed-loop).
+	Tenant = workload.Tenant
+	// TenantResult holds one tenant's measurements from RunTenantMix.
+	TenantResult = workload.TenantResult
+)
+
+// RunTenantMix drives several tenants' generators concurrently inside one
+// engine: all generators start, then a single engine run drains them, so
+// the tenants' I/O interleaves the way concurrent guests on a shared
+// backend would. Results are returned in tenant order. It panics on
+// invalid tenants (no device, device on another engine, both or neither
+// spec set) — the same contract as Run and RunOpen.
+func RunTenantMix(eng *Engine, tenants []Tenant) []*TenantResult {
+	return workload.RunTenants(eng, tenants)
+}
+
 // Precondition prepares a device for measurement: write experiments get a
 // GC-free half-filled device; read experiments a fully written one.
 func Precondition(dev Device, forWrites bool) { harness.Precondition(dev, forWrites) }
@@ -185,6 +258,26 @@ type (
 
 // ReadTrace parses a text trace.
 func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.Read(r) }
+
+// ReadTraceFormat parses a trace in the named format: "text" (native) or
+// "msr" (MSR-Cambridge CSV) — the single dispatch behind every CLI trace
+// flag.
+func ReadTraceFormat(r io.Reader, format string) ([]TraceRecord, error) {
+	return trace.ReadFormat(r, format)
+}
+
+// ParseMSRTrace converts MSR-Cambridge block-trace CSV rows
+// (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime) into
+// replayable records, rebased so the earliest request issues at time zero.
+// Pass the result through FitTrace before replaying onto a scaled
+// simulated device.
+func ParseMSRTrace(r io.Reader) ([]TraceRecord, error) { return trace.ParseMSR(r) }
+
+// FitTrace maps a foreign trace onto a device geometry: offsets aligned
+// and wrapped modulo capacity, sizes rounded to whole blocks and clamped.
+func FitTrace(recs []TraceRecord, capacity, blockSize int64) []TraceRecord {
+	return trace.Fit(recs, capacity, blockSize)
+}
 
 // WriteTrace serializes a text trace.
 func WriteTrace(w io.Writer, recs []TraceRecord) error { return trace.Write(w, recs) }
@@ -237,12 +330,15 @@ type (
 )
 
 // Sweep kinds: closed-loop fio-style cells (the default), open-loop
-// arrival-driven cells with arrival-shape and offered-rate axes, and
-// trace-replay cells (one replay of Sweep.Trace per device).
+// arrival-driven cells with arrival-shape and offered-rate axes,
+// trace-replay cells (one replay of Sweep.Trace per device), and
+// tenant-mix cells (several generators on distinct volumes inside one
+// engine, with an aggressor-count axis).
 const (
 	SweepClosed      = expgrid.Closed
 	SweepOpen        = expgrid.Open
 	SweepTraceReplay = expgrid.TraceReplay
+	SweepTenantMix   = expgrid.TenantMix
 )
 
 // Device-preconditioning modes for Sweep.Precondition.
@@ -332,6 +428,36 @@ func WriteBurstTimelineCSV(w io.Writer, r *BurstReport) error {
 // BurstTierDevices returns the default burstable device axis for a
 // BurstSweep or an open-loop Sweep.
 func BurstTierDevices() []NamedFactory { return scenario.BurstTierDevices() }
+
+// Noisy-neighbor scenario types: a steady victim tenant vs bursty
+// aggressor tenants on one shared Backend, swept over aggressor count ×
+// rate × write ratio.
+type (
+	// NeighborSweep declares a noisy-neighbor suite.
+	NeighborSweep = scenario.NeighborSweep
+	// NeighborReport is the suite's full measurement.
+	NeighborReport = scenario.NeighborReport
+	// NeighborCell is one measured point: victim tail latency, its
+	// inflation over the solo-victim control, and shared-debt throttle
+	// onset.
+	NeighborCell = scenario.NeighborCell
+)
+
+// RunNeighborScenario executes a noisy-neighbor sweep; zero-valued
+// NeighborSweep fields take defaults (victim 64 KiB mixed at 300 req/s vs
+// 0/1/2/4 bursty write-heavy aggressors at 800 and 1600 req/s each).
+// Results are deterministic for any worker count, and a cache-warm re-run
+// (NeighborSweep.Cache) simulates zero new cells.
+func RunNeighborScenario(ctx context.Context, s NeighborSweep) (*NeighborReport, error) {
+	return scenario.RunNeighbor(ctx, s)
+}
+
+// FormatNeighborReport writes the scenario report as an aligned table.
+func FormatNeighborReport(w io.Writer, r *NeighborReport) { scenario.FormatNeighbor(w, r) }
+
+// WriteNeighborCSV dumps the scenario report as one CSV row per cell; see
+// docs/formats.md for the schema.
+func WriteNeighborCSV(w io.Writer, r *NeighborReport) error { return scenario.WriteNeighborCSV(w, r) }
 
 // Sweep-result caching: a SweepCache memoizes cell results across sweeps
 // and searches, keyed by the cell's coordinate hash plus a fingerprint of

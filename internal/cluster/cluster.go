@@ -13,6 +13,14 @@
 //     random writes fan out across all nodes.
 //   - Obs#1 (in part): every access pays journal/data-store service time on
 //     top of the network.
+//
+// A cluster may be shared by several volumes (the disaggregated backend of
+// the paper's Fig 1 serves many tenants): callers register a flow per
+// volume and submit I/O through WriteFor/ReadFor, which attribute per-flow
+// operations, bytes, and cleaning debt while all flows contend on the same
+// node servers, streams, and the one background cleaner. The pooled debt is
+// what makes one tenant's overwrite churn advance every tenant's flow
+// limiter (the cross-tenant face of Obs#2).
 package cluster
 
 import (
@@ -90,12 +98,23 @@ type node struct {
 	stats  NodeStats
 }
 
-// Cluster is the storage backend for a single volume.
+// FlowStats counts one registered flow's (volume's) use of the shared
+// cluster: primary operations, payload bytes, and the cleaning debt the
+// flow contributed to the pooled cleaner backlog.
+type FlowStats struct {
+	Name                  string
+	Writes, Reads         uint64
+	WriteBytes, ReadBytes int64
+	DebtAdded             int64
+}
+
+// Cluster is the storage backend for one or more volumes.
 type Cluster struct {
 	eng   *sim.Engine
 	cfg   Config
 	rng   *sim.RNG
 	nodes []*node
+	flows []FlowStats
 
 	debt       int64
 	debtUpdate sim.Time
@@ -142,10 +161,34 @@ func (c *Cluster) NodeOfChunk(chunk int64) int {
 // NodeStats returns a snapshot of node i's counters.
 func (c *Cluster) NodeStats(i int) NodeStats { return c.nodes[i].stats }
 
+// RegisterFlow adds a named per-volume accounting flow and returns its id
+// for WriteFor/ReadFor/AddDebtFor. Flows share every cluster resource; the
+// id only attributes usage.
+func (c *Cluster) RegisterFlow(name string) int {
+	c.flows = append(c.flows, FlowStats{Name: name})
+	return len(c.flows) - 1
+}
+
+// NumFlows returns the number of registered flows.
+func (c *Cluster) NumFlows() int { return len(c.flows) }
+
+// FlowStats returns a snapshot of flow i's counters.
+func (c *Cluster) FlowStats(i int) FlowStats { return c.flows[i] }
+
 // Write performs one replicated chunk write of the given payload: primary
 // stream + journal-backed write service, then parallel fan-out to
 // Replicas-1 peers, acknowledging (done) when all copies are durable.
 func (c *Cluster) Write(chunk int64, bytes int64, done func()) {
+	c.WriteFor(-1, chunk, bytes, done)
+}
+
+// WriteFor is Write with the primary operation and payload attributed to
+// the registered flow (pass -1 for untracked).
+func (c *Cluster) WriteFor(flow int, chunk int64, bytes int64, done func()) {
+	if flow >= 0 {
+		c.flows[flow].Writes++
+		c.flows[flow].WriteBytes += bytes
+	}
 	p := c.NodeOfChunk(chunk)
 	pn := c.nodes[p]
 	pn.stats.Writes++
@@ -185,6 +228,16 @@ func (c *Cluster) Write(chunk int64, bytes int64, done func()) {
 // primary: read service (index lookup + backend flash) then the node's read
 // bandwidth.
 func (c *Cluster) Read(chunk int64, bytes int64, done func()) {
+	c.ReadFor(-1, chunk, bytes, done)
+}
+
+// ReadFor is Read with the operation and payload attributed to the
+// registered flow (pass -1 for untracked).
+func (c *Cluster) ReadFor(flow int, chunk int64, bytes int64, done func()) {
+	if flow >= 0 {
+		c.flows[flow].Reads++
+		c.flows[flow].ReadBytes += bytes
+	}
 	p := c.NodeOfChunk(chunk)
 	n := c.nodes[p]
 	n.stats.Reads++
@@ -197,6 +250,17 @@ func (c *Cluster) Read(chunk int64, bytes int64, done func()) {
 // AddDebt records freshly invalidated bytes (overwrites of previously
 // written data) for the background cleaner.
 func (c *Cluster) AddDebt(bytes int64) {
+	c.AddDebtFor(-1, bytes)
+}
+
+// AddDebtFor is AddDebt with the contribution attributed to the registered
+// flow (pass -1 for untracked). Debt is pooled regardless of flow: the
+// cleaner has one backlog, so every attached volume's flow limiter sees the
+// sum of all tenants' churn.
+func (c *Cluster) AddDebtFor(flow int, bytes int64) {
+	if flow >= 0 {
+		c.flows[flow].DebtAdded += bytes
+	}
 	c.settleDebt()
 	c.debt += bytes
 }

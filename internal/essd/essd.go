@@ -4,6 +4,16 @@
 // netsim), the provisioned QoS budgets (package qos) and the storage
 // cluster (package cluster) into a blockdev.Device.
 //
+// The stack is storage-compute disaggregated, exactly as in the paper's
+// Fig 1: a Backend is the shared storage side — one cluster plus one
+// network fabric — and any number of volumes Attach to it, each with its
+// own per-volume QoS budgets, burst credits, frontend, and flow limiter.
+// Attached volumes contend on the backend's node streams, fabric pipes,
+// and background cleaner, and the backend attributes debt, stream
+// operations, and fabric bytes per volume (VolumeStats). The single-volume
+// convenience constructor New builds a private Backend, reproducing the
+// classic one-volume-per-cluster shape bit for bit.
+//
 // The unwritten contract's observations map onto this assembly as follows:
 //
 //   - Obs#1: every I/O pays frontend + network + cluster service time, so
@@ -11,9 +21,12 @@
 //     batched I/Os amortize it.
 //   - Obs#2: writes acknowledge from replicated node journals; cleaning
 //     debt only surfaces when the flow limiter engages, far beyond the
-//     local SSD's ~90%-of-capacity GC cliff.
+//     local SSD's ~90%-of-capacity GC cliff. On a shared backend the debt
+//     pool is cluster-wide, so one tenant's overwrite churn advances every
+//     tenant's throttle onset.
 //   - Obs#3: sequential windows serialize on few placement groups while
-//     random writes fan out — random-write throughput wins.
+//     random writes fan out — random-write throughput wins. Shared-backend
+//     tenants contend for the same placement-group streams.
 //   - Obs#4: a combined bytes/s token bucket at the provisioned budget
 //     makes peak bandwidth deterministic regardless of access pattern.
 package essd
@@ -28,7 +41,79 @@ import (
 	"essdsim/internal/sim"
 )
 
-// Config parameterizes an ESSD volume.
+// VolumeConfig parameterizes one ESSD volume: everything the provider
+// provisions per volume — identity, capacity, QoS budgets, burst credits,
+// the compute-side frontend, and the flow-limiter policy. The shared
+// storage side lives in BackendConfig.
+type VolumeConfig struct {
+	Name      string
+	Provider  string
+	Model     string
+	Capacity  int64
+	BlockSize int64
+
+	// Provisioned budgets (paper Table I).
+	ThroughputBudget float64 // bytes/s, reads+writes combined
+	BudgetBurst      float64 // token bucket burst, bytes
+	IOPSBudget       float64 // I/O operations per second
+	IOPSBurst        float64 // IOPS bucket burst
+	IOPSChunkBytes   int64   // bytes covered by one IOPS token (e.g. 256 KiB on io2)
+
+	// Frontend (virtio + EBS client) processing.
+	FrontendSlots   int
+	FrontendLatency sim.Dist
+
+	// Flow limiter (Observation #2): when cleaning debt exceeds
+	// SpareFrac×Capacity, the write path is clamped to ThrottleRate.
+	// SpareFrac <= 0 disables throttling (ESSD-2 behaviour within the
+	// paper's 3× experiment). On a shared backend the observed debt is the
+	// cluster-wide pool, so other tenants' churn counts against this
+	// volume's threshold.
+	SpareFrac    float64
+	ThrottleRate float64
+
+	// Burst credits (optional): burstable volume classes (AWS gp2-style)
+	// sustain BurstBaseline bytes/s, may spend banked credits up to the
+	// ThroughputBudget ceiling, and bank at most BurstCreditBytes. When
+	// BurstBaseline > 0 the throughput budget behaves like the burst
+	// ceiling of such a tier.
+	BurstBaseline    float64
+	BurstCreditBytes float64
+}
+
+// Validate reports a descriptive error for inconsistent volume
+// configuration against the backend's placement chunk size.
+func (c VolumeConfig) Validate(chunkBytes int64) error {
+	switch {
+	case c.Capacity <= 0 || c.BlockSize <= 0 || c.Capacity%c.BlockSize != 0:
+		return fmt.Errorf("essd: bad capacity/block size %d/%d", c.Capacity, c.BlockSize)
+	case c.ThroughputBudget <= 0:
+		return fmt.Errorf("essd: throughput budget must be positive")
+	case c.IOPSBudget <= 0 || c.IOPSChunkBytes <= 0:
+		return fmt.Errorf("essd: IOPS budget/chunk must be positive")
+	case c.FrontendSlots < 1 || c.FrontendLatency == nil:
+		return fmt.Errorf("essd: frontend misconfigured")
+	case chunkBytes%c.BlockSize != 0:
+		return fmt.Errorf("essd: cluster chunk not a multiple of block size")
+	}
+	return nil
+}
+
+// BackendConfig parameterizes the shared storage side of the stack: the
+// datacenter fabric and the storage cluster that every attached volume's
+// I/O traverses.
+type BackendConfig struct {
+	Net     netsim.Config
+	Cluster cluster.Config
+}
+
+// Validate reports a descriptive error for inconsistent backend
+// configuration.
+func (c BackendConfig) Validate() error { return c.Cluster.Validate() }
+
+// Config is the classic flat single-volume configuration: one volume's
+// settings plus the backend it (alone) runs on. Split separates the two
+// halves for shared-backend construction.
 type Config struct {
 	Name      string
 	Provider  string
@@ -66,21 +151,172 @@ type Config struct {
 	BurstCreditBytes float64
 }
 
+// Split divides the flat config into its shared-backend and per-volume
+// halves.
+func (c Config) Split() (BackendConfig, VolumeConfig) {
+	return BackendConfig{Net: c.Net, Cluster: c.Cluster}, VolumeConfig{
+		Name:             c.Name,
+		Provider:         c.Provider,
+		Model:            c.Model,
+		Capacity:         c.Capacity,
+		BlockSize:        c.BlockSize,
+		ThroughputBudget: c.ThroughputBudget,
+		BudgetBurst:      c.BudgetBurst,
+		IOPSBudget:       c.IOPSBudget,
+		IOPSBurst:        c.IOPSBurst,
+		IOPSChunkBytes:   c.IOPSChunkBytes,
+		FrontendSlots:    c.FrontendSlots,
+		FrontendLatency:  c.FrontendLatency,
+		SpareFrac:        c.SpareFrac,
+		ThrottleRate:     c.ThrottleRate,
+		BurstBaseline:    c.BurstBaseline,
+		BurstCreditBytes: c.BurstCreditBytes,
+	}
+}
+
 // Validate reports a descriptive error for inconsistent configuration.
 func (c Config) Validate() error {
-	switch {
-	case c.Capacity <= 0 || c.BlockSize <= 0 || c.Capacity%c.BlockSize != 0:
-		return fmt.Errorf("essd: bad capacity/block size %d/%d", c.Capacity, c.BlockSize)
-	case c.ThroughputBudget <= 0:
-		return fmt.Errorf("essd: throughput budget must be positive")
-	case c.IOPSBudget <= 0 || c.IOPSChunkBytes <= 0:
-		return fmt.Errorf("essd: IOPS budget/chunk must be positive")
-	case c.FrontendSlots < 1 || c.FrontendLatency == nil:
-		return fmt.Errorf("essd: frontend misconfigured")
-	case c.Cluster.ChunkBytes%c.BlockSize != 0:
-		return fmt.Errorf("essd: cluster chunk not a multiple of block size")
+	if err := c.Cluster.Validate(); err != nil {
+		return err
 	}
-	return c.Cluster.Validate()
+	_, vcfg := c.Split()
+	return vcfg.Validate(c.Cluster.ChunkBytes)
+}
+
+// Backend is the shared storage side of the ESSD stack: one cluster and
+// one network fabric serving every attached volume. Volumes contend on the
+// backend's resources (node streams, fabric pipes, the background cleaner)
+// and the backend attributes usage per volume.
+type Backend struct {
+	eng  *sim.Engine
+	cfg  BackendConfig
+	net  *netsim.Network
+	cl   *cluster.Cluster
+	vols []*ESSD
+}
+
+// NewBackend builds a shared storage backend on the engine. It panics on
+// invalid configuration.
+func NewBackend(eng *sim.Engine, cfg BackendConfig, rng *sim.RNG) *Backend {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0xbacc, 0x3d)
+	}
+	return newBackend(eng, cfg, rng)
+}
+
+// newBackend derives the net and cluster RNG streams from rng in the fixed
+// order the single-volume constructor has always used, so New remains
+// draw-for-draw identical to the pre-backend stack.
+func newBackend(eng *sim.Engine, cfg BackendConfig, rng *sim.RNG) *Backend {
+	b := &Backend{eng: eng, cfg: cfg}
+	b.net = netsim.New(eng, cfg.Net, rng.Derive("net"))
+	b.cl = cluster.New(eng, cfg.Cluster, rng.Derive("cluster"))
+	return b
+}
+
+// Engine returns the simulation engine the backend runs on.
+func (b *Backend) Engine() *sim.Engine { return b.eng }
+
+// Config returns the backend configuration.
+func (b *Backend) Config() BackendConfig { return b.cfg }
+
+// Cluster exposes the shared storage cluster (debt, node balance).
+func (b *Backend) Cluster() *cluster.Cluster { return b.cl }
+
+// Network exposes the shared fabric (backlogs, per-direction bytes).
+func (b *Backend) Network() *netsim.Network { return b.net }
+
+// Debt returns the cluster-wide pooled cleaning debt in bytes — the value
+// every attached volume's flow limiter observes.
+func (b *Backend) Debt() int64 { return b.cl.Debt() }
+
+// Volumes returns the attached volumes in attach order.
+func (b *Backend) Volumes() []*ESSD { return b.vols }
+
+// VolumeStats tallies one attached volume's use of the shared backend.
+type VolumeStats struct {
+	Name                  string
+	Writes, Reads         uint64 // chunk-level cluster operations
+	WriteBytes, ReadBytes int64  // cluster payload bytes
+	DebtAdded             int64  // cleaning debt contributed to the pool
+	FabricUp, FabricDown  int64  // fabric payload bytes per direction
+}
+
+// VolumeStats returns per-volume accounting for every attached volume, in
+// attach order.
+func (b *Backend) VolumeStats() []VolumeStats {
+	out := make([]VolumeStats, len(b.vols))
+	for i, v := range b.vols {
+		out[i] = b.statsFor(v)
+	}
+	return out
+}
+
+// statsFor assembles one volume's VolumeStats from the cluster flow and
+// fabric flow counters.
+func (b *Backend) statsFor(v *ESSD) VolumeStats {
+	fs := b.cl.FlowStats(v.flow)
+	return VolumeStats{
+		Name:       v.cfg.Name,
+		Writes:     fs.Writes,
+		Reads:      fs.Reads,
+		WriteBytes: fs.WriteBytes,
+		ReadBytes:  fs.ReadBytes,
+		DebtAdded:  fs.DebtAdded,
+		FabricUp:   v.nf.MovedUp(),
+		FabricDown: v.nf.MovedDown(),
+	}
+}
+
+// Attach builds a volume on the shared backend. It panics on invalid
+// configuration. The volume's RNG stream is derived from rng and the
+// volume name. Note that deriving consumes one draw from rng, so when
+// several Attach calls share one parent RNG their order is part of the
+// deterministic construction sequence — reordering them re-seeds the
+// later volumes. Pass an independent RNG per volume (as the root
+// AttachVolume helper does) for attach-order independence.
+func (b *Backend) Attach(cfg VolumeConfig, rng *sim.RNG) *ESSD {
+	if err := cfg.Validate(b.cfg.Cluster.ChunkBytes); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0xe55d, 0x10)
+	}
+	return b.attach(cfg, rng.Derive("essd:"+cfg.Name))
+}
+
+// attach wires a validated volume onto the backend using rng as the
+// volume's own stream (already derived by the caller).
+func (b *Backend) attach(cfg VolumeConfig, rng *sim.RNG) *ESSD {
+	e := &ESSD{eng: b.eng, cfg: cfg, rng: rng, be: b}
+	e.fe = sim.NewServer(b.eng, "frontend", cfg.FrontendSlots)
+	e.nf = b.net.NewFlow(cfg.Name)
+	e.flow = b.cl.RegisterFlow(cfg.Name)
+	burst := cfg.BudgetBurst
+	if burst <= 0 {
+		burst = cfg.ThroughputBudget / 100 // 10 ms of budget by default
+	}
+	e.bytesTb = qos.NewTokenBucket(b.eng, cfg.ThroughputBudget, burst)
+	iopsBurst := cfg.IOPSBurst
+	if iopsBurst <= 0 {
+		iopsBurst = cfg.IOPSBudget / 100
+	}
+	e.iopsTb = qos.NewTokenBucket(b.eng, cfg.IOPSBudget, iopsBurst)
+	e.limiter = &qos.FlowLimiter{
+		DebtThreshold: int64(cfg.SpareFrac * float64(cfg.Capacity)),
+		ThrottledRate: cfg.ThrottleRate,
+	}
+	if cfg.BurstBaseline > 0 {
+		e.credits = qos.NewCreditBucket(b.eng, cfg.BurstBaseline,
+			cfg.ThroughputBudget, cfg.BurstCreditBytes)
+	}
+	nblocks := cfg.Capacity / cfg.BlockSize
+	e.written = make([]uint64, (nblocks+63)/64)
+	b.vols = append(b.vols, e)
+	return e
 }
 
 // Counters tallies host-visible ESSD activity.
@@ -94,12 +330,14 @@ type Counters struct {
 // ESSD is the assembled elastic SSD volume. It implements blockdev.Device.
 type ESSD struct {
 	eng *sim.Engine
-	cfg Config
+	cfg VolumeConfig
 	rng *sim.RNG
 
+	be   *Backend
+	nf   *netsim.Flow // this volume's tagged traffic on the shared fabric
+	flow int          // this volume's accounting flow in the shared cluster
+
 	fe      *sim.Server
-	net     *netsim.Network
-	cl      *cluster.Cluster
 	bytesTb *qos.TokenBucket
 	iopsTb  *qos.TokenBucket
 	limiter *qos.FlowLimiter
@@ -111,7 +349,10 @@ type ESSD struct {
 	counters Counters
 }
 
-// New builds the ESSD. It panics on invalid configuration.
+// New builds a single-volume ESSD on a private backend. It panics on
+// invalid configuration. The result is draw-for-draw identical to the
+// pre-shared-backend stack: the same RNG derivation chain feeds the
+// frontend, network, and cluster.
 func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *ESSD {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -120,31 +361,8 @@ func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *ESSD {
 		rng = sim.NewRNG(0xe55d, 0x10)
 	}
 	rng = rng.Derive("essd:" + cfg.Name)
-	e := &ESSD{eng: eng, cfg: cfg, rng: rng}
-	e.fe = sim.NewServer(eng, "frontend", cfg.FrontendSlots)
-	e.net = netsim.New(eng, cfg.Net, rng.Derive("net"))
-	e.cl = cluster.New(eng, cfg.Cluster, rng.Derive("cluster"))
-	burst := cfg.BudgetBurst
-	if burst <= 0 {
-		burst = cfg.ThroughputBudget / 100 // 10 ms of budget by default
-	}
-	e.bytesTb = qos.NewTokenBucket(eng, cfg.ThroughputBudget, burst)
-	iopsBurst := cfg.IOPSBurst
-	if iopsBurst <= 0 {
-		iopsBurst = cfg.IOPSBudget / 100
-	}
-	e.iopsTb = qos.NewTokenBucket(eng, cfg.IOPSBudget, iopsBurst)
-	e.limiter = &qos.FlowLimiter{
-		DebtThreshold: int64(cfg.SpareFrac * float64(cfg.Capacity)),
-		ThrottledRate: cfg.ThrottleRate,
-	}
-	if cfg.BurstBaseline > 0 {
-		e.credits = qos.NewCreditBucket(eng, cfg.BurstBaseline,
-			cfg.ThroughputBudget, cfg.BurstCreditBytes)
-	}
-	nblocks := cfg.Capacity / cfg.BlockSize
-	e.written = make([]uint64, (nblocks+63)/64)
-	return e
+	bcfg, vcfg := cfg.Split()
+	return newBackend(eng, bcfg, rng).attach(vcfg, rng)
 }
 
 // Credits returns the banked burst credits in bytes, or -1 when the
@@ -230,8 +448,19 @@ func (e *ESSD) Engine() *sim.Engine { return e.eng }
 // Counters returns host-visible activity counters.
 func (e *ESSD) Counters() Counters { return e.counters }
 
-// Cluster exposes the backend for harness inspection (debt, node balance).
-func (e *ESSD) Cluster() *cluster.Cluster { return e.cl }
+// Backend returns the (possibly shared) storage backend the volume is
+// attached to.
+func (e *ESSD) Backend() *Backend { return e.be }
+
+// Cluster exposes the backend cluster for harness inspection (debt, node
+// balance). On a shared backend the cluster is shared by every attached
+// volume.
+func (e *ESSD) Cluster() *cluster.Cluster { return e.be.cl }
+
+// BackendUse returns this volume's per-volume accounting on the shared
+// backend: cluster operations, payload bytes, contributed debt, and fabric
+// bytes.
+func (e *ESSD) BackendUse() VolumeStats { return e.be.statsFor(e) }
 
 // Throttled reports whether the provider flow limiter has engaged.
 func (e *ESSD) Throttled() bool { return e.limiter.Engaged() }
@@ -297,7 +526,7 @@ func (e *ESSD) iopsCost(size int64) float64 {
 
 // subRanges splits [off, off+size) at chunk boundaries.
 func (e *ESSD) subRanges(off, size int64) []int64 {
-	chunk := e.cfg.Cluster.ChunkBytes
+	chunk := e.be.cfg.Cluster.ChunkBytes
 	var sizes []int64
 	for size > 0 {
 		room := chunk - off%chunk
@@ -340,9 +569,9 @@ func (e *ESSD) submitWrite(r *blockdev.Request) {
 	e.counters.WriteBytes += r.Size
 	debt := e.markWritten(r.Offset, r.Size)
 	if debt > 0 {
-		e.cl.AddDebt(debt)
+		e.be.cl.AddDebtFor(e.flow, debt)
 	}
-	e.limiter.Observe(e.eng.Now(), e.cl.Debt(), e.writeClamp())
+	e.limiter.Observe(e.eng.Now(), e.be.cl.Debt(), e.writeClamp())
 	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
 		e.iopsTb.Take(e.iopsCost(r.Size), func() {
 			e.takeWriteTokens(float64(r.Size), func() {
@@ -380,14 +609,14 @@ func (e *ESSD) dispatchWrite(r *blockdev.Request) {
 	rem := len(sizes)
 	off := r.Offset
 	for _, sz := range sizes {
-		chunk := off / e.cfg.Cluster.ChunkBytes
+		chunk := off / e.be.cfg.Cluster.ChunkBytes
 		e.counters.SubWrites++
 		sz := sz
 		// Payload crosses the network once per subrequest, then the
 		// cluster replicates it; the final ack is one hop back.
-		e.net.SendUp(sz, func() {
-			e.cl.Write(chunk, sz, func() {
-				e.net.Hop(func() {
+		e.nf.SendUp(sz, func() {
+			e.be.cl.WriteFor(e.flow, chunk, sz, func() {
+				e.nf.Hop(func() {
 					rem--
 					if rem == 0 {
 						e.complete(r)
@@ -416,7 +645,7 @@ func (e *ESSD) submitRead(r *blockdev.Request) {
 			return
 		}
 		e.counters.UnwrittenReads++
-		e.net.Hop(func() { e.net.Hop(func() { e.complete(r) }) })
+		e.nf.Hop(func() { e.nf.Hop(func() { e.complete(r) }) })
 	})
 }
 
@@ -425,13 +654,13 @@ func (e *ESSD) dispatchRead(r *blockdev.Request) {
 	rem := len(sizes)
 	off := r.Offset
 	for _, sz := range sizes {
-		chunk := off / e.cfg.Cluster.ChunkBytes
+		chunk := off / e.be.cfg.Cluster.ChunkBytes
 		e.counters.SubReads++
 		sz := sz
 		// Command hop up, cluster read, payload down.
-		e.net.Hop(func() {
-			e.cl.Read(chunk, sz, func() {
-				e.net.SendDown(sz, func() {
+		e.nf.Hop(func() {
+			e.be.cl.ReadFor(e.flow, chunk, sz, func() {
+				e.nf.SendDown(sz, func() {
 					rem--
 					if rem == 0 {
 						e.complete(r)
@@ -449,7 +678,7 @@ func (e *ESSD) submitTrim(r *blockdev.Request) {
 		for b := r.Offset / e.cfg.BlockSize; b < (r.Offset+r.Size)/e.cfg.BlockSize; b++ {
 			e.written[b>>6] &^= 1 << uint(b&63)
 		}
-		e.net.Hop(func() { e.net.Hop(func() { e.complete(r) }) })
+		e.nf.Hop(func() { e.nf.Hop(func() { e.complete(r) }) })
 	})
 }
 
@@ -458,7 +687,7 @@ func (e *ESSD) submitFlush(r *blockdev.Request) {
 	// Journal-acknowledged writes are already durable; a flush is one
 	// round trip.
 	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
-		e.net.Hop(func() { e.net.Hop(func() { e.complete(r) }) })
+		e.nf.Hop(func() { e.nf.Hop(func() { e.complete(r) }) })
 	})
 }
 

@@ -309,7 +309,7 @@ func TestPreconditionMarksRange(t *testing.T) {
 // first start chunk-aligned.
 func TestSubRangesPartitionProperty(t *testing.T) {
 	_, e := newTest(t)
-	chunk := e.cfg.Cluster.ChunkBytes
+	chunk := e.be.cfg.Cluster.ChunkBytes
 	f := func(offBlocks, sizeBlocks uint16) bool {
 		off := int64(offBlocks) * 4096 % (e.Capacity() / 2)
 		size := (int64(sizeBlocks)%2048 + 1) * 4096

@@ -57,12 +57,13 @@ type cacheEntry struct {
 
 // cacheRecord is the wire form of one cached cell measurement.
 type cacheRecord struct {
-	Key    string               `json:"key"`
-	Device string               `json:"device,omitempty"`
-	Res    *workload.Result     `json:"closed,omitempty"`
-	Open   *workload.OpenResult `json:"open,omitempty"`
-	Replay *trace.ReplayResult  `json:"replay,omitempty"`
-	Info   json.RawMessage      `json:"info,omitempty"`
+	Key    string                   `json:"key"`
+	Device string                   `json:"device,omitempty"`
+	Res    *workload.Result         `json:"closed,omitempty"`
+	Open   *workload.OpenResult     `json:"open,omitempty"`
+	Replay *trace.ReplayResult      `json:"replay,omitempty"`
+	Mix    []*workload.TenantResult `json:"mix,omitempty"`
+	Info   json.RawMessage          `json:"info,omitempty"`
 }
 
 // cacheFile is the persisted JSON document.
@@ -137,6 +138,7 @@ func (c *Cache) lookup(fingerprint uint64, cell Cell, inspect bool, decode func(
 		Res:    e.rec.Res,
 		Open:   e.rec.Open,
 		Replay: e.rec.Replay,
+		Mix:    e.rec.Mix,
 		Cached: true,
 	}
 	if inspect {
@@ -161,6 +163,7 @@ func (c *Cache) store(fingerprint uint64, res CellResult) {
 			Res:    res.Res,
 			Open:   res.Open,
 			Replay: res.Replay,
+			Mix:    res.Mix,
 		},
 		info: res.Info,
 	}

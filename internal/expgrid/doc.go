@@ -9,8 +9,11 @@
 // arrival schedule through workload.RunOpen, adding arrival-shape and
 // offered-rate axes — the regime where provisioned budgets and burst
 // credits dominate; TraceReplay replays one recorded trace per device cell
-// through trace.Replay. All three share the same isolation, seeding, and
-// determinism guarantees below.
+// through trace.Replay (optionally fitted to each device via FitTrace);
+// TenantMix runs several generators against distinct volumes inside one
+// engine through workload.RunTenants, adding an aggressor-count axis — the
+// multi-tenant regime where volumes sharing a backend interfere. All four
+// share the same isolation, seeding, and determinism guarantees below.
 //
 // # Cell-isolation model
 //

@@ -77,6 +77,14 @@ const (
 	// TraceReplay runs trace.Replay of Sweep.Trace once per device cell.
 	// All axes other than Devices are unused.
 	TraceReplay
+	// TenantMix runs workload.RunTenants: several generators against
+	// distinct volumes inside one engine, the shared-backend multi-tenant
+	// regime. The grid gains an AggressorCounts axis and reuses
+	// RatesPerSec (per-aggressor offered rate) and WriteRatiosPct
+	// (aggressor write ratio); the Tenants hook builds each cell's engine
+	// and tenant mix from those coordinates. Devices names backend
+	// variants (factories may be nil — the hook constructs everything).
+	TenantMix
 )
 
 // String names the sweep kind.
@@ -88,6 +96,8 @@ func (k Kind) String() string {
 		return "open"
 	case TraceReplay:
 		return "trace"
+	case TenantMix:
+		return "tenants"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -128,8 +138,30 @@ type Sweep struct {
 	OpenWindowPercentiles bool
 
 	// Trace holds the records a TraceReplay sweep replays, identically,
-	// on each device cell.
-	Trace []trace.Record
+	// on each device cell. FitTrace additionally passes the records
+	// through trace.Fit against each cell's own device geometry first —
+	// the standard preparation for foreign (e.g. MSR-Cambridge) traces
+	// that address volumes far larger than the scaled simulated devices.
+	Trace    []trace.Record
+	FitTrace bool
+
+	// Tenant-mix axis (Kind == TenantMix): each cell carries an aggressor
+	// count alongside its per-aggressor rate (RatesPerSec) and write
+	// ratio (WriteRatiosPct, applied unconditionally for this kind).
+	// Include 0 for solo-victim control cells.
+	AggressorCounts []int
+
+	// Tenants builds a TenantMix cell's engine and tenant mix from the
+	// cell coordinates. Like a device Factory, the hook's semantics are
+	// outside the cache key: it must be a pure function of the cell (seed
+	// included), and callers changing what it builds should change the
+	// sweep Label with it.
+	Tenants func(c Cell) (*sim.Engine, []workload.Tenant)
+
+	// InspectMix is Inspect's TenantMix counterpart: it runs on the
+	// worker after the cell's mix drains, with every tenant's device
+	// still alive, and its return value is stored in CellResult.Info.
+	InspectMix func(tenants []workload.Tenant, c Cell) any
 
 	// CellDuration bounds each closed-loop cell's measurement window
 	// (default 500 ms); Warmup is excluded from statistics (default 50 ms;
@@ -218,6 +250,9 @@ func (s Sweep) fp() uint64 {
 	if s.OpenWindowPercentiles {
 		h.str("winpct")
 	}
+	if s.FitTrace {
+		h.str("fittrace")
+	}
 	for _, r := range s.Trace {
 		h.word(uint64(r.At))
 		h.word(uint64(r.Op))
@@ -234,7 +269,9 @@ func (s Sweep) Validate() error {
 		return fmt.Errorf("expgrid: sweep has no device axis")
 	}
 	for _, d := range s.Devices {
-		if d.New == nil {
+		// TenantMix cells are built entirely by the Tenants hook; their
+		// device axis only names backend variants.
+		if d.New == nil && s.Kind != TenantMix {
 			return fmt.Errorf("expgrid: device %q has a nil factory", d.Name)
 		}
 	}
@@ -258,6 +295,25 @@ func (s Sweep) Validate() error {
 	case TraceReplay:
 		if len(s.Trace) == 0 {
 			return fmt.Errorf("expgrid: trace sweep has no records")
+		}
+	case TenantMix:
+		switch {
+		case s.Tenants == nil:
+			return fmt.Errorf("expgrid: tenant sweep has no Tenants hook")
+		case len(s.AggressorCounts) == 0:
+			return fmt.Errorf("expgrid: tenant sweep has no aggressor-count axis")
+		case len(s.RatesPerSec) == 0:
+			return fmt.Errorf("expgrid: tenant sweep has no rate axis")
+		}
+		for _, n := range s.AggressorCounts {
+			if n < 0 {
+				return fmt.Errorf("expgrid: tenant sweep aggressor count %d negative", n)
+			}
+		}
+		for _, r := range s.RatesPerSec {
+			if r <= 0 {
+				return fmt.Errorf("expgrid: tenant sweep rate %v not positive", r)
+			}
 		}
 	default:
 		switch {
@@ -288,12 +344,20 @@ type Cell struct {
 	Arrival    workload.Arrival
 	RatePerSec float64
 
+	// Aggressors is the TenantMix aggressor count (0 elsewhere, and for
+	// solo-victim control cells).
+	Aggressors int
+
 	Seed uint64 // derived from the coordinates, independent of Index
+
+	tenantMix bool // distinguishes TenantMix cells in describe/run
 }
 
 // describe renders the cell's coordinates for error messages.
 func (c Cell) describe() string {
 	switch {
+	case c.tenantMix:
+		return fmt.Sprintf("%s tenants aggr=%d @%.0f/s wr=%d", c.DeviceName, c.Aggressors, c.RatePerSec, c.WriteRatioPct)
 	case c.RatePerSec > 0:
 		return fmt.Sprintf("%s %s bs=%d %s@%.0f/s", c.DeviceName, c.Pattern, c.BlockSize, c.Arrival, c.RatePerSec)
 	case c.BlockSize == 0:
@@ -304,17 +368,18 @@ func (c Cell) describe() string {
 }
 
 // CellResult pairs a cell with its measurement: Res for Closed cells, Open
-// for Open cells, Replay for TraceReplay cells; the other two are nil. Err
-// is set when the cell failed (e.g. an invalid workload spec), and every
-// measurement field is nil in that case.
+// for Open cells, Replay for TraceReplay cells, Mix for TenantMix cells;
+// the others are nil. Err is set when the cell failed (e.g. an invalid
+// workload spec), and every measurement field is nil in that case.
 type CellResult struct {
 	Cell
 	Device string // constructed device's display name
 	Res    *workload.Result
 	Open   *workload.OpenResult
 	Replay *trace.ReplayResult
-	Info   any  // Sweep.Inspect's capture of post-run device state, or nil
-	Cached bool // served from Sweep.Cache instead of a fresh simulation
+	Mix    []*workload.TenantResult // TenantMix cells: per-tenant results
+	Info   any                      // Sweep.Inspect's capture of post-run device state, or nil
+	Cached bool                     // served from Sweep.Cache instead of a fresh simulation
 	Err    error
 }
 
@@ -330,6 +395,8 @@ func (s Sweep) Cells() []Cell {
 		return s.openCells()
 	case TraceReplay:
 		return s.traceCells()
+	case TenantMix:
+		return s.tenantCells()
 	default:
 		return s.closedCells()
 	}
@@ -388,6 +455,37 @@ func (s Sweep) openCells() []Cell {
 							})
 						}
 					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// tenantCells enumerates devices × aggressor counts × per-aggressor rates
+// × aggressor write ratios. Unlike closed/open grids the write-ratio axis
+// applies to every tenant cell (the aggressor pattern is the hook's
+// choice, not a coordinate); an empty axis yields the single sentinel -1.
+func (s Sweep) tenantCells() []Cell {
+	ratios := s.WriteRatiosPct
+	if len(ratios) == 0 {
+		ratios = []int{-1}
+	}
+	cells := make([]Cell, 0, len(s.Devices)*len(s.AggressorCounts)*len(s.RatesPerSec)*len(ratios))
+	for di, d := range s.Devices {
+		for _, n := range s.AggressorCounts {
+			for _, rate := range s.RatesPerSec {
+				for _, wr := range ratios {
+					cells = append(cells, Cell{
+						Index:         len(cells),
+						DeviceIndex:   di,
+						DeviceName:    d.Name,
+						WriteRatioPct: wr,
+						RatePerSec:    rate,
+						Aggressors:    n,
+						Seed:          MixCellSeed(s.Seed, s.Label, d.Name, n, rate, wr),
+						tenantMix:     true,
+					})
 				}
 			}
 		}
@@ -485,6 +583,22 @@ func OpenCellSeed(root uint64, label, device string, p workload.Pattern, bs int6
 	return h.finish()
 }
 
+// MixCellSeed derives a tenant-mix cell's seed from its coordinates: the
+// backend variant name, aggressor count, per-aggressor offered rate, and
+// aggressor write ratio. A distinguishing tag keeps tenant cells
+// decorrelated from open cells sharing rate coordinates.
+func MixCellSeed(root uint64, label, device string, aggressors int, ratePerSec float64, ratioPct int) uint64 {
+	h := newCoordHash()
+	h.word(root)
+	h.str(label)
+	h.str(device)
+	h.str("tenants")
+	h.word(uint64(aggressors) + 1)
+	h.word(math.Float64bits(ratePerSec))
+	h.word(uint64(int64(ratioPct) + 2))
+	return h.finish()
+}
+
 // TraceCellSeed derives a trace-replay cell's seed. The trace itself is
 // deterministic, so only the device identity needs decorrelating.
 func TraceCellSeed(root uint64, label, device string) uint64 {
@@ -501,8 +615,9 @@ func TraceCellSeed(root uint64, label, device string) uint64 {
 // into CellResult.Err so one bad cell fails the sweep cleanly instead of
 // killing the worker pool.
 func (s Sweep) run(c Cell) (out CellResult) {
+	needInfo := s.Inspect != nil || s.InspectMix != nil
 	if s.Cache != nil {
-		if res, ok := s.Cache.lookup(s.fingerprint, c, s.Inspect != nil, s.DecodeInfo); ok {
+		if res, ok := s.Cache.lookup(s.fingerprint, c, needInfo, s.DecodeInfo); ok {
 			return res
 		}
 	}
@@ -510,12 +625,23 @@ func (s Sweep) run(c Cell) (out CellResult) {
 	defer func() {
 		if p := recover(); p != nil {
 			out.Err = fmt.Errorf("expgrid: cell %d (%s): %v", c.Index, c.describe(), p)
-			out.Res, out.Open, out.Replay = nil, nil, nil
+			out.Res, out.Open, out.Replay, out.Mix = nil, nil, nil, nil
 		}
 		if s.Cache != nil && out.Err == nil {
 			s.Cache.store(s.fingerprint, out)
 		}
 	}()
+	if s.Kind == TenantMix {
+		// Tenant cells own their whole setup: the hook builds the engine,
+		// backend(s), volumes, and preconditioning from the coordinates.
+		eng, tenants := s.Tenants(c)
+		out.Device = c.DeviceName
+		out.Mix = workload.RunTenants(eng, tenants)
+		if s.InspectMix != nil {
+			out.Info = s.InspectMix(tenants, c)
+		}
+		return out
+	}
 	dev := s.Devices[c.DeviceIndex].New(c.Seed)
 	out.Device = dev.Name()
 	switch s.Precondition {
@@ -545,7 +671,11 @@ func (s Sweep) run(c Cell) (out CellResult) {
 		}
 		out.Open = workload.RunOpen(dev, spec)
 	case TraceReplay:
-		out.Replay = trace.Replay(dev, s.Trace)
+		recs := s.Trace
+		if s.FitTrace {
+			recs = trace.Fit(recs, dev.Capacity(), int64(dev.BlockSize()))
+		}
+		out.Replay = trace.Replay(dev, recs)
 	default:
 		spec := workload.Spec{
 			Pattern:    c.Pattern,

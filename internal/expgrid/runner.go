@@ -8,11 +8,14 @@ import (
 
 // Progress reports one completed cell. Done counts completions (in
 // completion order, which under concurrency need not match enumeration
-// order); Total is the grid size.
+// order); Total is the grid size. Cached counts the completions so far
+// that were served from Sweep.Cache instead of a fresh simulation, so a
+// cache-warm sweep can report how many cells it skipped.
 type Progress struct {
-	Done  int
-	Total int
-	Last  CellResult
+	Done   int
+	Total  int
+	Cached int
+	Last   CellResult
 }
 
 // Runner executes a Sweep's cells on a pool of workers. The zero value is
@@ -108,12 +111,15 @@ func (r Runner) Stream(ctx context.Context, sw Sweep) (<-chan CellResult, func()
 		defer cancel()
 		defer close(out)
 		pending := make(map[int]CellResult, workers)
-		next, done := 0, 0
+		next, done, cached := 0, 0, 0
 		defer func() { completed = next == len(cells) }()
 		for res := range results {
 			done++
+			if res.Cached {
+				cached++
+			}
 			if r.OnProgress != nil {
-				r.OnProgress(Progress{Done: done, Total: len(cells), Last: res})
+				r.OnProgress(Progress{Done: done, Total: len(cells), Cached: cached, Last: res})
 			}
 			if res.Err != nil && firstErr == nil {
 				firstErr = res.Err

@@ -1,0 +1,115 @@
+package integration
+
+import (
+	"testing"
+
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+// The golden values below were captured on the pre-shared-backend stack
+// (every volume owning a private cluster.Cluster and netsim.Network, PR 3
+// tree) with the exact seeds and specs used here. The shared-backend
+// refactor routes the same single volume through an essd.Backend, and this
+// test pins the promise that the refactor is invisible to single-tenant
+// results: same RNG derivation chain, same event order, byte-identical
+// measurements.
+type goldenRun struct {
+	profile string
+	// Closed loop: Mixed 70% writes, 64 KiB, QD 8, 200 ms (20 ms warmup),
+	// seed 99, device seed (42, 42^0x5c), half preconditioned.
+	closedOps                        uint64
+	closedBytes                      int64
+	closedMean, closedP50, closedP99 int64
+	closedP999, closedMax            int64
+	// Open loop: Mixed 50% writes, 256 KiB, 2000 req/s bursty, 3000
+	// requests, seed 7, fully preconditioned.
+	openBytes          int64
+	openElapsed        int64
+	openMean, openP999 int64
+	openMaxOutstanding int
+}
+
+var goldenRuns = []goldenRun{
+	{
+		profile:   "essd1",
+		closedOps: 4154, closedBytes: 272236544,
+		closedMean: 347256, closedP50: 331776, closedP99: 729088,
+		closedP999: 892928, closedMax: 1450716,
+		openBytes: 786432000, openElapsed: 1071590580,
+		openMean: 58854255, openP999: 157286400, openMaxOutstanding: 2000,
+	},
+	{
+		profile:   "essd2",
+		closedOps: 3710, closedBytes: 243138560,
+		closedMean: 389064, closedP50: 430080, closedP99: 614400,
+		closedP999: 2048000, closedMax: 2290773,
+		openBytes: 786432000, openElapsed: 1223838933,
+		openMean: 184798373, openP999: 462137710, openMaxOutstanding: 2000,
+	},
+	{
+		profile:   "gp2",
+		closedOps: 3098, closedBytes: 203030528,
+		closedMean: 466220, closedP50: 462848, closedP99: 909312,
+		closedP999: 1024000, closedMax: 1645229,
+		openBytes: 786432000, openElapsed: 1262823788,
+		openMean: 219382720, openP999: 524288000, openMaxOutstanding: 2000,
+	},
+}
+
+// TestSharedBackendSingleVolumeGolden asserts seed-identical single-volume
+// behaviour across the shared-backend refactor, for both workload
+// families, on ESSD-1, ESSD-2, and the burstable gp2 tier.
+func TestSharedBackendSingleVolumeGolden(t *testing.T) {
+	for _, g := range goldenRuns {
+		g := g
+		t.Run(g.profile, func(t *testing.T) {
+			eng := sim.NewEngine()
+			dev, err := profiles.ByName(g.profile, eng, sim.NewRNG(42, 42^0x5c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.(interface{ Precondition(float64) }).Precondition(0.5)
+			res := workload.Run(dev, workload.Spec{
+				Pattern: workload.Mixed, WriteRatio: 0.7, BlockSize: 64 << 10,
+				QueueDepth: 8, Duration: 200 * sim.Millisecond,
+				Warmup: 20 * sim.Millisecond, Seed: 99,
+			})
+			s := res.Lat.Summarize()
+			if res.Ops != g.closedOps || res.Bytes != g.closedBytes {
+				t.Errorf("closed ops/bytes = %d/%d, golden %d/%d",
+					res.Ops, res.Bytes, g.closedOps, g.closedBytes)
+			}
+			got := [5]int64{int64(s.Mean), int64(s.P50), int64(s.P99), int64(s.P999), int64(s.Max)}
+			want := [5]int64{g.closedMean, g.closedP50, g.closedP99, g.closedP999, g.closedMax}
+			if got != want {
+				t.Errorf("closed latency summary = %v, golden %v", got, want)
+			}
+
+			eng2 := sim.NewEngine()
+			dev2, err := profiles.ByName(g.profile, eng2, sim.NewRNG(42, 42^0x5c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev2.(interface{ Precondition(float64) }).Precondition(1)
+			open := workload.RunOpen(dev2, workload.OpenSpec{
+				Pattern: workload.Mixed, WriteRatio: 0.5, BlockSize: 256 << 10,
+				RatePerSec: 2000, Arrival: workload.Bursty, Count: 3000, Seed: 7,
+			})
+			os := open.Lat.Summarize()
+			if open.Bytes != g.openBytes || int64(open.Elapsed) != g.openElapsed {
+				t.Errorf("open bytes/elapsed = %d/%d, golden %d/%d",
+					open.Bytes, int64(open.Elapsed), g.openBytes, g.openElapsed)
+			}
+			if int64(os.Mean) != g.openMean || int64(os.P999) != g.openP999 {
+				t.Errorf("open mean/p999 = %d/%d, golden %d/%d",
+					int64(os.Mean), int64(os.P999), g.openMean, g.openP999)
+			}
+			if open.MaxOutstanding != g.openMaxOutstanding {
+				t.Errorf("open max outstanding = %d, golden %d",
+					open.MaxOutstanding, g.openMaxOutstanding)
+			}
+		})
+	}
+}

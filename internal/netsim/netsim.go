@@ -2,6 +2,11 @@
 // and the storage cluster (paper Fig 1): per-direction bandwidth pipes plus
 // a jittered per-hop propagation/processing delay. This network is the
 // dominant term in the ESSD latency gap of Observation #1.
+//
+// A Network may be shared by several clients (the multi-tenant fabric of a
+// disaggregated backend): each client tags its traffic with a Flow, which
+// accounts bytes per direction while every flow contends on the same two
+// pipes — the fabric-contention half of cross-tenant interference.
 package netsim
 
 import (
@@ -82,3 +87,46 @@ func (n *Network) MovedUp() int64 { return n.up.Moved() }
 
 // MovedDown returns total bytes sent toward the client.
 func (n *Network) MovedDown() int64 { return n.down.Moved() }
+
+// Flow tags one client's traffic on a shared network path. Transfers go
+// through the network's shared pipes — flows contend with each other for
+// bandwidth — while per-flow byte counters attribute the load, which is
+// what lets a shared backend report which volume saturated the fabric.
+type Flow struct {
+	n        *Network
+	name     string
+	up, down int64
+}
+
+// NewFlow registers a named traffic flow on the network. The name is
+// descriptive only (volume name, tenant id); flows are not rate-limited
+// individually.
+func (n *Network) NewFlow(name string) *Flow {
+	return &Flow{n: n, name: name}
+}
+
+// Name returns the flow's tag.
+func (f *Flow) Name() string { return f.name }
+
+// SendUp transfers payload toward the cluster on the shared uplink,
+// attributing the bytes to this flow.
+func (f *Flow) SendUp(bytes int64, done func()) {
+	f.up += bytes
+	f.n.SendUp(bytes, done)
+}
+
+// SendDown transfers payload toward the client on the shared downlink,
+// attributing the bytes to this flow.
+func (f *Flow) SendDown(bytes int64, done func()) {
+	f.down += bytes
+	f.n.SendDown(bytes, done)
+}
+
+// Hop schedules done after one sampled hop latency with no payload.
+func (f *Flow) Hop(done func()) { f.n.Hop(done) }
+
+// MovedUp returns this flow's bytes sent toward the cluster.
+func (f *Flow) MovedUp() int64 { return f.up }
+
+// MovedDown returns this flow's bytes sent toward the client.
+func (f *Flow) MovedDown() int64 { return f.down }

@@ -220,6 +220,34 @@ func GP2SmallConfig() essd.Config {
 	return cfg
 }
 
+// NeighborBackendConfig returns the shared storage backend of the
+// multi-tenant noisy-neighbor studies: ESSD-1-class fabric and cluster
+// serving several attached volumes, with a deliberately modest background
+// cleaner so that aggressor overwrite churn accumulates in the pooled debt
+// fast enough to drive cross-tenant throttling within a short simulated
+// horizon (the Obs#2 coupling at fleet scale).
+func NeighborBackendConfig() essd.BackendConfig {
+	bcfg, _ := ESSD1Config().Split()
+	bcfg.Cluster.CleanerRate = 0.15e9
+	return bcfg
+}
+
+// NeighborVolumeConfig returns the per-volume half of a tenant on the
+// shared neighbor backend: gp3-class budgets with a tight spare-capacity
+// margin, so the pooled cleaning debt of a few bursty neighbors crosses
+// the volume's throttle threshold while a solo tenant never does.
+func NeighborVolumeConfig(name string) essd.VolumeConfig {
+	_, vcfg := ESSD1Config().Split()
+	vcfg.Name = name
+	vcfg.Model = "gp3"
+	vcfg.ThroughputBudget = 1.0e9
+	vcfg.BudgetBurst = 16 << 20
+	vcfg.IOPSBudget = 16000
+	vcfg.SpareFrac = 0.04
+	vcfg.ThrottleRate = 0.2e9
+	return vcfg
+}
+
 // NewESSD1 builds the ESSD-1 device on the engine.
 func NewESSD1(eng *sim.Engine, rng *sim.RNG) *essd.ESSD {
 	return essd.New(eng, ESSD1Config(), rng)

@@ -141,6 +141,9 @@ type BurstReport struct {
 	// SampleInterval is the bucket width of every cell's Timeline.
 	SampleInterval sim.Duration
 	Cells          []BurstCell
+	// CachedCells counts cells served from the sweep cache instead of a
+	// fresh simulation.
+	CachedCells int
 }
 
 // CreditInfo is the post-run credit and throttle state InspectCredits
@@ -236,6 +239,9 @@ func RunBurst(ctx context.Context, s BurstSweep) (*BurstReport, error) {
 			rep.SampleInterval = r.Open.Series.Interval()
 		}
 		rep.Cells = append(rep.Cells, foldBurstCell(r))
+		if r.Cached {
+			rep.CachedCells++
+		}
 	}
 	return rep, nil
 }

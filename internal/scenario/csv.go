@@ -85,6 +85,57 @@ func BurstTimelinesTable(r *BurstReport) *results.Table {
 	return t
 }
 
+// NeighborCellsTable renders the noisy-neighbor suite as one row per
+// cell: aggressor coordinates, victim tail latency and its inflation over
+// the solo-victim control, and the shared-debt throttle columns. Schema
+// documented in docs/formats.md.
+func NeighborCellsTable(r *NeighborReport) *results.Table {
+	t := results.NewTable("neighbor_cells",
+		"aggressors", "aggr_rate_per_s", "aggr_write_ratio_pct", "aggr_offered_mbps",
+		"victim_ops", "victim_bytes", "victim_elapsed_s", "victim_mbps",
+		"victim_lat_mean_ms", "victim_lat_p50_ms", "victim_lat_p99_ms",
+		"victim_lat_p999_ms", "victim_lat_max_ms", "victim_max_outstanding",
+		"p99_inflation", "p999_inflation",
+		"throttled", "throttle_onset_s", "shared_debt_bytes",
+		"victim_debt_bytes", "aggr_debt_bytes", "budget_stall_s",
+		"aggr_ops", "aggr_bytes",
+	)
+	for _, c := range r.Cells {
+		t.AddRow(
+			results.Int(int64(c.Aggressors)),
+			results.Float(c.AggrRatePerSec),
+			results.Int(int64(c.AggrWriteRatioPct)),
+			results.Float(c.AggrOfferedBps/1e6),
+			results.Uint(c.VictimOps),
+			results.Int(c.VictimBytes),
+			results.Seconds(c.VictimElapsed),
+			results.Float(c.VictimThroughputBps/1e6),
+			results.Millis(c.VictimLat.Mean),
+			results.Millis(c.VictimLat.P50),
+			results.Millis(c.VictimLat.P99),
+			results.Millis(c.VictimLat.P999),
+			results.Millis(c.VictimLat.Max),
+			results.Int(int64(c.VictimMaxOutstanding)),
+			results.Float(c.P99Inflation),
+			results.Float(c.P999Inflation),
+			results.Bool(c.Throttled),
+			results.Seconds(c.ThrottleOnset),
+			results.Int(c.SharedDebt),
+			results.Int(c.VictimDebt),
+			results.Int(c.AggrDebt),
+			results.Seconds(c.BudgetStall),
+			results.Uint(c.AggrOps),
+			results.Int(c.AggrBytes),
+		)
+	}
+	return t
+}
+
+// WriteNeighborCSV dumps the per-cell neighbor table as CSV.
+func WriteNeighborCSV(w io.Writer, r *NeighborReport) error {
+	return NeighborCellsTable(r).WriteCSV(w)
+}
+
 // WriteBurstCSV dumps the per-cell table as CSV.
 func WriteBurstCSV(w io.Writer, r *BurstReport) error {
 	return BurstCellsTable(r).WriteCSV(w)

@@ -13,18 +13,31 @@
 // throughput before and after the first exhaustion, from the open-loop
 // result's per-interval timelines.
 //
+// The noisy-neighbor suite (NeighborSweep, RunNeighbor) targets the
+// cross-tenant face of the contract: one steady open-loop victim shares a
+// storage backend (essd.Backend — one cluster, one fabric, one pooled
+// cleaner) with a swept number of bursty aggressor volumes, through the
+// expgrid tenant-mix kind. Each cell reports the victim's tail latency,
+// its inflation over the solo-victim control cell (aggressors = 0), and
+// the shared-debt throttle onset — when the victim's flow limiter engaged
+// because the pooled cleaner backlog, mostly someone else's churn, crossed
+// the victim's spare-capacity threshold (InspectNeighbors attributes the
+// debt per tenant).
+//
 // # Model assumptions
 //
-// Every cell runs on a fresh, fully written device (reads must hit data)
+// Every cell runs on fresh, fully written devices (reads must hit data)
 // whose engine starts at virtual time zero; preconditioning consumes no
-// virtual time, so credit-exhaustion timestamps are directly comparable
-// across cells. Results are deterministic and identical for any worker
-// count. Attaching an expgrid.Cache (BurstSweep.Cache) makes warm re-runs
-// skip simulation entirely while producing byte-identical reports;
-// CreditInfo is JSON-round-trippable (DecodeCreditInfo) so cached cells
-// survive persistence.
+// virtual time, so credit-exhaustion and throttle-onset timestamps are
+// directly comparable across cells. Results are deterministic and
+// identical for any worker count. Attaching an expgrid.Cache
+// (BurstSweep.Cache, NeighborSweep.Cache) makes warm re-runs skip
+// simulation entirely while producing byte-identical reports; CreditInfo
+// and NeighborInfo are JSON-round-trippable (DecodeCreditInfo,
+// DecodeNeighborInfo) so cached cells survive persistence.
 //
-// Reports render as aligned tables (FormatBurst) or as CSV for plotting
-// (WriteBurstCSV per cell, WriteBurstTimelineCSV per sample interval); the
-// CSV schemas are documented in docs/formats.md.
+// Reports render as aligned tables (FormatBurst, FormatNeighbor) or as CSV
+// for plotting (WriteBurstCSV and WriteBurstTimelineCSV for the burst
+// suite, WriteNeighborCSV for the neighbor suite); the CSV schemas are
+// documented in docs/formats.md.
 package scenario

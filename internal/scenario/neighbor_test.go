@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"essdsim/internal/essd"
+	"essdsim/internal/expgrid"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
+	"essdsim/internal/workload"
+)
+
+// quickNeighbor is a 3-cell sweep (0/2/4 aggressors at one rate) sized
+// for -short runs.
+func quickNeighbor() NeighborSweep {
+	return NeighborSweep{
+		AggressorCounts:      []int{0, 2, 4},
+		AggressorRatesPerSec: []float64{1600},
+		VictimOps:            900,
+		Seed:                 7,
+		Label:                "neighbor-test",
+	}
+}
+
+// TestNeighborWorkerDeterminism checks the satellite promise: the
+// noisy-neighbor sweep is byte-identical at 1 worker and 8 workers.
+func TestNeighborWorkerDeterminism(t *testing.T) {
+	s1 := quickNeighbor()
+	s1.Workers = 1
+	r1, err := RunNeighbor(context.Background(), s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8 := quickNeighbor()
+	s8.Workers = 8
+	r8, err := RunNeighbor(context.Background(), s8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatal("neighbor sweep differs between 1 and 8 workers")
+	}
+}
+
+// TestNeighborInterference is the acceptance check of the shared-backend
+// refactor: the same victim and aggressor workloads run twice on one
+// engine — once with every volume attached to ONE shared backend, once
+// with each volume on its own private backend — and only the shared run
+// may interfere. Aggressor load must measurably inflate the victim's p99
+// and engage the victim's flow limiter via shared debt; the private
+// control must do neither, and a lighter shared load must throttle later
+// than a heavier one.
+func TestNeighborInterference(t *testing.T) {
+	run := func(shared bool, aggressors int) (p99 sim.Duration, throttled bool, onset sim.Time) {
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(11, 13)
+		cell := expgrid.Cell{Aggressors: aggressors, RatePerSec: 1600, WriteRatioPct: 100, Seed: 21}
+		s := quickNeighbor()
+		var tenants []workload.Tenant
+		if shared {
+			be := essd.NewBackend(eng, profiles.NeighborBackendConfig(), rng.Derive("backend"))
+			tenants = s.AttachTenants(be, rng, cell)
+		} else {
+			// Identical tenants, but every volume gets a private backend:
+			// same workloads and seeds, no shared resources. AttachTenants
+			// attaches everything it is given to one backend, so build the
+			// mix volume by volume instead.
+			sharedBE := essd.NewBackend(eng, profiles.NeighborBackendConfig(), rng.Derive("backend"))
+			mixed := s.AttachTenants(sharedBE, rng, cell)
+			for i, tn := range mixed {
+				priv := essd.NewBackend(eng, profiles.NeighborBackendConfig(),
+					sim.NewRNG(uint64(41+i), uint64(43+i)))
+				vol := priv.Attach(profiles.NeighborVolumeConfig(tn.Name), sim.NewRNG(uint64(51+i), 1))
+				vol.Precondition(1)
+				tn.Dev = vol
+				tenants = append(tenants, tn)
+			}
+		}
+		res := workload.RunTenants(eng, tenants)
+		victim := tenants[0].Dev.(*essd.ESSD)
+		return res[0].Open.Lat.Summarize().P99, victim.Throttled(), victim.ThrottledAt()
+	}
+
+	sharedP99, sharedThrottled, sharedOnset := run(true, 4)
+	privP99, privThrottled, _ := run(false, 4)
+
+	if !sharedThrottled {
+		t.Fatal("shared backend: aggressor debt did not engage the victim flow limiter")
+	}
+	if privThrottled {
+		t.Fatal("private backends: victim throttled without shared debt")
+	}
+	if float64(sharedP99) < 2*float64(privP99) {
+		t.Fatalf("victim p99 not inflated by neighbors: shared %v vs private %v", sharedP99, privP99)
+	}
+
+	// Fewer aggressors → later throttle onset (the pooled debt grows more
+	// slowly past the victim's fixed threshold).
+	lightP99, lightThrottled, lightOnset := run(true, 2)
+	if !lightThrottled {
+		t.Fatal("2 aggressors should still cross the shared-debt threshold in this configuration")
+	}
+	if lightOnset <= sharedOnset {
+		t.Fatalf("throttle onset did not advance with aggressor count: 2 aggr at %v, 4 aggr at %v",
+			lightOnset, sharedOnset)
+	}
+	_ = lightP99
+}
+
+// TestNeighborControlCellsBehave sanity-checks the folded report: control
+// cells carry no inflation, loaded cells do, and throttle onset is
+// monotone in aggressor count at a fixed rate.
+func TestNeighborControlCellsBehave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep")
+	}
+	rep, err := RunNeighbor(context.Background(), quickNeighbor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(rep.Cells))
+	}
+	var lastOnset sim.Duration
+	for i, c := range rep.Cells {
+		if c.Aggressors == 0 {
+			if c.P99Inflation != 0 || c.Throttled {
+				t.Fatalf("control cell polluted: %+v", c)
+			}
+			continue
+		}
+		if c.P999Inflation <= 1 {
+			t.Fatalf("cell %d (%d aggressors): p99.9 inflation %v not > 1", i, c.Aggressors, c.P999Inflation)
+		}
+		if !c.Throttled || c.ThrottleOnset < 0 {
+			t.Fatalf("cell %d (%d aggressors): not throttled", i, c.Aggressors)
+		}
+		if lastOnset > 0 && c.ThrottleOnset >= lastOnset {
+			t.Fatalf("throttle onset not advancing: %v then %v", lastOnset, c.ThrottleOnset)
+		}
+		lastOnset = c.ThrottleOnset
+		if c.AggrDebt <= c.VictimDebt {
+			t.Fatalf("cell %d: aggressor debt %d not dominating victim debt %d", i, c.AggrDebt, c.VictimDebt)
+		}
+	}
+}
+
+// TestNeighborCacheWarm checks that a cache-warm re-run simulates zero new
+// cells and reproduces the identical report (modulo the cache bookkeeping
+// fields themselves).
+func TestNeighborCacheWarm(t *testing.T) {
+	cache := expgrid.NewCache(0)
+	s := quickNeighbor()
+	s.Cache = cache
+	cold, err := RunNeighbor(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CachedCells != 0 {
+		t.Fatalf("cold run reported %d cached cells", cold.CachedCells)
+	}
+	warm, err := RunNeighbor(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CachedCells != len(warm.Cells) {
+		t.Fatalf("warm run cached %d of %d cells", warm.CachedCells, len(warm.Cells))
+	}
+	// Strip the bookkeeping difference and compare the measurements.
+	warm.CachedCells = cold.CachedCells
+	for i := range warm.Cells {
+		warm.Cells[i].Cached = cold.Cells[i].Cached
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cache-warm neighbor report differs from cold run")
+	}
+}

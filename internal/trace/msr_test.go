@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+)
+
+func TestParseMSR(t *testing.T) {
+	in := `# MSR-Cambridge excerpt
+128166372003000000,src1,0,Write,8192,16384,1331
+
+128166372003000010,src1,0,read,4096,4096,551
+128166372003001000,src1,0,W,1048576,65536,2112
+`
+	recs, err := ParseMSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	// Rebased to the first timestamp; ticks are 100 ns.
+	if recs[0].At != 0 {
+		t.Fatalf("first record at %v, want 0", recs[0].At)
+	}
+	if recs[1].At != 1000 { // 10 ticks × 100 ns
+		t.Fatalf("second record at %v, want 1µs", recs[1].At)
+	}
+	if recs[2].At != 100*sim.Microsecond {
+		t.Fatalf("third record at %v, want 100µs", recs[2].At)
+	}
+	if recs[0].Op != blockdev.Write || recs[1].Op != blockdev.Read || recs[2].Op != blockdev.Write {
+		t.Fatalf("ops = %v %v %v", recs[0].Op, recs[1].Op, recs[2].Op)
+	}
+	if recs[1].Offset != 4096 || recs[1].Size != 4096 {
+		t.Fatalf("read record = %+v", recs[1])
+	}
+}
+
+func TestParseMSRSortsUnorderedRows(t *testing.T) {
+	in := `200,h,0,Write,0,4096,1
+100,h,0,Read,4096,4096,1
+150,h,0,Write,8192,4096,1
+`
+	recs, err := ParseMSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Op != blockdev.Read || recs[0].At != 0 {
+		t.Fatalf("earliest row not first after sort: %+v", recs[0])
+	}
+	if recs[1].At != 50*msrTick || recs[2].At != 100*msrTick {
+		t.Fatalf("rebased times = %v, %v", recs[1].At, recs[2].At)
+	}
+	// The sorted result must satisfy the native reader's invariant.
+	var buf strings.Builder
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("sorted MSR trace not replayable as native: %v", err)
+	}
+}
+
+// TestParseMSRFiletimeMagnitude checks that real Windows-filetime
+// magnitudes (~1.3e17 ticks, whose ×100 ns product overflows int64) are
+// rebased in tick space before the nanosecond conversion, so deltas come
+// out exact and non-negative — and that a pathological mixed-epoch trace
+// whose span cannot be expressed in int64 nanoseconds is rejected rather
+// than silently wrapped.
+func TestParseMSRFiletimeMagnitude(t *testing.T) {
+	in := `128166372003061629,h,0,Read,0,4096,1
+128166372003061729,h,0,Write,4096,4096,1
+128166372003062729,h,0,Write,8192,4096,1
+`
+	recs, err := ParseMSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.At < 0 {
+			t.Fatalf("record %d has negative (overflowed) time %d", i, int64(r.At))
+		}
+	}
+	// 100 ticks = 10 µs, 1000 ticks = 100 µs past the base.
+	if recs[1].At != 10*sim.Microsecond || recs[2].At != 110*sim.Microsecond {
+		t.Fatalf("filetime deltas = %v, %v; want 10µs, 110µs", recs[1].At, recs[2].At)
+	}
+	if !sort.SliceIsSorted(recs, func(i, j int) bool { return recs[i].At < recs[j].At }) {
+		t.Fatal("records not sorted after rebase")
+	}
+
+	// A trace mixing a small (rebased) timestamp with a raw filetime spans
+	// centuries: unrepresentable, must error.
+	mixed := `0,h,0,Read,0,4096,1
+128166372003061629,h,0,Write,4096,4096,1
+`
+	if _, err := ParseMSR(strings.NewReader(mixed)); err == nil {
+		t.Fatal("ParseMSR accepted a mixed-epoch trace whose span overflows nanoseconds")
+	}
+}
+
+func TestReadFormat(t *testing.T) {
+	if _, err := ReadFormat(strings.NewReader("0 w 0 4096\n"), "text"); err != nil {
+		t.Fatalf("text: %v", err)
+	}
+	if _, err := ReadFormat(strings.NewReader("1,h,0,Write,0,4096,1\n"), "msr"); err != nil {
+		t.Fatalf("msr: %v", err)
+	}
+	if _, err := ReadFormat(strings.NewReader(""), "bogus"); err == nil {
+		t.Fatal("ReadFormat accepted an unknown format")
+	}
+}
+
+func TestParseMSRErrors(t *testing.T) {
+	bad := []string{
+		"1,h,0,Write,0",                // short row
+		"x,h,0,Write,0,4096,1",         // bad timestamp
+		"1,h,0,Trim,0,4096,1",          // unsupported type
+		"1,h,0,Write,-1,4096,1",        // negative offset
+		"1,h,0,Write,0,0,1",            // zero size
+		"1,h,0,Write,0,4096,1,trailer", // long row
+	}
+	for _, in := range bad {
+		if _, err := ParseMSR(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseMSR accepted %q", in)
+		}
+	}
+}
+
+func TestFit(t *testing.T) {
+	const cap = 1 << 20
+	const bs = 4096
+	recs := []Record{
+		{At: 0, Op: blockdev.Write, Offset: 3*cap + 5000, Size: 100}, // wraps, aligns, rounds up
+		{At: 1, Op: blockdev.Read, Offset: cap - bs, Size: 3 * bs},   // clamped to the tail
+		{At: 2, Op: blockdev.Write, Offset: 0, Size: 10 * cap},       // size capped at capacity
+	}
+	out := Fit(recs, cap, bs)
+	if out[0].Offset != 4096 || out[0].Size != bs {
+		t.Fatalf("fit[0] = %+v", out[0])
+	}
+	if out[1].Offset+out[1].Size > cap {
+		t.Fatalf("fit[1] runs past capacity: %+v", out[1])
+	}
+	if out[2].Size != cap || out[2].Offset != 0 {
+		t.Fatalf("fit[2] = %+v", out[2])
+	}
+	for i, r := range out {
+		if r.At != recs[i].At || r.Op != recs[i].Op {
+			t.Fatalf("fit changed timing or op at %d", i)
+		}
+		if r.Offset%bs != 0 || r.Size%bs != 0 {
+			t.Fatalf("fit[%d] not block aligned: %+v", i, r)
+		}
+	}
+	// Original slice untouched.
+	if recs[0].Offset != 3*cap+5000 {
+		t.Fatal("Fit mutated its input")
+	}
+}

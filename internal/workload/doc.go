@@ -1,5 +1,5 @@
 // Package workload generates the paper's FIO-style workloads against a
-// simulated device, in two regimes:
+// simulated device, in three regimes:
 //
 //   - Run drives a closed loop: a fixed queue depth of outstanding I/Os,
 //     each completion immediately submitting the next request. This is the
@@ -15,6 +15,15 @@
 //     that cannot keep up accumulates a queue, and the recorded latency
 //     includes that queueing delay — exactly what a deadline-driven
 //     service experiences.
+//
+//   - RunTenants drives a tenant mix: several generators (open- or
+//     closed-loop), each against its own volume, started together and
+//     drained by ONE engine run, so their I/O interleaves event for event
+//     the way concurrent guests on a shared storage backend would. Each
+//     tenant measures its own submission-to-last-completion window. This
+//     is the multi-tenant regime behind the noisy-neighbor scenarios:
+//     volumes attached to a shared essd.Backend interfere, volumes on
+//     private backends do not.
 //
 // # Model assumptions
 //

@@ -38,6 +38,22 @@ func (a Arrival) String() string {
 	}
 }
 
+// ParseArrival converts an arrival-shape name ("uniform", "poisson",
+// "bursty") into an Arrival — the inverse of String, shared by every CLI
+// flag that selects an arrival process.
+func ParseArrival(s string) (Arrival, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "poisson":
+		return Poisson, nil
+	case "bursty":
+		return Bursty, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown arrival %q", s)
+	}
+}
+
 // OpenSpec describes an open-loop (arrival-driven) workload: requests are
 // issued on a schedule regardless of completions, exposing queueing when
 // the device cannot keep up — the regime where the provisioned budget and
@@ -131,6 +147,17 @@ func (r *OpenResult) Throughput() float64 {
 // RunOpen executes the open-loop workload, driving the engine until all
 // requests complete. It panics on an invalid spec.
 func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
+	finish := startOpen(dev, spec)
+	dev.Engine().Run()
+	return finish()
+}
+
+// startOpen validates the spec (panicking on harness programming errors)
+// and schedules every arrival on the device's engine, returning a
+// finalizer that closes the measurement once the caller has drained the
+// engine. RunTenants uses the split to schedule several open-loop
+// generators on one shared engine before a single run drains them all.
+func startOpen(dev blockdev.Device, spec OpenSpec) func() *OpenResult {
 	if err := spec.Validate(dev); err != nil {
 		panic(err)
 	}
@@ -161,6 +188,7 @@ func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
 	}
 
 	outstanding := 0
+	lastDone := start
 	var seqOff int64
 	var at sim.Duration
 	for i := uint64(0); i < spec.Count; i++ {
@@ -209,6 +237,7 @@ func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
 				Op: opC, Offset: offC, Size: spec.BlockSize,
 				OnComplete: func(r *blockdev.Request, done sim.Time) {
 					outstanding--
+					lastDone = done
 					lat := done.Sub(issueAt)
 					rel := sim.Time(done.Sub(start))
 					res.Lat.Record(lat)
@@ -220,7 +249,11 @@ func RunOpen(dev blockdev.Device, spec OpenSpec) *OpenResult {
 			})
 		})
 	}
-	eng.Run()
-	res.Elapsed = eng.Now().Sub(start)
-	return res
+	// Elapsed measures to this workload's own last completion, not the
+	// engine clock: on a shared engine another tenant may keep the clock
+	// running after this generator drained.
+	return func() *OpenResult {
+		res.Elapsed = lastDone.Sub(start)
+		return res
+	}
 }

@@ -152,6 +152,18 @@ func (r *Result) IOPS() float64 {
 // until every outstanding I/O drains. It panics on an invalid spec (harness
 // programming error).
 func Run(dev blockdev.Device, spec Spec) *Result {
+	finish := start(dev, spec)
+	dev.Engine().Run()
+	return finish()
+}
+
+// start validates the spec (panicking on harness programming errors),
+// seeds the generator, and submits the initial queue-depth window; further
+// submissions are driven by completions. It returns a finalizer that
+// closes the measurement once the caller has drained the engine. Splitting
+// the two phases is what lets RunTenants start several generators on one
+// shared engine before a single engine run drains them all.
+func start(dev blockdev.Device, spec Spec) func() *Result {
 	if err := spec.Validate(dev); err != nil {
 		panic(err)
 	}
@@ -172,7 +184,8 @@ func Run(dev blockdev.Device, spec Spec) *Result {
 		region = dev.Capacity()
 	}
 	slots := region / spec.BlockSize
-	start := eng.Now()
+	began := eng.Now()
+	lastDone := began
 	var submittedBytes int64
 	var submittedOps uint64
 	var seqOff int64
@@ -183,7 +196,7 @@ func Run(dev blockdev.Device, spec Spec) *Result {
 			return true
 		}
 		switch {
-		case spec.Duration > 0 && eng.Now().Sub(start) >= spec.Duration:
+		case spec.Duration > 0 && eng.Now().Sub(began) >= spec.Duration:
 			stopped = true
 		case spec.TotalBytes > 0 && submittedBytes >= spec.TotalBytes:
 			stopped = true
@@ -227,6 +240,7 @@ func Run(dev blockdev.Device, spec Spec) *Result {
 
 	var submit func()
 	onComplete := func(r *blockdev.Request, at sim.Time) {
+		lastDone = at
 		lat := r.Latency(at)
 		rel := at.Sub(res.Started)
 		if rel >= spec.Warmup {
@@ -263,14 +277,18 @@ func Run(dev blockdev.Device, spec Spec) *Result {
 		submit()
 	}
 	// For duration-bounded runs the stop condition is only observed at
-	// completions; make sure the clock check fires even if the device
-	// wedges (it will panic via validation rather than hang in practice).
-	eng.Run()
-	res.Elapsed = eng.Now().Sub(start)
-	if spec.Duration > 0 && res.Elapsed > spec.Duration {
-		// Exclude the drain tail from the mean-throughput window: the
-		// submission window closed at spec.Duration.
-		res.Elapsed = spec.Duration
+	// completions (it will panic via validation rather than hang in
+	// practice). The finalizer measures to the workload's own last
+	// completion, not the engine clock: on a shared engine another
+	// tenant's generator may keep the clock running long after this one
+	// drained.
+	return func() *Result {
+		res.Elapsed = lastDone.Sub(began)
+		if spec.Duration > 0 && res.Elapsed > spec.Duration {
+			// Exclude the drain tail from the mean-throughput window: the
+			// submission window closed at spec.Duration.
+			res.Elapsed = spec.Duration
+		}
+		return res
 	}
-	return res
 }
