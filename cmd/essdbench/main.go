@@ -17,8 +17,12 @@
 // measuring one offered rate, essdbench binary-searches the -slo-range for
 // the highest rate whose steady-state p99 meets the target, reporting both
 // the pre-exhaustion and the post-cliff (credit-floor) SLO-max rates of
-// burstable tiers. With -cache FILE the search's probes persist across
-// invocations.
+// burstable tiers.
+//
+// With -cache FILE, SLO-search probes and closed/open sweep cells persist
+// across invocations: a repeat sweep loads the file, skips every
+// already-computed cell, and prints "N of M cells skipped (cache-warm)".
+// Single (non-sweep) runs reject -cache rather than silently ignoring it.
 //
 // A non-empty -trace switches to trace-replay mode: the file (native text
 // format, or MSR-Cambridge CSV with -trace-format msr) replays on every
@@ -74,7 +78,7 @@ func main() {
 		sloP999  = flag.Duration("slo-p999", 0, "additional p99.9 target for the SLO search")
 		sloRange = flag.String("slo-range", "100,4000", "SLO search rate range min,max (req/s)")
 		sloTol   = flag.Float64("slo-tol", 0, "SLO search convergence width in req/s (default range/64)")
-		cacheF   = flag.String("cache", "", "sweep-cache JSON file for SLO probes (loaded if present, saved on exit)")
+		cacheF   = flag.String("cache", "", "sweep-cache JSON file for SLO probes and sweep cells (loaded if present, saved on exit)")
 		traceF   = flag.String("trace", "", "trace-replay mode: replay this trace file on the device(s)")
 		traceFmt = flag.String("trace-format", "text", "trace file format: text (native) or msr (MSR-Cambridge CSV)")
 	)
@@ -136,8 +140,11 @@ func main() {
 			fatal(fmt.Errorf("-iodepth lists are a closed-loop axis; they cannot be combined with -rate"))
 		}
 		if strings.ContainsRune(*device+*rw+*bs+*rate+*arrival, ',') {
-			runOpenSweep(*device, *rw, *bs, *arrival, rates, *ops, *mixPct, *precond, *seed, *workers)
+			runOpenSweep(*device, *rw, *bs, *arrival, rates, *ops, *mixPct, *precond, *seed, *workers, *cacheF)
 			return
+		}
+		if *cacheF != "" {
+			fatal(fmt.Errorf("-cache needs a sweep (comma-list axes) or -slo-p99 search; a single run is never memoized"))
 		}
 		eng := essdsim.NewEngine()
 		dev, err := essdsim.NewDevice(*device, eng, *seed)
@@ -155,8 +162,11 @@ func main() {
 		case *size != "":
 			fatal(fmt.Errorf("-size cannot be combined with comma-list sweep flags; use -runtime"))
 		}
-		runSweep(*device, *rw, *bs, *iodepth, *runtime, *warmup, *precond, *mixPct, *seed, *workers)
+		runSweep(*device, *rw, *bs, *iodepth, *runtime, *warmup, *precond, *mixPct, *seed, *workers, *cacheF)
 		return
+	}
+	if *cacheF != "" {
+		fatal(fmt.Errorf("-cache needs a sweep (comma-list axes) or -slo-p99 search; a single run is never memoized"))
 	}
 
 	eng := essdsim.NewEngine()
@@ -436,11 +446,42 @@ func runOpenLoop(dev essdsim.Device, rw, bs string, rate float64,
 		s.Mean, s.P50, s.P99, s.P999, s.Max)
 }
 
+// runCachedSweep executes a sweep with the optional persistent result
+// cache attached: cells already in the cache are skipped, every completed
+// sweep is saved back, and the returned report function prints the
+// "N of M cells skipped" line (call it after the result rows). Without a
+// cache path the sweep just runs and the report function is a no-op.
+func runCachedSweep(sw essdsim.Sweep, workers int, cachePath string) ([]essdsim.SweepCellResult, func()) {
+	var cache *essdsim.SweepCache
+	if cachePath != "" {
+		cache = essdsim.NewSweepCache(0)
+		if err := cache.LoadFile(cachePath); err != nil {
+			fatal(err)
+		}
+		sw.Cache = cache
+	}
+	var last essdsim.SweepProgress
+	runner := essdsim.SweepRunner{Workers: workers, OnProgress: func(p essdsim.SweepProgress) { last = p }}
+	results, err := runner.Run(context.Background(), sw)
+	if err != nil {
+		fatal(err)
+	}
+	return results, func() {
+		if cache == nil {
+			return
+		}
+		fmt.Printf("%d of %d cells skipped (cache-warm)\n", last.Cached, last.Total)
+		if err := cache.SaveFile(cachePath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
 // runOpenSweep executes the cross product of comma-separated device,
 // pattern, size, arrival, and rate lists as a parallel open-loop grid and
 // prints one summary row per cell.
 func runOpenSweep(devices, rws, sizes, arrivals string, rates []float64,
-	ops uint64, mixPct int, precond string, seed uint64, workers int) {
+	ops uint64, mixPct int, precond string, seed uint64, workers int, cachePath string) {
 	sw := essdsim.Sweep{Kind: essdsim.SweepOpen, Seed: seed, Label: "essdbench-open"}
 	var names []string
 	for _, name := range strings.Split(devices, ",") {
@@ -484,10 +525,7 @@ func runOpenSweep(devices, rws, sizes, arrivals string, rates []float64,
 		len(sw.Cells()), len(sw.Devices))
 	fmt.Printf("%-8s %-10s %-7s %-8s %9s %11s %11s %11s %8s\n",
 		"device", "rw", "bs", "arrival", "rate/s", "MB/s", "p50", "p99.9", "peak-q")
-	results, err := essdsim.RunSweep(context.Background(), sw, workers)
-	if err != nil {
-		fatal(err)
-	}
+	results, reportCache := runCachedSweep(sw, workers, cachePath)
 	for _, r := range results {
 		s := r.Open.Lat.Summarize()
 		fmt.Printf("%-8s %-10s %-7s %-8s %9.0f %11.1f %11v %11v %8d\n",
@@ -495,12 +533,13 @@ func runOpenSweep(devices, rws, sizes, arrivals string, rates []float64,
 			r.RatePerSec, r.Open.Throughput()/1e6, s.P50, s.P999,
 			r.Open.MaxOutstanding)
 	}
+	reportCache()
 }
 
 // runSweep executes the cross product of comma-separated device, pattern,
 // size, and depth lists as a parallel experiment grid and prints one
 // summary row per cell.
-func runSweep(devices, rws, sizes, depths, runtime, warmup, precond string, mixPct int, seed uint64, workers int) {
+func runSweep(devices, rws, sizes, depths, runtime, warmup, precond string, mixPct int, seed uint64, workers int, cachePath string) {
 	sw := essdsim.Sweep{Seed: seed, Label: "essdbench"}
 	var names []string
 	for _, name := range strings.Split(devices, ",") {
@@ -554,16 +593,14 @@ func runSweep(devices, rws, sizes, depths, runtime, warmup, precond string, mixP
 	fmt.Printf("sweep: %d cells on %d devices\n", total, len(sw.Devices))
 	fmt.Printf("%-8s %-10s %-7s %-4s %11s %11s %11s %11s\n",
 		"device", "rw", "bs", "QD", "MB/s", "IOPS", "avg", "p99.9")
-	results, err := essdsim.RunSweep(context.Background(), sw, workers)
-	if err != nil {
-		fatal(err)
-	}
+	results, reportCache := runCachedSweep(sw, workers, cachePath)
 	for _, r := range results {
 		s := r.Res.Lat.Summarize()
 		fmt.Printf("%-8s %-10s %-7s %-4d %11.1f %11.0f %11v %11v\n",
 			r.DeviceName, r.Pattern, sizeLabel(r.BlockSize), r.QueueDepth,
 			r.Res.Throughput()/1e6, r.Res.IOPS(), s.Mean, s.P999)
 	}
+	reportCache()
 }
 
 // parsePrecond maps the -precondition flag to a sweep mode; the single-run

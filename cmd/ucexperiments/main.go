@@ -1,17 +1,29 @@
 // Command ucexperiments regenerates the paper's evaluation artifacts
 // (Table I and Figures 2-5) on the simulated devices and prints them in the
 // paper's layout, plus the burst-credit scenario suite, the latency-SLO
-// search behind Observation #4 on the burstable tiers, and the
-// noisy-neighbor suite measuring cross-tenant interference on a shared
-// backend. Optionally dumps raw CSV series for plotting (docs/formats.md
+// search behind Observation #4 on the burstable tiers, the noisy-neighbor
+// suite measuring cross-tenant interference on a shared backend, and the
+// fleet tenant-packing study comparing placement policies over many shared
+// backends. Optionally dumps raw CSV series for plotting (docs/formats.md
 // describes the schemas).
+//
+// The neighbor suite's aggressors are synthetic by default; with
+// -aggr-trace FILE (and -aggr-trace-format msr for MSR-Cambridge CSV) the
+// aggressor rate, write ratio, and block size are instead fitted from a
+// real trace (trace.Fit + trace.ProfileOf onto the neighbor volume
+// geometry).
+//
+// The fleet study (-exp fleet) packs -fleet-tenants synthetic tenants
+// (-fleet-aggressors of them bursty write floods) onto -fleet-backends
+// shared backends under each -fleet-policy, and reports per-policy SLO
+// violations, utilization, and worst-victim inflation vs a solo control.
 //
 // Experiment cells run concurrently on an internal/expgrid worker pool
 // (-workers, default GOMAXPROCS); results are deterministic and identical
 // to a serial run regardless of worker count. With -cache FILE, burst,
-// SLO, and neighbor cells are memoized in a persistent sweep cache: a
-// repeat run loads the file, executes zero new cells, and prints how many
-// cells each suite skipped, reproducing the same measurements and
+// SLO, neighbor, and fleet cells are memoized in a persistent sweep cache:
+// a repeat run loads the file, executes zero new cells, and prints how
+// many cells each suite skipped, reproducing the same measurements and
 // byte-identical -out CSV dumps.
 //
 // Examples:
@@ -20,6 +32,9 @@
 //	ucexperiments -exp fig2 -quick
 //	ucexperiments -exp burst -quick
 //	ucexperiments -exp neighbor -quick -out results/
+//	ucexperiments -exp neighbor -aggr-trace msr-rows.csv -aggr-trace-format msr
+//	ucexperiments -exp fleet -quick -cache sweepcache.json
+//	ucexperiments -exp fleet -fleet-tenants 16 -fleet-backends 4 -fleet-policy spread,interference
 //	ucexperiments -exp slo -slo-p99 20ms -out results/
 //	ucexperiments -exp slo -quick -cache sweepcache.json
 //	ucexperiments -exp all -out results/ -workers 8
@@ -31,15 +46,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"essdsim/internal/blockdev"
 	"essdsim/internal/expgrid"
+	"essdsim/internal/fleet"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
 	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
 	"essdsim/internal/slo"
+	"essdsim/internal/trace"
 	"essdsim/internal/workload"
 )
 
@@ -62,14 +80,21 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, or all")
+		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, fleet, or all")
 		quick       = flag.Bool("quick", false, "reduced grids for a fast pass")
 		seed        = flag.Uint64("seed", 7, "deterministic seed")
 		out         = flag.String("out", "", "directory for raw CSV dumps (optional)")
 		workers     = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
-		cacheFile   = flag.String("cache", "", "sweep-cache JSON file for burst/slo/neighbor cells (loaded if present, saved on exit)")
+		cacheFile   = flag.String("cache", "", "sweep-cache JSON file for burst/slo/neighbor/fleet cells (loaded if present, saved on exit)")
 		sloP99      = flag.Duration("slo-p99", 20*time.Millisecond, "p99 target of the -exp slo search")
 		aggrArrival = flag.String("aggr-arrival", "bursty", "-exp neighbor aggressor arrival shape: bursty or poisson")
+		aggrTrace   = flag.String("aggr-trace", "", "-exp neighbor: fit aggressor rate/write-ratio/size from this trace file")
+		aggrTraceF  = flag.String("aggr-trace-format", "text", "trace file format for -aggr-trace: text or msr")
+		fleetTen    = flag.Int("fleet-tenants", 12, "-exp fleet tenant catalog size")
+		fleetAggr   = flag.Int("fleet-aggressors", 3, "-exp fleet bursty write-flood tenants within the catalog")
+		fleetBack   = flag.Int("fleet-backends", 0, "-exp fleet packing density: backends available to every policy (0 = fit nominal load)")
+		fleetPolicy = flag.String("fleet-policy", "all", "-exp fleet policies: all or a comma list of first-fit, spread, best-fit, interference")
+		fleetP999   = flag.Duration("fleet-slo-p999", 5*time.Millisecond, "-exp fleet p99.9 target the violation columns count against")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -217,6 +242,25 @@ func main() {
 			sweep.AggressorRatesPerSec = []float64{1600}
 			sweep.VictimOps = 1200
 		}
+		if *aggrTrace != "" {
+			// Real-trace aggressors: fit the records onto the neighbor
+			// volume geometry and drive the aggressor axis from the
+			// fitted demand instead of the synthetic defaults.
+			recs, err := readTraceFile(*aggrTrace, *aggrTraceF)
+			if err != nil {
+				fatal(err)
+			}
+			vcfg := profiles.NeighborVolumeConfig("aggr")
+			d, err := fleet.DemandFromTrace("aggr", recs, vcfg.Capacity, vcfg.BlockSize)
+			if err != nil {
+				fatal(fmt.Errorf("-aggr-trace %s: %w", *aggrTrace, err))
+			}
+			sweep.AggressorRatesPerSec = []float64{d.RatePerSec}
+			sweep.AggressorWriteRatiosPct = []int{d.WriteRatioPct}
+			sweep.AggressorBlockSize = d.BlockSize
+			fmt.Printf("neighbor aggressors fitted from %s: %.0f req/s, %d%% writes, %d-byte requests (%d records)\n",
+				*aggrTrace, d.RatePerSec, d.WriteRatioPct, d.BlockSize, len(recs))
+		}
 		rep, err := scenario.RunNeighbor(context.Background(), sweep)
 		if err != nil {
 			fatal(err)
@@ -229,6 +273,39 @@ func main() {
 		fmt.Println()
 		if *out != "" {
 			dumpNeighborCSV(*out, rep)
+		}
+	}
+	if want("fleet") {
+		ran = true
+		tenants, aggressors := *fleetTen, *fleetAggr
+		if *quick {
+			tenants, aggressors = 8, 2
+		}
+		policies, err := parseFleetPolicies(*fleetPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		spec := fleet.Spec{
+			Demands:  fleet.SyntheticDemands(tenants, aggressors),
+			Policies: policies,
+			Backends: *fleetBack,
+			SLOP999:  sim.Duration(fleetP999.Nanoseconds()),
+			Cache:    cache,
+			Seed:     *seed,
+			Workers:  *workers,
+		}
+		rep, err := fleet.Run(context.Background(), spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- Fleet tenant packing (placement policies over shared backends) ---")
+		fleet.Format(os.Stdout, rep)
+		if cache != nil {
+			fmt.Printf("fleet: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, rep.Cells)
+		}
+		fmt.Println()
+		if *out != "" {
+			dumpFleetCSV(*out, rep)
 		}
 	}
 	if want("slo") {
@@ -270,6 +347,32 @@ func main() {
 		fmt.Printf("sweep cache: %d entries, %d hits, %d cells simulated (%s)\n",
 			cache.Len(), hits, misses, *cacheFile)
 	}
+}
+
+// readTraceFile reads a trace file in the named format.
+func readTraceFile(file, format string) ([]trace.Record, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadFormat(f, format)
+}
+
+// parseFleetPolicies maps the -fleet-policy flag to placement policies.
+func parseFleetPolicies(s string) ([]fleet.PlacementPolicy, error) {
+	if s == "all" || s == "" {
+		return fleet.DefaultPolicies(), nil
+	}
+	var out []fleet.PlacementPolicy
+	for _, name := range strings.Split(s, ",") {
+		p, err := fleet.PolicyByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func csvFile(dir, name string) *os.File {
@@ -332,6 +435,19 @@ func dumpNeighborCSV(dir string, rep *scenario.NeighborReport) {
 	f := csvFile(dir, "neighbor_cells.csv")
 	defer f.Close()
 	if err := scenario.WriteNeighborCSV(f, rep); err != nil {
+		panic(err)
+	}
+}
+
+func dumpFleetCSV(dir string, rep *fleet.Report) {
+	f := csvFile(dir, "fleet_backends.csv")
+	if err := fleet.WriteBackendsCSV(f, rep); err != nil {
+		panic(err)
+	}
+	f.Close()
+	f = csvFile(dir, "fleet_tenants.csv")
+	defer f.Close()
+	if err := fleet.WriteTenantsCSV(f, rep); err != nil {
 		panic(err)
 	}
 }

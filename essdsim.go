@@ -26,7 +26,12 @@
 //     cleaner, a tenant-mix driver (RunTenantMix) running their
 //     generators inside one engine, and the noisy-neighbor scenario suite
 //     (RunNeighborScenario) measuring victim tail inflation and
-//     shared-debt throttle onset; and
+//     shared-debt throttle onset;
+//   - fleet-scale tenant packing (RunFleet): a catalog of tenant demands
+//     (synthetic or fitted from real traces) placed onto many shared
+//     backends by pluggable placement policies — first-fit, spread,
+//     best-fit, interference-aware — with per-policy SLO-violation,
+//     utilization, and worst-victim-inflation comparisons; and
 //   - CSV/JSON exports of every suite for plotting (docs/formats.md).
 //
 // Quick start:
@@ -52,6 +57,7 @@ import (
 	"essdsim/internal/essd"
 	"essdsim/internal/expgrid"
 	"essdsim/internal/fio"
+	"essdsim/internal/fleet"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
 	"essdsim/internal/scenario"
@@ -458,6 +464,80 @@ func FormatNeighborReport(w io.Writer, r *NeighborReport) { scenario.FormatNeigh
 // WriteNeighborCSV dumps the scenario report as one CSV row per cell; see
 // docs/formats.md for the schema.
 func WriteNeighborCSV(w io.Writer, r *NeighborReport) error { return scenario.WriteNeighborCSV(w, r) }
+
+// Fleet tenant-packing types: a catalog of tenant demands placed onto
+// many shared backends by pluggable placement policies, each placement
+// materialized as independent Backend simulations on the sweep worker
+// pool and compared policy-vs-policy.
+type (
+	// FleetSpec declares a fleet packing study: demands, templates,
+	// budgets, policies, and the SLO targets.
+	FleetSpec = fleet.Spec
+	// FleetDemand describes one tenant volume to place.
+	FleetDemand = fleet.Demand
+	// FleetReport is the study outcome: one policy report per compared
+	// policy over the identical catalog, plus shared solo controls.
+	FleetReport = fleet.Report
+	// FleetPolicyReport is one placement policy's complete outcome.
+	FleetPolicyReport = fleet.PolicyReport
+	// PlacementPolicy assigns tenant demands to backends.
+	PlacementPolicy = fleet.PlacementPolicy
+	// PlacementConstraints carries the per-backend packing budgets a
+	// policy places against.
+	PlacementConstraints = fleet.Constraints
+)
+
+// RunFleet executes a fleet tenant-packing study: every policy places the
+// identical demand catalog, each placement materializes as independent
+// shared-backend simulations (plus one solo control per distinct demand
+// shape), and all cells run in parallel on one sweep worker pool. Results
+// are deterministic for any worker count; with FleetSpec.Cache a warm
+// re-run simulates zero new cells.
+func RunFleet(ctx context.Context, s FleetSpec) (*FleetReport, error) {
+	return fleet.Run(ctx, s)
+}
+
+// DefaultPlacementPolicies returns the built-in policies in fixed order:
+// first-fit, spread, best-fit, interference-aware.
+func DefaultPlacementPolicies() []PlacementPolicy { return fleet.DefaultPolicies() }
+
+// PlacementPolicyByName returns the built-in policy with the given name
+// ("first-fit", "spread", "best-fit", "interference").
+func PlacementPolicyByName(name string) (PlacementPolicy, error) {
+	return fleet.PolicyByName(name)
+}
+
+// SyntheticFleetDemands builds a deterministic tenant catalog: aggressors
+// bursty write floods spread evenly through steady mixed victims.
+func SyntheticFleetDemands(total, aggressors int) []FleetDemand {
+	return fleet.SyntheticDemands(total, aggressors)
+}
+
+// FleetDemandFromTrace converts a real trace into a placeable tenant
+// demand: records fitted onto the volume geometry, then profiled into an
+// open-loop rate, write mix, and request size.
+func FleetDemandFromTrace(name string, recs []TraceRecord, capacity, blockSize int64) (FleetDemand, error) {
+	return fleet.DemandFromTrace(name, recs, capacity, blockSize)
+}
+
+// FormatFleetReport writes the policy-vs-policy comparison tables.
+func FormatFleetReport(w io.Writer, r *FleetReport) { fleet.Format(w, r) }
+
+// WriteFleetCSV dumps the per-backend fleet table (one row per policy ×
+// materialized backend) as CSV; see docs/formats.md for the schema.
+func WriteFleetCSV(w io.Writer, r *FleetReport) error { return fleet.WriteBackendsCSV(w, r) }
+
+// WriteFleetTenantsCSV dumps the per-tenant fleet table (one row per
+// policy × tenant) as CSV; see docs/formats.md for the schema.
+func WriteFleetTenantsCSV(w io.Writer, r *FleetReport) error { return fleet.WriteTenantsCSV(w, r) }
+
+// TraceProfile summarizes a trace's offered load (rate, write mix, mean
+// request size) — the bridge from replayable records to the synthetic
+// generator parameters the tenant-mix and fleet suites take.
+type TraceProfile = trace.Profile
+
+// ProfileTrace derives the offered-load profile of a record stream.
+func ProfileTrace(recs []TraceRecord) TraceProfile { return trace.ProfileOf(recs) }
 
 // Sweep-result caching: a SweepCache memoizes cell results across sweeps
 // and searches, keyed by the cell's coordinate hash plus a fingerprint of

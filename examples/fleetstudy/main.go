@@ -1,0 +1,74 @@
+// fleetstudy runs the fleet tenant-packing study: the provider-side
+// question the unwritten contract raises at cloud scale. A catalog of
+// tenant volumes — most steady mixed-I/O victims, a few bursty all-write
+// aggressors — must be placed onto a limited pool of shared storage
+// backends, and the placement decides who shares a cluster, a fabric, and
+// a cleaner with whom.
+//
+// Four policies place the identical catalog:
+//
+//   - first-fit packs by nominal rate into the fewest backends (densest),
+//   - spread round-robins across every backend (widest at equal count),
+//   - best-fit packs write churn tightly by residual write budget,
+//   - interference-aware balances write load and refuses to co-locate
+//     aggressors with each other.
+//
+// Every materialized backend simulates independently (in parallel), and
+// the study compares the policies on SLO violations, utilization, and the
+// worst victim's tail inflation versus running alone — the noisy-neighbor
+// tax, now as a fleet-wide placement decision.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"essdsim"
+)
+
+func main() {
+	spec := essdsim.FleetSpec{
+		// Twelve tenants, three of them aggressors, on up to three
+		// backends: dense enough that careless placement stacks
+		// aggressors, wide enough that a careful one need not.
+		Demands:  essdsim.SyntheticFleetDemands(12, 3),
+		Backends: 3,
+		SLOP999:  5 * essdsim.Millisecond,
+		Seed:     7,
+	}
+	rep, err := essdsim.RunFleet(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	essdsim.FormatFleetReport(os.Stdout, rep)
+
+	fmt.Println()
+	fmt.Println("What the placement decision costs, policy by policy:")
+	for _, pr := range rep.Policies {
+		// Worst *victim* inflation: the fleet-wide worst can be an
+		// aggressor's own tail, which is nobody's noisy-neighbor story.
+		worst, worstX := "", 0.0
+		for _, t := range pr.Tenants {
+			if t.WriteRatioPct < 100 && t.P999Inflation > worstX {
+				worst, worstX = t.Name, t.P999Inflation
+			}
+		}
+		switch {
+		case pr.ThrottledTenants > 0:
+			fmt.Printf("  %-13s %d tenants violate p99.9, %d throttled by pooled debt that is mostly not theirs\n",
+				pr.Policy, pr.P999Violations, pr.ThrottledTenants)
+		case worst != "":
+			fmt.Printf("  %-13s %d tenants violate p99.9; worst victim %s runs %.1fx its solo tail\n",
+				pr.Policy, pr.P999Violations, worst, worstX)
+		default:
+			fmt.Printf("  %-13s %d tenants violate p99.9; no victim measurably inflated\n",
+				pr.Policy, pr.P999Violations)
+		}
+	}
+
+	fmt.Println()
+	ff, ia := rep.Policy("first-fit"), rep.Policy("interference")
+	fmt.Printf("Same tenants, same hardware, same density: first-fit produces %d p99.9 violations,\n", ff.P999Violations)
+	fmt.Printf("interference-aware placement %d. The gap is pure placement policy.\n", ia.P999Violations)
+}

@@ -5,6 +5,7 @@ import (
 
 	"essdsim/internal/blockdev"
 	"essdsim/internal/sim"
+	"essdsim/internal/workload"
 )
 
 // attachTwo builds one shared backend with two attached volumes.
@@ -172,4 +173,98 @@ func TestAttachValidates(t *testing.T) {
 		}
 	}()
 	be.Attach(vcfg, nil)
+}
+
+// TestBackendAccountingInvariant drives a three-tenant mix through one
+// shared backend and asserts that the per-volume attribution is complete:
+// summing VolumeStats over every attached volume reproduces the
+// backend-wide cluster totals (primary operations and payload bytes per
+// node) and the fabric totals (bytes moved per direction). Nothing a
+// tenant does may escape its flow accounting — the fleet suite's
+// per-backend reports are built on exactly this bookkeeping.
+func TestBackendAccountingInvariant(t *testing.T) {
+	eng := sim.NewEngine()
+	bcfg, vcfg := testConfig().Split()
+	be := NewBackend(eng, bcfg, sim.NewRNG(11, 12))
+	var tenants []workload.Tenant
+	for i, shape := range []struct {
+		name  string
+		ratio float64
+		rate  float64
+		bs    int64
+	}{
+		{"steady", 0.5, 400, 16 << 10},
+		{"reader", 0, 300, 64 << 10},
+		{"churner", 1, 600, 128 << 10},
+	} {
+		cfg := vcfg
+		cfg.Name = shape.name
+		vol := be.Attach(cfg, sim.NewRNG(uint64(20+i), uint64(30+i)))
+		vol.Precondition(1)
+		tenants = append(tenants, workload.Tenant{
+			Name: shape.name,
+			Dev:  vol,
+			Open: &workload.OpenSpec{
+				Pattern:    workload.Mixed,
+				BlockSize:  shape.bs,
+				WriteRatio: shape.ratio,
+				RatePerSec: shape.rate,
+				Arrival:    workload.Poisson,
+				Count:      400,
+				Seed:       uint64(100 + i),
+			},
+		})
+	}
+	results := workload.RunTenants(eng, tenants)
+	for _, r := range results {
+		if r.Open.Ops == 0 {
+			t.Fatalf("tenant %s completed nothing", r.Name)
+		}
+	}
+
+	var flow VolumeStats
+	var debtAdded int64
+	for _, vs := range be.VolumeStats() {
+		flow.Writes += vs.Writes
+		flow.Reads += vs.Reads
+		flow.WriteBytes += vs.WriteBytes
+		flow.ReadBytes += vs.ReadBytes
+		flow.FabricUp += vs.FabricUp
+		flow.FabricDown += vs.FabricDown
+		debtAdded += vs.DebtAdded
+	}
+
+	cl := be.Cluster()
+	var nodeWrites, nodeReads uint64
+	var nodeWriteBytes, nodeReadBytes int64
+	for i := 0; i < cl.NumNodes(); i++ {
+		ns := cl.NodeStats(i)
+		nodeWrites += ns.Writes
+		nodeReads += ns.Reads
+		nodeWriteBytes += ns.WriteBytes
+		nodeReadBytes += ns.ReadBytes
+	}
+	if flow.Writes != nodeWrites || flow.Reads != nodeReads {
+		t.Errorf("cluster ops: flows %d/%d writes/reads, nodes %d/%d",
+			flow.Writes, flow.Reads, nodeWrites, nodeReads)
+	}
+	if flow.WriteBytes != nodeWriteBytes || flow.ReadBytes != nodeReadBytes {
+		t.Errorf("cluster bytes: flows %d/%d, nodes %d/%d",
+			flow.WriteBytes, flow.ReadBytes, nodeWriteBytes, nodeReadBytes)
+	}
+
+	net := be.Network()
+	if flow.FabricUp != net.MovedUp() || flow.FabricDown != net.MovedDown() {
+		t.Errorf("fabric bytes: flows %d/%d up/down, network %d/%d",
+			flow.FabricUp, flow.FabricDown, net.MovedUp(), net.MovedDown())
+	}
+
+	// The pooled debt is the flows' contributions minus what the cleaner
+	// drained — never more than was attributed.
+	if debtAdded <= 0 {
+		t.Error("write churn attributed no cleaning debt")
+	}
+	if got := be.Debt(); got > debtAdded {
+		t.Errorf("pooled debt %d exceeds attributed contributions %d", got, debtAdded)
+	}
 }

@@ -263,10 +263,20 @@ func (s Sweep) fp() uint64 {
 }
 
 // Validate reports a descriptive error for empty or nonsensical axes of
-// the sweep's kind.
+// the sweep's kind. Axis values are checked here rather than left to flow
+// into cell construction: a bad entry fails the sweep before any cell
+// simulates, with the axis named, instead of as a mid-sweep cell panic.
 func (s Sweep) Validate() error {
 	if len(s.Devices) == 0 {
 		return fmt.Errorf("expgrid: sweep has no device axis")
+	}
+	// The write-ratio axis admits the documented -1 sentinel (pure-read
+	// Mixed cells; "hook's choice" for tenant mixes) but nothing else
+	// outside a percentage.
+	for _, wr := range s.WriteRatiosPct {
+		if wr < -1 || wr > 100 {
+			return fmt.Errorf("expgrid: write ratio %d%% out of [-1, 100]", wr)
+		}
 	}
 	for _, d := range s.Devices {
 		// TenantMix cells are built entirely by the Tenants hook; their
@@ -290,6 +300,11 @@ func (s Sweep) Validate() error {
 		for _, r := range s.RatesPerSec {
 			if r <= 0 {
 				return fmt.Errorf("expgrid: open sweep rate %v not positive", r)
+			}
+		}
+		for _, bs := range s.BlockSizes {
+			if bs <= 0 {
+				return fmt.Errorf("expgrid: open sweep block size %d not positive", bs)
 			}
 		}
 	case TraceReplay:
@@ -323,6 +338,16 @@ func (s Sweep) Validate() error {
 			return fmt.Errorf("expgrid: sweep has no block-size axis")
 		case len(s.QueueDepths) == 0:
 			return fmt.Errorf("expgrid: sweep has no queue-depth axis")
+		}
+		for _, bs := range s.BlockSizes {
+			if bs <= 0 {
+				return fmt.Errorf("expgrid: block size %d not positive", bs)
+			}
+		}
+		for _, qd := range s.QueueDepths {
+			if qd <= 0 {
+				return fmt.Errorf("expgrid: queue depth %d not positive", qd)
+			}
 		}
 	}
 	return nil

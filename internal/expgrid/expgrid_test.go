@@ -256,6 +256,48 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateAxisValues asserts that bad axis entries fail validation
+// with the axis named, instead of flowing into cell construction and
+// dying mid-sweep (or silently: a negative closed-loop queue depth used
+// to reach workload.Run unchecked).
+func TestValidateAxisValues(t *testing.T) {
+	for name, mutate := range map[string]func(*Sweep){
+		"zero block size":     func(s *Sweep) { s.BlockSizes = []int64{4 << 10, 0} },
+		"negative block size": func(s *Sweep) { s.BlockSizes = []int64{-4096} },
+		"zero queue depth":    func(s *Sweep) { s.QueueDepths = []int{0} },
+		"negative depth":      func(s *Sweep) { s.QueueDepths = []int{1, -2} },
+		"ratio above 100":     func(s *Sweep) { s.WriteRatiosPct = []int{50, 101} },
+		"ratio below -1":      func(s *Sweep) { s.WriteRatiosPct = []int{-2} },
+	} {
+		s := quickSweep()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: sweep accepted", name)
+		}
+		if _, err := (Runner{}).Run(context.Background(), s); err == nil {
+			t.Errorf("%s: runner accepted the sweep", name)
+		}
+	}
+	// The documented -1 sentinel stays valid.
+	ok := quickSweep()
+	ok.WriteRatiosPct = []int{-1, 0, 100}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("sentinel ratio rejected: %v", err)
+	}
+	// Open sweeps share the block-size check.
+	open := Sweep{
+		Kind:        Open,
+		Devices:     Devices("essd1", essd1Factory),
+		Patterns:    []workload.Pattern{workload.RandWrite},
+		BlockSizes:  []int64{0},
+		Arrivals:    []workload.Arrival{workload.Uniform},
+		RatesPerSec: []float64{100},
+	}
+	if err := open.Validate(); err == nil {
+		t.Error("open sweep accepted a zero block size")
+	}
+}
+
 func TestWriteRatioAxisAndPrecond(t *testing.T) {
 	sw := Sweep{
 		Devices:        Devices("essd1", essd1Factory),

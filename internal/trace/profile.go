@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"math"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+)
+
+// Profile summarizes the offered load of a trace: how many requests it
+// issues, how fast, how write-heavy, and at what mean request size. It is
+// the bridge from a replayable record stream to the synthetic-generator
+// parameters (rate, write ratio) the tenant-mix and fleet suites take —
+// fitting a real MSR-Cambridge trace into a noisy-neighbor aggressor slot,
+// for example, goes ParseMSR → Fit → ProfileOf.
+type Profile struct {
+	Ops    uint64
+	Reads  uint64
+	Writes uint64
+	Bytes  int64
+
+	// Span is the nominal issue span: first to last scheduled issue time.
+	// Zero for empty, single-record, or instantaneous-burst traces.
+	Span sim.Duration
+
+	// RatePerSec is the mean offered request rate over Span, derived from
+	// the Ops-1 inter-arrival gaps. Zero when Span is zero — such a trace
+	// has no defined rate, and callers mapping a profile onto an open-loop
+	// generator must reject it.
+	RatePerSec float64
+
+	// WriteRatioPct is the percentage of requests that are writes (by
+	// request count, matching workload.OpenSpec.WriteRatio semantics;
+	// trims and flushes count toward neither side).
+	WriteRatioPct int
+
+	// MeanSize is the mean request payload in bytes (0 for empty traces).
+	MeanSize int64
+}
+
+// ProfileOf derives the offered-load profile of a record stream. Records
+// are assumed sorted by issue time (the invariant Read, ParseMSR, and Fit
+// all maintain).
+func ProfileOf(recs []Record) Profile {
+	var p Profile
+	if len(recs) == 0 {
+		return p
+	}
+	for _, r := range recs {
+		p.Ops++
+		p.Bytes += r.Size
+		switch r.Op {
+		case blockdev.Read:
+			p.Reads++
+		case blockdev.Write:
+			p.Writes++
+		}
+	}
+	p.Span = recs[len(recs)-1].At - recs[0].At
+	if p.Span > 0 && p.Ops > 1 {
+		p.RatePerSec = float64(p.Ops-1) / p.Span.Seconds()
+	}
+	if rw := p.Reads + p.Writes; rw > 0 {
+		p.WriteRatioPct = int(math.Round(float64(p.Writes) * 100 / float64(rw)))
+	}
+	p.MeanSize = p.Bytes / int64(p.Ops)
+	return p
+}

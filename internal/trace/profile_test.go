@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
+)
+
+// TestProfileOf checks the offered-load summary: rate from inter-arrival
+// gaps, write mix by request count, and the degenerate-trace zeros.
+func TestProfileOf(t *testing.T) {
+	recs := []Record{
+		{At: 0, Op: blockdev.Write, Offset: 0, Size: 8192},
+		{At: 250 * sim.Millisecond, Op: blockdev.Read, Offset: 8192, Size: 4096},
+		{At: 500 * sim.Millisecond, Op: blockdev.Write, Offset: 16384, Size: 4096},
+		{At: 750 * sim.Millisecond, Op: blockdev.Trim, Offset: 0, Size: 4096},
+	}
+	p := ProfileOf(recs)
+	if p.Ops != 4 || p.Reads != 1 || p.Writes != 2 {
+		t.Fatalf("counts = %d/%d/%d, want 4 ops, 1 read, 2 writes", p.Ops, p.Reads, p.Writes)
+	}
+	if p.Span != 750*sim.Millisecond {
+		t.Fatalf("span = %v, want 750ms", p.Span)
+	}
+	if p.RatePerSec != 4 {
+		t.Fatalf("rate = %v, want 4/s (3 gaps over 750 ms)", p.RatePerSec)
+	}
+	if p.WriteRatioPct != 67 {
+		t.Fatalf("write ratio = %d%%, want 67%% (2 of 3 reads+writes)", p.WriteRatioPct)
+	}
+	if p.MeanSize != (8192+4096*3)/4 {
+		t.Fatalf("mean size = %d", p.MeanSize)
+	}
+
+	if p := ProfileOf(nil); p.Ops != 0 || p.RatePerSec != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+	single := ProfileOf(recs[:1])
+	if single.RatePerSec != 0 || single.Span != 0 {
+		t.Fatalf("single-record profile has a rate: %+v", single)
+	}
+	burst := ProfileOf([]Record{
+		{At: 0, Op: blockdev.Write, Size: 4096},
+		{At: 0, Op: blockdev.Write, Size: 4096},
+	})
+	if burst.RatePerSec != 0 {
+		t.Fatalf("instantaneous burst has rate %v", burst.RatePerSec)
+	}
+}
+
+// TestProfileOfMSR round-trips an MSR CSV through ParseMSR + Fit and
+// checks the profile end to end — the path the -aggr-trace CLI flag uses.
+func TestProfileOfMSR(t *testing.T) {
+	csv := strings.Join([]string{
+		"128166372003061629,src1,0,Write,8192,16384,1331",
+		"128166372013061629,src1,0,Read,1048576000,4096,551",
+		"128166372023061629,src1,0,Write,0,4096,100",
+	}, "\n")
+	recs, err := ParseMSR(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ProfileOf(Fit(recs, 1<<30, 4096))
+	if p.Ops != 3 || p.Writes != 2 {
+		t.Fatalf("profile = %+v", p)
+	}
+	// 10^7 ticks (100 ns each) per gap → 1 s per gap → 1 req/s.
+	if p.RatePerSec < 0.99 || p.RatePerSec > 1.01 {
+		t.Fatalf("rate = %v, want ~1/s", p.RatePerSec)
+	}
+	if p.WriteRatioPct != 67 {
+		t.Fatalf("write ratio = %d%%, want 67%%", p.WriteRatioPct)
+	}
+}
