@@ -4,6 +4,12 @@
 // quantities (latency gaps, knees, gains, spreads); ns/op measures the
 // simulator's wall-clock cost of regenerating the artifact.
 //
+// Every benchmark reports the same two perf-trajectory metrics on top of
+// its paper-facing ones: cells/sec (simulation cells — grid points, sweep
+// runs, device ops — completed per wall-clock second; see reportCells) and
+// allocs/op (via b.ReportAllocs). scripts/bench.sh collects them into
+// BENCH_PR6.json, which CI diffs against the committed baseline.
+//
 // Run: go test -bench=. -benchmem
 package essdsim_test
 
@@ -12,6 +18,7 @@ import (
 	"io"
 	"reflect"
 	"testing"
+	"time"
 
 	"essdsim"
 	"essdsim/internal/blockdev"
@@ -43,26 +50,44 @@ var benchOpts = harness.Options{
 	Seed:         7,
 }
 
+// reportCells reports the uniform throughput metric: simulation cells
+// completed per wall-clock second, where a cell is the benchmark's natural
+// unit of simulated work (a latency-grid point, a sustained-write run, a
+// packing-study cell, a device op). cellsPerIter is the count per
+// benchmark iteration.
+func reportCells(b *testing.B, cellsPerIter int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(cellsPerIter)*float64(b.N)/s, "cells/sec")
+	}
+}
+
 // BenchmarkTableI regenerates Table I (device envelopes).
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
+	rows := 0
 	for i := 0; i < b.N; i++ {
-		rows := profiles.TableI()
-		if len(rows) != 3 {
+		t := profiles.TableI()
+		if len(t) != 3 {
 			b.Fatal("Table I must have three rows")
 		}
-		harness.FormatTableI(io.Discard, rows)
+		rows = len(t)
+		harness.FormatTableI(io.Discard, t)
 	}
+	reportCells(b, rows)
 }
 
 // benchFig2 measures one ESSD's Figure 2 panel against the SSD baseline
 // and reports the paper's headline cells as metrics.
 func benchFig2(b *testing.B, essdName string) {
+	b.ReportAllocs()
 	sizes := []int64{4 << 10, 64 << 10, 256 << 10}
 	qds := []int{1, 4, 16}
 	var gapSmall, gapBig float64
+	cells := 0
 	for i := 0; i < b.N; i++ {
 		e := harness.RunLatencyGridWith(factory(essdName), harness.Fig2Patterns, sizes, qds, benchOpts)
 		s := harness.RunLatencyGridWith(factory("ssd"), harness.Fig2Patterns, sizes, qds, benchOpts)
+		cells = len(e.Cells) + len(s.Cells)
 		ec := e.Cell(workload.RandWrite, 4<<10, 1)
 		sc := s.Cell(workload.RandWrite, 4<<10, 1)
 		gapSmall = float64(ec.Avg) / float64(sc.Avg)
@@ -70,6 +95,7 @@ func benchFig2(b *testing.B, essdName string) {
 		sc = s.Cell(workload.RandWrite, 256<<10, 16)
 		gapBig = float64(ec.Avg) / float64(sc.Avg)
 	}
+	reportCells(b, cells)
 	b.ReportMetric(gapSmall, "gap@4K/QD1")
 	b.ReportMetric(gapBig, "gap@256K/QD16")
 }
@@ -84,6 +110,7 @@ func BenchmarkFig2_ESSD2(b *testing.B) { benchFig2(b, "essd2") }
 // A reduced 1.5x-capacity volume keeps iterations affordable while still
 // exposing the SSD knee; the full 3x run lives in cmd/ucexperiments.
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	var ssdKnee, essd2Knee float64
 	for i := 0; i < b.N; i++ {
 		s := harness.RunSustainedWrite(factory("ssd"), 1.5, benchOpts)
@@ -91,6 +118,7 @@ func BenchmarkFig3(b *testing.B) {
 		ssdKnee = s.KneeCapFrac
 		essd2Knee = e.KneeCapFrac
 	}
+	reportCells(b, 2)
 	b.ReportMetric(ssdKnee, "ssd-knee-x")
 	b.ReportMetric(essd2Knee, "essd2-knee-x")
 }
@@ -98,12 +126,14 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkFig3Full regenerates the paper's full 3x-capacity Figure 3 for
 // all three devices. Expensive; run with -bench=Fig3Full -benchtime=1x.
 func BenchmarkFig3Full(b *testing.B) {
+	b.ReportAllocs()
 	var knees [3]float64
 	for i := 0; i < b.N; i++ {
 		for j, name := range []string{"essd1", "essd2", "ssd"} {
 			knees[j] = harness.RunSustainedWrite(factory(name), 3, benchOpts).KneeCapFrac
 		}
 	}
+	reportCells(b, 3)
 	b.ReportMetric(knees[0], "essd1-knee-x")
 	b.ReportMetric(knees[1], "essd2-knee-x")
 	b.ReportMetric(knees[2], "ssd-knee-x")
@@ -111,17 +141,21 @@ func BenchmarkFig3Full(b *testing.B) {
 
 // BenchmarkFig4 regenerates Figure 4 (random vs sequential writes).
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
 	qds := []int{1, 8, 32}
 	var g1, g2, gs float64
+	cells := 0
 	for i := 0; i < b.N; i++ {
 		r1 := harness.RunRandSeqSweepWith(factory("essd1"), sizes, qds, benchOpts)
 		r2 := harness.RunRandSeqSweepWith(factory("essd2"), sizes, qds, benchOpts)
 		rs := harness.RunRandSeqSweepWith(factory("ssd"), sizes, qds, benchOpts)
+		cells = len(r1.Cells) + len(r2.Cells) + len(rs.Cells)
 		g1, _ = r1.MaxGain()
 		g2, _ = r2.MaxGain()
 		gs, _ = rs.MaxGain()
 	}
+	reportCells(b, cells)
 	b.ReportMetric(g1, "essd1-max-gain")
 	b.ReportMetric(g2, "essd2-max-gain")
 	b.ReportMetric(gs, "ssd-max-gain")
@@ -129,6 +163,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates Figure 5 (mixed read/write determinism).
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	ratios := []int{0, 30, 50, 70, 100}
 	var e1Spread, e2Spread, sSpread float64
 	for i := 0; i < b.N; i++ {
@@ -136,6 +171,7 @@ func BenchmarkFig5(b *testing.B) {
 		e2Spread = harness.RunMixedSweepWith(factory("essd2"), ratios, benchOpts).Spread()
 		sSpread = harness.RunMixedSweepWith(factory("ssd"), ratios, benchOpts).Spread()
 	}
+	reportCells(b, 3*len(ratios))
 	b.ReportMetric(e1Spread*100, "essd1-spread-%")
 	b.ReportMetric(e2Spread*100, "essd2-spread-%")
 	b.ReportMetric(sSpread*100, "ssd-spread-%")
@@ -144,17 +180,21 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkContract runs the full four-observation contract checker
 // (quick grids) on ESSD-2.
 func BenchmarkContract(b *testing.B) {
+	b.ReportAllocs()
 	pass := 0.0
+	checks := 0
 	for i := 0; i < b.N; i++ {
 		rep := contract.Evaluate(factory("essd2"), factory("ssd"), contract.EvalOptions{
 			Harness:     benchOpts,
 			CapMultiple: 1.6,
 			Quick:       true,
 		})
+		checks = len(rep.Checks)
 		if rep.Passed() {
 			pass = 1
 		}
 	}
+	reportCells(b, checks)
 	b.ReportMetric(pass, "passed")
 }
 
@@ -171,11 +211,15 @@ func BenchmarkAblationChunkSize(b *testing.B) {
 				cfg.Cluster.ChunkBytes = chunkMB << 20
 				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
 			}
+			b.ReportAllocs()
 			var gain float64
+			cells := 0
 			for i := 0; i < b.N; i++ {
 				r := harness.RunRandSeqSweepWith(f, []int64{64 << 10}, []int{32}, benchOpts)
+				cells = len(r.Cells)
 				gain, _ = r.MaxGain()
 			}
+			reportCells(b, cells)
 			b.ReportMetric(gain, "gain@64K/QD32")
 		})
 	}
@@ -192,12 +236,14 @@ func BenchmarkAblationReplication(b *testing.B) {
 				cfg.Cluster.Replicas = replicas
 				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
 			}
+			b.ReportAllocs()
 			var avg float64
 			for i := 0; i < b.N; i++ {
 				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.RandWrite},
 					[]int64{4 << 10}, []int{1}, benchOpts)
 				avg = g.Cells[0].Avg.Micros()
 			}
+			reportCells(b, 1)
 			b.ReportMetric(avg, "write-avg-µs")
 		})
 	}
@@ -215,10 +261,12 @@ func BenchmarkAblationCleanerRate(b *testing.B) {
 				cfg.SpareFrac = 0.25
 				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
 			}
+			b.ReportAllocs()
 			var knee float64
 			for i := 0; i < b.N; i++ {
 				knee = harness.RunSustainedWrite(f, 2, benchOpts).KneeCapFrac
 			}
+			reportCells(b, 1)
 			b.ReportMetric(knee, "knee-x")
 		})
 	}
@@ -234,12 +282,14 @@ func BenchmarkAblationWriteBuffer(b *testing.B) {
 				cfg.FTL.WriteBufferBytes = mb << 20
 				return ssd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
 			}
+			b.ReportAllocs()
 			var p999 float64
 			for i := 0; i < b.N; i++ {
 				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.RandWrite},
 					[]int64{256 << 10}, []int{16}, benchOpts)
 				p999 = g.Cells[0].P999.Micros()
 			}
+			reportCells(b, 1)
 			b.ReportMetric(p999, "write-p999-µs")
 		})
 	}
@@ -255,12 +305,14 @@ func BenchmarkAblationPrefetchDepth(b *testing.B) {
 				cfg.PrefetchDepth = depth
 				return ssd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
 			}
+			b.ReportAllocs()
 			var avg float64
 			for i := 0; i < b.N; i++ {
 				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.SeqRead},
 					[]int64{4 << 10}, []int{1}, benchOpts)
 				avg = g.Cells[0].Avg.Micros()
 			}
+			reportCells(b, 1)
 			b.ReportMetric(avg, "seqread-avg-µs")
 		})
 	}
@@ -276,12 +328,14 @@ func BenchmarkAblationBurst(b *testing.B) {
 				cfg.BudgetBurst = float64(mb << 20)
 				return essd.New(sim.NewEngine(), cfg, sim.NewRNG(seed, 1))
 			}
+			b.ReportAllocs()
 			var p999 float64
 			for i := 0; i < b.N; i++ {
 				g := harness.RunLatencyGridWith(f, []workload.Pattern{workload.RandWrite},
 					[]int64{256 << 10}, []int{16}, benchOpts)
 				p999 = g.Cells[0].P999.Micros()
 			}
+			reportCells(b, 1)
 			b.ReportMetric(p999, "write-p999-µs")
 		})
 	}
@@ -290,6 +344,7 @@ func BenchmarkAblationBurst(b *testing.B) {
 // BenchmarkKVDesign runs the future-work case study: LSM vs update-in-place
 // ingest on ESSD-2, reporting effective put rates.
 func BenchmarkKVDesign(b *testing.B) {
+	b.ReportAllocs()
 	var lsmRate, ipRate float64
 	for i := 0; i < b.N; i++ {
 		eng := essdsim.NewEngine()
@@ -310,6 +365,7 @@ func BenchmarkKVDesign(b *testing.B) {
 		ip := kv.Ingest(eng2, kv.NewPageStore(dev2, kv.DefaultPageStoreConfig(dev2)), 20000, 1024, 32, 50000, 3)
 		ipRate = ip.PutsPerSec()
 	}
+	reportCells(b, 2)
 	b.ReportMetric(lsmRate/1e3, "lsm-Kops/s")
 	b.ReportMetric(ipRate/1e3, "inplace-Kops/s")
 }
@@ -317,6 +373,7 @@ func BenchmarkKVDesign(b *testing.B) {
 // BenchmarkAblationBurstCredits contrasts the burstable gp2-class tier's
 // two regimes: a short burst-backed sprint vs a drained-credit slog.
 func BenchmarkAblationBurstCredits(b *testing.B) {
+	b.ReportAllocs()
 	var burstRate, baseRate float64
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
@@ -331,6 +388,7 @@ func BenchmarkAblationBurstCredits(b *testing.B) {
 		burstRate = res.Series.Rate(0)
 		baseRate = res.Series.MeanRate(res.Series.Len()-3, res.Series.Len())
 	}
+	reportCells(b, 1)
 	b.ReportMetric(burstRate/1e9, "burst-GB/s")
 	b.ReportMetric(baseRate/1e9, "drained-GB/s")
 }
@@ -348,6 +406,7 @@ func BenchmarkFig2Workers(b *testing.B) {
 		harness.Fig2Patterns, harness.Fig2Sizes, harness.Fig2QDs, benchOpts)
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmtN("workers", w), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := benchOpts
 			opts.Workers = w
 			identical := 1.0
@@ -358,6 +417,7 @@ func BenchmarkFig2Workers(b *testing.B) {
 					identical = 0
 				}
 			}
+			reportCells(b, len(baseline.Cells))
 			b.ReportMetric(identical, "identical")
 		})
 	}
@@ -377,6 +437,7 @@ func BenchmarkNeighborSweep(b *testing.B) {
 		VictimOps:            900,
 		Seed:                 7,
 	}
+	b.ReportAllocs()
 	var inflation float64
 	cells := 0
 	for i := 0; i < b.N; i++ {
@@ -387,7 +448,7 @@ func BenchmarkNeighborSweep(b *testing.B) {
 		cells = len(rep.Cells)
 		inflation = rep.Cells[cells-1].P999Inflation
 	}
-	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	reportCells(b, cells)
 	b.ReportMetric(inflation, "victim-p999-x")
 }
 
@@ -407,6 +468,7 @@ func BenchmarkFleetPack(b *testing.B) {
 		SLOP999:  5 * essdsim.Millisecond,
 		Seed:     7,
 	}
+	b.ReportAllocs()
 	cells, gap := 0, 0
 	for i := 0; i < b.N; i++ {
 		rep, err := essdsim.RunFleet(context.Background(), spec)
@@ -416,8 +478,65 @@ func BenchmarkFleetPack(b *testing.B) {
 		cells = rep.Cells
 		gap = rep.Policy("first-fit").P999Violations - rep.Policy("interference").P999Violations
 	}
-	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	reportCells(b, cells)
 	b.ReportMetric(float64(gap), "violation-gap")
+}
+
+// BenchmarkSweepCacheOverhead measures what attaching a cold SweepCache
+// costs a sweep that gets no hits from it: each iteration runs the
+// identical fleet study with no cache and with a fresh cache (every cell
+// stored, the whole cache persisted once), and the overhead-% metric is
+// the relative wall-clock difference. With the store path free of
+// serialization and persistence deferred to one Save per sweep, the
+// overhead stays in the low single digits (<5%).
+//
+// Run: go test -bench=SweepCacheOverhead -benchtime=3x
+func BenchmarkSweepCacheOverhead(b *testing.B) {
+	b.ReportAllocs()
+	spec := essdsim.FleetSpec{
+		Demands:  essdsim.SyntheticFleetDemands(8, 2),
+		Backends: 2,
+		SLOP999:  5 * essdsim.Millisecond,
+		Seed:     7,
+	}
+	runBare := func() int {
+		rep, err := essdsim.RunFleet(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep.Cells
+	}
+	runCached := func() {
+		cold := spec
+		cold.Cache = essdsim.NewSweepCache(0)
+		if _, err := essdsim.RunFleet(context.Background(), cold); err != nil {
+			b.Fatal(err)
+		}
+		if err := cold.Cache.Save(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cells := runBare() // warm code paths before timing
+	runCached()
+	b.ResetTimer()
+
+	var bare, cached time.Duration
+	for i := 0; i < b.N; i++ {
+		// Alternate which variant runs first so slow machine-level drift
+		// (a shared VM's throughput wandering) cancels out of the delta.
+		for pass := 0; pass < 2; pass++ {
+			t0 := time.Now()
+			if (pass == 0) == (i%2 == 0) {
+				runBare()
+				bare += time.Since(t0)
+			} else {
+				runCached()
+				cached += time.Since(t0)
+			}
+		}
+	}
+	reportCells(b, 2*cells)
+	b.ReportMetric(100*(cached.Seconds()-bare.Seconds())/bare.Seconds(), "overhead-%")
 }
 
 // BenchmarkEngineThroughput measures raw simulator event throughput.
@@ -431,6 +550,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 	}
 	eng.Run()
+	reportCells(b, 1)
 }
 
 // BenchmarkDeviceIO measures simulated I/O cost per operation for each
@@ -462,8 +582,40 @@ func BenchmarkDeviceIO(b *testing.B) {
 				}
 			}
 			eng.Run()
+			reportCells(b, 1)
 		})
 	}
+}
+
+// BenchmarkFleetScreen measures the two-fidelity screen: thousands of
+// analytically scored placements funneled into a handful of frontier
+// simulations. cells/sec counts the simulated frontier cells; the
+// screened-per-sim metric is the screen's leverage — how many candidate
+// placements each expensive simulation stands in for.
+//
+// Run: go test -bench=FleetScreen -benchtime=1x
+func BenchmarkFleetScreen(b *testing.B) {
+	b.ReportAllocs()
+	spec := essdsim.FleetScreenSpec{
+		Spec: essdsim.FleetSpec{
+			Demands:  essdsim.SyntheticFleetDemands(8, 2),
+			Backends: 2,
+			SLOP999:  5 * essdsim.Millisecond,
+			Seed:     7,
+		},
+		Candidates: 1024,
+	}
+	cells, leverage := 0, 0.0
+	for i := 0; i < b.N; i++ {
+		rep, err := essdsim.RunFleetScreen(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = rep.Simulated.Cells
+		leverage = float64(rep.Candidates) / float64(len(rep.Simulated.Policies))
+	}
+	reportCells(b, cells)
+	b.ReportMetric(leverage, "screened-per-sim")
 }
 
 func fmtMB(n int64) string { return fmtN("", int(n)) + "MB" }

@@ -1,0 +1,250 @@
+// Command benchreport converts `go test -bench` output into a stable JSON
+// document (one entry per benchmark: ns/op, cells/sec, allocs/op, plus
+// every custom metric) and optionally gates metrics against a previously
+// committed baseline document.
+//
+// It is the back half of scripts/bench.sh, which produces BENCH_PR6.json:
+//
+//	go test -bench=... -benchtime=5x -run '^$' . | benchreport -o BENCH_PR6.json
+//
+// Gating compares a named benchmark metric against the baseline file and
+// exits non-zero when it regressed beyond the allowed fraction:
+//
+//	benchreport -o BENCH_PR6.json -baseline BENCH_BASELINE.json \
+//	    -gate 'FleetPack:cells/sec:0.20'
+//
+// means "fail if FleetPack's cells/sec dropped more than 20% below the
+// baseline". Higher is assumed better for gated metrics.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's collected metrics.
+type Entry struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	CellsPerSec float64            `json:"cells_per_sec,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON report to gate against")
+	var gates gateList
+	flag.Var(&gates, "gate", "metric gate as name:metric:maxRegressFraction (repeatable)")
+	flag.Parse()
+
+	rep := Report{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable bench output visible
+		if name, e, ok := parseBenchLine(line); ok {
+			rep.Benchmarks[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	doc, err := json.MarshalIndent(ordered(rep), "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *baseline != "" && len(gates) > 0 {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		failed := false
+		for _, g := range gates {
+			if err := g.check(base, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: GATE FAILED: %v\n", err)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "benchreport: gate ok: %s %s\n", g.name, g.metric)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+	os.Exit(1)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkFleetPack-4   5   234774269 ns/op   42.66 cells/sec   900196 allocs/op
+//
+// The name is normalized by stripping the Benchmark prefix and the -N
+// GOMAXPROCS suffix. Sub-benchmarks keep their /sub path.
+func parseBenchLine(line string) (string, Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Entry{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e := Entry{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "cells/sec":
+			e.CellsPerSec = val
+		case "allocs/op":
+			e.AllocsPerOp = val
+		case "B/op":
+			e.BytesPerOp = val
+		default:
+			e.Metrics[unit] = val
+		}
+	}
+	if len(e.Metrics) == 0 {
+		e.Metrics = nil
+	}
+	return name, e, true
+}
+
+// ordered re-keys the report through a sorted map so the JSON encoding is
+// deterministic (encoding/json sorts map keys, but being explicit keeps
+// the ordering intent visible).
+func ordered(r Report) Report {
+	keys := make([]string, 0, len(r.Benchmarks))
+	for k := range r.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := Report{Benchmarks: make(map[string]Entry, len(keys))}
+	for _, k := range keys {
+		out.Benchmarks[k] = r.Benchmarks[k]
+	}
+	return out
+}
+
+func loadReport(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// gate is one name:metric:maxRegressFraction triple.
+type gate struct {
+	name       string
+	metric     string
+	maxRegress float64
+}
+
+// metricOf pulls the gated metric out of an entry.
+func (g gate) metricOf(e Entry) (float64, bool) {
+	switch g.metric {
+	case "cells/sec":
+		return e.CellsPerSec, e.CellsPerSec != 0
+	case "ns/op":
+		return e.NsPerOp, e.NsPerOp != 0
+	case "allocs/op":
+		return e.AllocsPerOp, e.AllocsPerOp != 0
+	default:
+		v, ok := e.Metrics[g.metric]
+		return v, ok
+	}
+}
+
+// check fails when the current metric fell more than maxRegress below the
+// baseline (higher is better).
+func (g gate) check(base, cur Report) error {
+	be, ok := base.Benchmarks[g.name]
+	if !ok {
+		return fmt.Errorf("%s missing from baseline", g.name)
+	}
+	ce, ok := cur.Benchmarks[g.name]
+	if !ok {
+		return fmt.Errorf("%s missing from current run", g.name)
+	}
+	bv, ok := g.metricOf(be)
+	if !ok || bv <= 0 {
+		return fmt.Errorf("%s has no baseline %s", g.name, g.metric)
+	}
+	cv, ok := g.metricOf(ce)
+	if !ok {
+		return fmt.Errorf("%s has no current %s", g.name, g.metric)
+	}
+	if floor := bv * (1 - g.maxRegress); cv < floor {
+		return fmt.Errorf("%s %s regressed: %.4g < %.4g (baseline %.4g, allowed -%.0f%%)",
+			g.name, g.metric, cv, floor, bv, 100*g.maxRegress)
+	}
+	return nil
+}
+
+// gateList implements flag.Value for repeated -gate flags.
+type gateList []gate
+
+func (l *gateList) String() string {
+	parts := make([]string, len(*l))
+	for i, g := range *l {
+		parts[i] = fmt.Sprintf("%s:%s:%g", g.name, g.metric, g.maxRegress)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *gateList) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("gate %q not in name:metric:maxRegressFraction form", s)
+	}
+	frac, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || frac < 0 || frac >= 1 {
+		return fmt.Errorf("gate %q: bad regression fraction %q", s, parts[2])
+	}
+	*l = append(*l, gate{name: parts[0], metric: parts[1], maxRegress: frac})
+	return nil
+}

@@ -54,6 +54,7 @@ import (
 
 	"essdsim"
 	"essdsim/internal/fio"
+	"essdsim/internal/profiling"
 	"essdsim/internal/workload"
 )
 
@@ -81,11 +82,18 @@ func main() {
 		cacheF   = flag.String("cache", "", "sweep-cache JSON file for SLO probes and sweep cells (loaded if present, saved on exit)")
 		traceF   = flag.String("trace", "", "trace-replay mode: replay this trace file on the device(s)")
 		traceFmt = flag.String("trace-format", "text", "trace file format: text (native) or msr (MSR-Cambridge CSV)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected argument %q (essdbench takes no positional arguments)", flag.Arg(0)))
 	}
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 	if *mixPct < 0 || *mixPct > 100 {
 		fatal(fmt.Errorf("-rwmixwrite %d out of [0, 100]", *mixPct))
 	}

@@ -54,6 +54,7 @@ import (
 	"essdsim/internal/fleet"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
+	"essdsim/internal/profiling"
 	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
 	"essdsim/internal/slo"
@@ -95,12 +96,22 @@ func main() {
 		fleetBack   = flag.Int("fleet-backends", 0, "-exp fleet packing density: backends available to every policy (0 = fit nominal load)")
 		fleetPolicy = flag.String("fleet-policy", "all", "-exp fleet policies: all or a comma list of first-fit, spread, best-fit, interference")
 		fleetP999   = flag.Duration("fleet-slo-p999", 5*time.Millisecond, "-exp fleet p99.9 target the violation columns count against")
+		fleetScreen = flag.Bool("screen", false, "-exp fleet: two-fidelity mode — score placements analytically, simulate only the Pareto frontier")
+		fleetCands  = flag.Int("screen-candidates", 1024, "-exp fleet -screen analytic candidate budget")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ucexperiments: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(1)
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	var cache *expgrid.Cache
 	if *cacheFile != "" {
@@ -294,18 +305,34 @@ func main() {
 			Seed:     *seed,
 			Workers:  *workers,
 		}
-		rep, err := fleet.Run(context.Background(), spec)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("--- Fleet tenant packing (placement policies over shared backends) ---")
-		fleet.Format(os.Stdout, rep)
-		if cache != nil {
-			fmt.Printf("fleet: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, rep.Cells)
-		}
-		fmt.Println()
-		if *out != "" {
-			dumpFleetCSV(*out, rep)
+		if *fleetScreen {
+			srep, err := fleet.Screen(context.Background(), fleet.ScreenSpec{
+				Spec:       spec,
+				Candidates: *fleetCands,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("--- Fleet tenant packing (two-fidelity analytic screen) ---")
+			fleet.FormatScreen(os.Stdout, srep)
+			fmt.Println()
+			if *out != "" && srep.Simulated != nil {
+				dumpFleetCSV(*out, srep.Simulated)
+			}
+		} else {
+			rep, err := fleet.Run(context.Background(), spec)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("--- Fleet tenant packing (placement policies over shared backends) ---")
+			fleet.Format(os.Stdout, rep)
+			if cache != nil {
+				fmt.Printf("fleet: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, rep.Cells)
+			}
+			fmt.Println()
+			if *out != "" {
+				dumpFleetCSV(*out, rep)
+			}
 		}
 	}
 	if want("slo") {

@@ -485,6 +485,13 @@ type (
 	// PlacementConstraints carries the per-backend packing budgets a
 	// policy places against.
 	PlacementConstraints = fleet.Constraints
+	// FleetScreenSpec configures the two-fidelity screen: an analytic
+	// candidate budget on top of a FleetSpec, with a cap on how many
+	// Pareto-frontier placements are fully simulated.
+	FleetScreenSpec = fleet.ScreenSpec
+	// FleetScreenReport is the screen outcome: every scored candidate
+	// summarized, the Pareto frontier, and the simulated frontier report.
+	FleetScreenReport = fleet.ScreenReport
 )
 
 // RunFleet executes a fleet tenant-packing study: every policy places the
@@ -519,6 +526,19 @@ func SyntheticFleetDemands(total, aggressors int) []FleetDemand {
 func FleetDemandFromTrace(name string, recs []TraceRecord, capacity, blockSize int64) (FleetDemand, error) {
 	return fleet.DemandFromTrace(name, recs, capacity, blockSize)
 }
+
+// RunFleetScreen executes the two-fidelity screening study: thousands of
+// candidate placements (policy bases at every packing density plus seeded
+// perturbations) are scored with the closed-form credit analytics, and
+// only the Pareto frontier on (backends used, predicted violation score)
+// is materialized as full simulations. Deterministic for a fixed spec.
+func RunFleetScreen(ctx context.Context, s FleetScreenSpec) (*FleetScreenReport, error) {
+	return fleet.Screen(ctx, s)
+}
+
+// FormatFleetScreenReport writes the screen summary, the frontier, and the
+// simulated truth for each materialized frontier placement.
+func FormatFleetScreenReport(w io.Writer, r *FleetScreenReport) { fleet.FormatScreen(w, r) }
 
 // FormatFleetReport writes the policy-vs-policy comparison tables.
 func FormatFleetReport(w io.Writer, r *FleetReport) { fleet.Format(w, r) }

@@ -33,6 +33,8 @@ package essd
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"essdsim/internal/blockdev"
 	"essdsim/internal/cluster"
@@ -40,6 +42,33 @@ import (
 	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 )
+
+// bitmapPool recycles written-bitmaps across experiment cells: a fleet
+// sweep attaches (volumes × cells) bitmaps of several hundred KiB each, and
+// reusing them keeps the allocator and GC out of the per-cell setup path.
+var bitmapPool sync.Pool
+
+// acquireBitmap returns a zeroed bitmap of n words, reusing pooled storage
+// when it is large enough.
+func acquireBitmap(n int64) []uint64 {
+	if v := bitmapPool.Get(); v != nil {
+		s := *v.(*[]uint64)
+		if int64(cap(s)) >= n {
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	return make([]uint64, n)
+}
+
+// releaseBitmap returns a bitmap to the pool.
+func releaseBitmap(s []uint64) {
+	if cap(s) == 0 {
+		return
+	}
+	bitmapPool.Put(&s)
+}
 
 // VolumeConfig parameterizes one ESSD volume: everything the provider
 // provisions per volume — identity, capacity, QoS budgets, burst credits,
@@ -236,6 +265,15 @@ func (b *Backend) Debt() int64 { return b.cl.Debt() }
 // Volumes returns the attached volumes in attach order.
 func (b *Backend) Volumes() []*ESSD { return b.vols }
 
+// ReleaseResources returns every attached volume's pooled buffers for reuse
+// by later experiment cells. The backend and its volumes must not be used
+// afterwards.
+func (b *Backend) ReleaseResources() {
+	for _, v := range b.vols {
+		v.ReleaseResources()
+	}
+}
+
 // VolumeStats tallies one attached volume's use of the shared backend.
 type VolumeStats struct {
 	Name                  string
@@ -314,7 +352,7 @@ func (b *Backend) attach(cfg VolumeConfig, rng *sim.RNG) *ESSD {
 			cfg.ThroughputBudget, cfg.BurstCreditBytes)
 	}
 	nblocks := cfg.Capacity / cfg.BlockSize
-	e.written = make([]uint64, (nblocks+63)/64)
+	e.written = acquireBitmap((nblocks + 63) / 64)
 	b.vols = append(b.vols, e)
 	return e
 }
@@ -471,6 +509,14 @@ func (e *ESSD) ThrottledAt() sim.Time { return e.limiter.EngagedAt() }
 // BudgetStall returns cumulative time spent waiting on the throughput budget.
 func (e *ESSD) BudgetStall() sim.Duration { return e.bytesTb.StallTime() }
 
+// ReleaseResources returns the volume's pooled buffers (the written bitmap)
+// for reuse by later experiment cells. The volume must not serve I/O
+// afterwards; call only once the cell's measurement and inspection are done.
+func (e *ESSD) ReleaseResources() {
+	releaseBitmap(e.written)
+	e.written = nil
+}
+
 // Precondition marks the first fillFrac of the volume as written, as if it
 // had been filled once (no simulated time, no cleaning debt).
 func (e *ESSD) Precondition(fillFrac float64) {
@@ -482,7 +528,14 @@ func (e *ESSD) Precondition(fillFrac float64) {
 	}
 	nblocks := e.cfg.Capacity / e.cfg.BlockSize
 	limit := int64(fillFrac * float64(nblocks))
-	for b := int64(0); b < limit; b++ {
+	// Fill whole 64-block words, then the partial tail — bit-identical to
+	// setting each block's bit, at 1/64 the iterations (preconditioning a
+	// fleet-sized volume block-by-block dominated whole-sweep profiles).
+	words := limit >> 6
+	for w := int64(0); w < words; w++ {
+		e.written[w] = ^uint64(0)
+	}
+	for b := words << 6; b < limit; b++ {
 		e.written[b>>6] |= 1 << uint(b&63)
 	}
 }
@@ -492,22 +545,50 @@ func (e *ESSD) isWritten(block int64) bool {
 }
 
 // markWritten sets the written bits for the request range and returns the
-// number of bytes that were overwrites (i.e. new cleaning debt).
+// number of bytes that were overwrites (i.e. new cleaning debt). Interior
+// 64-block words are counted and set with one popcount/store each, so a
+// 256 KiB request touches a handful of words instead of 64 bits.
 func (e *ESSD) markWritten(off, size int64) int64 {
-	var debt int64
-	for b := off / e.cfg.BlockSize; b < (off+size)/e.cfg.BlockSize; b++ {
+	var overwritten int64
+	b := off / e.cfg.BlockSize
+	end := (off + size) / e.cfg.BlockSize
+	for ; b < end && b&63 != 0; b++ {
 		if e.isWritten(b) {
-			debt += e.cfg.BlockSize
+			overwritten++
 		} else {
 			e.written[b>>6] |= 1 << uint(b&63)
 		}
 	}
-	return debt
+	for ; b+64 <= end; b += 64 {
+		w := e.written[b>>6]
+		overwritten += int64(bits.OnesCount64(w))
+		e.written[b>>6] = ^uint64(0)
+	}
+	for ; b < end; b++ {
+		if e.isWritten(b) {
+			overwritten++
+		} else {
+			e.written[b>>6] |= 1 << uint(b&63)
+		}
+	}
+	return overwritten * e.cfg.BlockSize
 }
 
 // allWritten reports whether every block in the range has been written.
 func (e *ESSD) allWritten(off, size int64) bool {
-	for b := off / e.cfg.BlockSize; b < (off+size)/e.cfg.BlockSize; b++ {
+	b := off / e.cfg.BlockSize
+	end := (off + size) / e.cfg.BlockSize
+	for ; b < end && b&63 != 0; b++ {
+		if !e.isWritten(b) {
+			return false
+		}
+	}
+	for ; b+64 <= end; b += 64 {
+		if e.written[b>>6] != ^uint64(0) {
+			return false
+		}
+	}
+	for ; b < end; b++ {
 		if !e.isWritten(b) {
 			return false
 		}
@@ -524,20 +605,13 @@ func (e *ESSD) iopsCost(size int64) float64 {
 	return float64(n)
 }
 
-// subRanges splits [off, off+size) at chunk boundaries.
-func (e *ESSD) subRanges(off, size int64) []int64 {
+// subCount returns how many chunk-boundary subranges [off, off+size)
+// splits into — the number of distinct chunks the range touches. The
+// dispatch paths use it to know the fan-in count up front and then walk the
+// boundaries arithmetically, with no per-request slice.
+func (e *ESSD) subCount(off, size int64) int {
 	chunk := e.be.cfg.Cluster.ChunkBytes
-	var sizes []int64
-	for size > 0 {
-		room := chunk - off%chunk
-		if room > size {
-			room = size
-		}
-		sizes = append(sizes, room)
-		off += room
-		size -= room
-	}
-	return sizes
+	return int((off+size-1)/chunk - off/chunk + 1)
 }
 
 // Submit implements blockdev.Device.
@@ -605,13 +679,16 @@ func (e *ESSD) takeWriteTokens(n float64, done func()) {
 }
 
 func (e *ESSD) dispatchWrite(r *blockdev.Request) {
-	sizes := e.subRanges(r.Offset, r.Size)
-	rem := len(sizes)
-	off := r.Offset
-	for _, sz := range sizes {
-		chunk := off / e.be.cfg.Cluster.ChunkBytes
+	chunkBytes := e.be.cfg.Cluster.ChunkBytes
+	rem := e.subCount(r.Offset, r.Size)
+	off, left := r.Offset, r.Size
+	for left > 0 {
+		sz := chunkBytes - off%chunkBytes
+		if sz > left {
+			sz = left
+		}
+		chunk := off / chunkBytes
 		e.counters.SubWrites++
-		sz := sz
 		// Payload crosses the network once per subrequest, then the
 		// cluster replicates it; the final ack is one hop back.
 		e.nf.SendUp(sz, func() {
@@ -625,6 +702,7 @@ func (e *ESSD) dispatchWrite(r *blockdev.Request) {
 			})
 		})
 		off += sz
+		left -= sz
 	}
 }
 
@@ -650,13 +728,16 @@ func (e *ESSD) submitRead(r *blockdev.Request) {
 }
 
 func (e *ESSD) dispatchRead(r *blockdev.Request) {
-	sizes := e.subRanges(r.Offset, r.Size)
-	rem := len(sizes)
-	off := r.Offset
-	for _, sz := range sizes {
-		chunk := off / e.be.cfg.Cluster.ChunkBytes
+	chunkBytes := e.be.cfg.Cluster.ChunkBytes
+	rem := e.subCount(r.Offset, r.Size)
+	off, left := r.Offset, r.Size
+	for left > 0 {
+		sz := chunkBytes - off%chunkBytes
+		if sz > left {
+			sz = left
+		}
+		chunk := off / chunkBytes
 		e.counters.SubReads++
-		sz := sz
 		// Command hop up, cluster read, payload down.
 		e.nf.Hop(func() {
 			e.be.cl.ReadFor(e.flow, chunk, sz, func() {
@@ -669,6 +750,7 @@ func (e *ESSD) dispatchRead(r *blockdev.Request) {
 			})
 		})
 		off += sz
+		left -= sz
 	}
 }
 

@@ -172,22 +172,16 @@ func TestSubRangeHelper(t *testing.T) {
 	_, e := newTest(t)
 	cases := []struct {
 		off, size int64
-		want      []int64
+		want      int
 	}{
-		{0, 4096, []int64{4096}},
-		{0, 2 << 20, []int64{2 << 20}},
-		{1 << 20, 2 << 20, []int64{1 << 20, 1 << 20}},
-		{(2 << 20) - 4096, 8192, []int64{4096, 4096}},
+		{0, 4096, 1},
+		{0, 2 << 20, 1},
+		{1 << 20, 2 << 20, 2},
+		{(2 << 20) - 4096, 8192, 2},
 	}
 	for _, c := range cases {
-		got := e.subRanges(c.off, c.size)
-		if len(got) != len(c.want) {
-			t.Fatalf("subRanges(%d,%d) = %v, want %v", c.off, c.size, got, c.want)
-		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Fatalf("subRanges(%d,%d) = %v, want %v", c.off, c.size, got, c.want)
-			}
+		if got := e.subCount(c.off, c.size); got != c.want {
+			t.Fatalf("subCount(%d,%d) = %d, want %d", c.off, c.size, got, c.want)
 		}
 	}
 }
@@ -304,32 +298,39 @@ func TestPreconditionMarksRange(t *testing.T) {
 	}
 }
 
-// Property: subRanges always partitions the request exactly: sizes sum to
-// the request size, every piece fits in one chunk, and pieces after the
-// first start chunk-aligned.
+// Property: the chunk-boundary walk the dispatch paths use always
+// partitions the request exactly — pieces sum to the request size, every
+// piece fits in one chunk, pieces after the first start chunk-aligned —
+// and the piece count matches subCount's closed-form answer.
 func TestSubRangesPartitionProperty(t *testing.T) {
 	_, e := newTest(t)
 	chunk := e.be.cfg.Cluster.ChunkBytes
 	f := func(offBlocks, sizeBlocks uint16) bool {
 		off := int64(offBlocks) * 4096 % (e.Capacity() / 2)
 		size := (int64(sizeBlocks)%2048 + 1) * 4096
-		pieces := e.subRanges(off, size)
 		var sum int64
-		pos := off
-		for i, p := range pieces {
+		var n int
+		pos, left := off, size
+		for left > 0 {
+			p := chunk - pos%chunk
+			if p > left {
+				p = left
+			}
 			if p <= 0 || p > chunk {
 				return false
 			}
-			if i > 0 && pos%chunk != 0 {
+			if n > 0 && pos%chunk != 0 {
 				return false
 			}
 			if pos/chunk != (pos+p-1)/chunk {
 				return false // piece straddles a chunk boundary
 			}
 			pos += p
+			left -= p
 			sum += p
+			n++
 		}
-		return sum == size
+		return sum == size && n == e.subCount(off, size)
 	}
 	if err := quickCheck(f); err != nil {
 		t.Fatal(err)

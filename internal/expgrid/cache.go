@@ -48,6 +48,12 @@ const cacheFileVersion = 1
 // measurement; info holds the live Inspect capture when one is usable
 // in-process (stored by this process, or decoded via Sweep.DecodeInfo);
 // nil means the entry carries none yet.
+//
+// An entry stored in-process keeps its Info live-only (rec.Info nil) until
+// the first Save serializes it — store() is on the sweep hot path and must
+// not pay a JSON marshal per cell. The deferred marshal snapshots the Info
+// at Save time, which is equivalent because Inspect captures are value
+// summaries the sweep never mutates after fold.
 type cacheEntry struct {
 	key      string
 	rec      cacheRecord
@@ -147,9 +153,9 @@ func (c *Cache) lookup(fingerprint uint64, cell Cell, inspect bool, decode func(
 	return out, true
 }
 
-// store caches a successful cell result. The result's Info is marshalled
-// immediately so persistence is deterministic; an Info that cannot marshal
-// keeps the entry in-memory only.
+// store caches a successful cell result. The Info capture is kept live and
+// serialized lazily — once, at the first Save that sees the entry — so the
+// per-cell store cost is a map insert, not a JSON marshal.
 func (c *Cache) store(fingerprint uint64, res CellResult) {
 	if res.Err != nil {
 		return
@@ -167,14 +173,6 @@ func (c *Cache) store(fingerprint uint64, res CellResult) {
 		},
 		info: res.Info,
 	}
-	if res.Info != nil {
-		raw, err := json.Marshal(res.Info)
-		if err != nil {
-			e.volatile = true
-		} else {
-			e.rec.Info = raw
-		}
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
@@ -191,12 +189,23 @@ func (c *Cache) store(fingerprint uint64, res CellResult) {
 }
 
 // Save writes the cache as JSON, entries in deterministic key order.
-// Entries whose Inspect capture could not marshal are skipped.
+// Inspect captures stored live in this process are marshalled here, once
+// per entry (the result is memoized on the entry, so repeated Saves and
+// sweeps re-storing the same coordinates never re-serialize). Entries
+// whose capture cannot marshal are skipped and marked in-memory only.
 func (c *Cache) Save(w io.Writer) error {
 	c.mu.Lock()
 	doc := cacheFile{Version: cacheFileVersion}
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)
+		if e.info != nil && e.rec.Info == nil && !e.volatile {
+			raw, err := json.Marshal(e.info)
+			if err != nil {
+				e.volatile = true
+			} else {
+				e.rec.Info = raw
+			}
+		}
 		if e.volatile {
 			continue
 		}

@@ -165,3 +165,64 @@ func TestCacheVersionRejected(t *testing.T) {
 		t.Fatal("want error for unknown cache file version")
 	}
 }
+
+// countingInfo counts how many times it is JSON-marshalled.
+type countingInfo struct{ marshals *int }
+
+func (c countingInfo) MarshalJSON() ([]byte, error) {
+	*c.marshals++
+	return []byte(`{"x":1}`), nil
+}
+
+// TestCacheInfoMarshalsLazilyAndOnce pins the store-path fix: storing a
+// cell's Inspect capture must not serialize it (store runs once per cell on
+// the sweep hot path), and repeated Saves must serialize it exactly once —
+// the first Save memoizes the bytes on the entry.
+func TestCacheInfoMarshalsLazilyAndOnce(t *testing.T) {
+	cache := NewCache(0)
+	marshals := 0
+	cache.store(1, CellResult{
+		Cell: Cell{Seed: 42},
+		Info: countingInfo{marshals: &marshals},
+	})
+	if marshals != 0 {
+		t.Fatalf("store marshalled the Info %d times; must defer to Save", marshals)
+	}
+	// An in-process lookup is served from the live capture, no marshal.
+	if res, ok := cache.lookup(1, Cell{Seed: 42}, true, nil); !ok || res.Info == nil {
+		t.Fatal("in-process lookup with inspect must hit without serialization")
+	}
+	if marshals != 0 {
+		t.Fatalf("lookup marshalled the Info %d times", marshals)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cache.Save(&bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if marshals != 1 {
+		t.Fatalf("three Saves marshalled the Info %d times, want exactly 1 (memoized)", marshals)
+	}
+}
+
+// TestCacheUnmarshalableInfoStaysInMemory: an Inspect capture that cannot
+// serialize keeps its entry usable in-process but out of the persisted file.
+func TestCacheUnmarshalableInfoStaysInMemory(t *testing.T) {
+	cache := NewCache(0)
+	cache.store(1, CellResult{Cell: Cell{Seed: 7}, Info: make(chan int)})
+	if res, ok := cache.lookup(1, Cell{Seed: 7}, true, nil); !ok || res.Info == nil {
+		t.Fatal("in-memory entry with unmarshalable Info must still hit")
+	}
+	var buf bytes.Buffer
+	if err := cache.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(cellKey(1, 7))) {
+		t.Fatalf("unmarshalable entry leaked into the persisted file: %s", buf.String())
+	}
+	// The failed marshal is memoized too: a second Save must not re-try
+	// and must stay well-formed.
+	if err := cache.Save(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

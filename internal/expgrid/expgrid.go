@@ -665,6 +665,14 @@ func (s Sweep) run(c Cell) (out CellResult) {
 		if s.InspectMix != nil {
 			out.Info = s.InspectMix(tenants, c)
 		}
+		// The cell is measured and inspected: hand pooled buffers and the
+		// engine back for the next cell. Deliberately skipped on the panic
+		// path (the deferred recover returns before reaching here), so a
+		// half-built cell can never poison the pools.
+		for _, t := range tenants {
+			releaseDevice(t.Dev)
+		}
+		sim.ReleaseEngine(eng)
 		return out
 	}
 	dev := s.Devices[c.DeviceIndex].New(c.Seed)
@@ -723,5 +731,17 @@ func (s Sweep) run(c Cell) (out CellResult) {
 	if s.Inspect != nil {
 		out.Info = s.Inspect(dev, c)
 	}
+	releaseDevice(dev)
+	sim.ReleaseEngine(dev.Engine())
 	return out
+}
+
+// releaseDevice hands a device's pooled buffers back once its cell is fully
+// measured and inspected. Devices without pooled state are left alone.
+// Inspect hooks must therefore capture values, not live device internals —
+// which the Inspect contract (no cross-cell sharing) already implies.
+func releaseDevice(dev blockdev.Device) {
+	if r, ok := dev.(interface{ ReleaseResources() }); ok {
+		r.ReleaseResources()
+	}
 }

@@ -221,7 +221,7 @@ func (s Spec) cells(assignments [][]int) (defs []cellDef, refs [][]backendRef) {
 func (s Spec) buildCell(defs []cellDef) func(c expgrid.Cell) (*sim.Engine, []workload.Tenant) {
 	return func(c expgrid.Cell) (*sim.Engine, []workload.Tenant) {
 		def := defs[c.DeviceIndex]
-		eng := sim.NewEngine()
+		eng := sim.AcquireEngine() // released by expgrid after the cell drains
 		rng := sim.NewRNG(c.Seed, c.Seed^0xf1ee)
 		be := essd.NewBackend(eng, s.Backend, rng.Derive("backend"))
 		tenants := make([]workload.Tenant, 0, len(def.members))

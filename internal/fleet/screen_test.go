@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"essdsim/internal/profiles"
+	"essdsim/internal/qos"
+	"essdsim/internal/sim"
+)
+
+// TestScreenRankingAgreesWithSimulation is the screen's reason to exist:
+// the analytic score must rank the built-in policies' placements in the
+// same order as the full simulation ranks their SLO violations on the
+// calibrated ordering catalog. If the cheap model disagrees with the
+// expensive truth on the study the suite pins hardest, the screen is
+// selecting the wrong placements to simulate.
+func TestScreenRankingAgreesWithSimulation(t *testing.T) {
+	spec := orderingSpec().withDefaults()
+	model := spec.newScreenModel()
+	cons := spec.constraints()
+
+	names := []string{"first-fit", "spread", "interference"}
+	scores := make(map[string]float64, len(names))
+	for _, name := range names {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, _ := model.score(spec.Demands, p.Place(cons, spec.Demands), spec.Backends)
+		scores[name] = score
+	}
+
+	rep, err := Run(context.Background(), orderingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols := make(map[string]int, len(names))
+	for _, name := range names {
+		pr := rep.Policy(name)
+		if pr == nil {
+			t.Fatalf("missing %s in simulated report", name)
+		}
+		viols[name] = pr.P999Violations
+	}
+
+	// Rank both ways and compare the orderings, not the magnitudes: the
+	// score is a pressure proxy, not a violation-count predictor.
+	byScore := append([]string(nil), names...)
+	sort.SliceStable(byScore, func(a, b int) bool { return scores[byScore[a]] < scores[byScore[b]] })
+	byViol := append([]string(nil), names...)
+	sort.SliceStable(byViol, func(a, b int) bool { return viols[byViol[a]] < viols[byViol[b]] })
+	if !reflect.DeepEqual(byScore, byViol) {
+		t.Fatalf("analytic ranking %v disagrees with simulated ranking %v (scores=%v violations=%v)",
+			byScore, byViol, scores, viols)
+	}
+	// The calibrated catalog keeps both chains strict; a tie would make the
+	// agreement above vacuous.
+	if !(scores["interference"] < scores["spread"] && scores["spread"] < scores["first-fit"]) {
+		t.Errorf("analytic chain not strict: %v", scores)
+	}
+}
+
+// TestScreenCreditBoundsMatchEmpirical pins the screen's closed-form
+// exhaustion prediction to the behavioral qos.CreditBucket: an open-loop
+// spender at a rate above the sustainable floor must empty the bank within
+// tolerance of model.exhaustionSecs, and a rate at or under the floor must
+// never empty it. The model constants come from a real burstable volume
+// profile so the agreement covers the same tier the fleet screen sees.
+func TestScreenCreditBoundsMatchEmpirical(t *testing.T) {
+	_, vcfg := profiles.GP2SmallConfig().Split()
+	spec := Spec{
+		Demands:  SyntheticDemands(2, 1),
+		Backends: 1,
+		Volume:   vcfg,
+	}.withDefaults()
+	model := spec.newScreenModel()
+	if model.capacity <= 0 || model.burst <= model.baseline {
+		t.Fatalf("gp2-small model is not burstable: %+v", model)
+	}
+
+	empirical := func(rate float64) (exhausted sim.Time) {
+		eng := sim.NewEngine()
+		cb := qos.NewCreditBucket(eng, vcfg.BurstBaseline, vcfg.ThroughputBudget, vcfg.BurstCreditBytes)
+		const tick = 10 * sim.Millisecond
+		perTick := int64(rate * tick.Seconds())
+		horizon := eng.Now().Add(sim.Duration(10 * model.capacity / model.baseline * float64(sim.Second)))
+		for eng.Now() < horizon && cb.ExhaustedAt() < 0 {
+			cb.Spend(perTick)
+			eng.RunUntil(eng.Now().Add(tick))
+		}
+		return cb.ExhaustedAt()
+	}
+
+	// A demand riding the burst tier above the earn rate: predicted and
+	// measured exhaustion must agree within one part in ten.
+	drainRate := (model.baseline + model.burst) / 2
+	d := Demand{Name: "drain", RatePerSec: 1, BlockSize: int64(drainRate)}
+	want := model.exhaustionSecs(d)
+	if math.IsInf(want, 1) {
+		t.Fatalf("rate %.0f predicted to never exhaust", drainRate)
+	}
+	got := empirical(drainRate).Sub(0).Seconds()
+	if diff := math.Abs(got-want) / want; diff > 0.10 {
+		t.Errorf("exhaustion at rate %.0f: predicted %.2fs, measured %.2fs (%.1f%% off)",
+			drainRate, want, got, 100*diff)
+	}
+
+	// A demand at the earn rate never drains; prediction and measurement
+	// must both say "never".
+	idle := Demand{Name: "idle", RatePerSec: 1, BlockSize: int64(model.baseline)}
+	if secs := model.exhaustionSecs(idle); !math.IsInf(secs, 1) {
+		t.Errorf("rate at baseline predicted to exhaust in %.2fs", secs)
+	}
+	if at := empirical(model.baseline); at >= 0 {
+		t.Errorf("rate at baseline measured to exhaust at t=%dns", int64(at))
+	}
+}
+
+// TestScreenFrontierAndVolume runs the two-fidelity screen end to end on
+// the ordering catalog: the candidate volume must dwarf the simulation
+// count (the whole point of screening), the frontier must be a proper
+// Pareto set, every simulated frontier cell must exist in the report, and
+// the run must be bit-for-bit deterministic.
+func TestScreenFrontierAndVolume(t *testing.T) {
+	ss := ScreenSpec{Spec: orderingSpec(), Candidates: 256}
+	rep, err := Screen(context.Background(), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Candidates < 10*simCount(rep) {
+		t.Errorf("screen scored %d candidates for %d simulations; want >=10x more candidates than simulations",
+			rep.Candidates, simCount(rep))
+	}
+	if rep.Generated < rep.Candidates {
+		t.Errorf("generated %d < distinct %d", rep.Generated, rep.Candidates)
+	}
+	if len(rep.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(rep.Frontier); i++ {
+		prev, cur := rep.Frontier[i-1], rep.Frontier[i]
+		if cur.BackendsUsed <= prev.BackendsUsed {
+			t.Errorf("frontier densities not strictly increasing: %d then %d", prev.BackendsUsed, cur.BackendsUsed)
+		}
+		if cur.Score >= prev.Score {
+			t.Errorf("frontier scores not strictly improving: %.3f then %.3f", prev.Score, cur.Score)
+		}
+	}
+	if rep.Simulated == nil {
+		t.Fatal("no frontier simulations")
+	}
+	for i, pr := range rep.Simulated.Policies {
+		if pr.BackendsUsed != rep.Frontier[i].BackendsUsed {
+			t.Errorf("simulated %s used %d backends; screen predicted %d",
+				pr.Policy, pr.BackendsUsed, rep.Frontier[i].BackendsUsed)
+		}
+	}
+
+	// Determinism: a second identical screen must reproduce the report and
+	// its rendering byte for byte.
+	rep2, err := Screen(context.Background(), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	FormatScreen(&b1, rep)
+	FormatScreen(&b2, rep2)
+	if b1.String() != b2.String() {
+		t.Error("screen output not deterministic across identical runs")
+	}
+	if !reflect.DeepEqual(rep.Frontier, rep2.Frontier) {
+		t.Error("frontier not deterministic across identical runs")
+	}
+	if !strings.Contains(b1.String(), "candidates scored") {
+		t.Errorf("missing screen summary line in output:\n%s", b1.String())
+	}
+}

@@ -1,0 +1,50 @@
+// Package profiling wires the standard pprof collectors into the CLI
+// front ends: a -cpuprofile flag streams CPU samples for the whole run,
+// and a -memprofile flag snapshots the heap at exit. The profiles are the
+// inputs to the perf workflow in docs/performance.md (go tool pprof).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. Either path may be empty to skip
+// that profile. The returned stop function finishes both profiles and must
+// run before process exit (defer it in main); it is safe to call when no
+// profile was requested. Callers that exit through os.Exit on error paths
+// simply lose the profile, which is fine — profiles of failed runs are
+// not actionable.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}

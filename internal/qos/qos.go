@@ -17,8 +17,10 @@ type TokenBucket struct {
 
 	tokens   float64
 	lastFill sim.Time
-	waiters  []tbWaiter
+	waiters  []tbWaiter // FIFO ring: live waiters are waiters[whead:]
+	whead    int
 	draining bool
+	drainFn  func() // reusable drain event, allocated once per bucket
 
 	granted float64
 	stalled sim.Duration
@@ -30,6 +32,9 @@ type tbWaiter struct {
 	done  func()
 }
 
+// noop is the shared no-op completion for nil-done Takes.
+func noop() {}
+
 // NewTokenBucket returns a bucket that starts full.
 func NewTokenBucket(eng *sim.Engine, rate, burst float64) *TokenBucket {
 	if rate <= 0 {
@@ -38,7 +43,9 @@ func NewTokenBucket(eng *sim.Engine, rate, burst float64) *TokenBucket {
 	if burst < 1 {
 		burst = 1
 	}
-	return &TokenBucket{eng: eng, rate: rate, burst: burst, tokens: burst}
+	b := &TokenBucket{eng: eng, rate: rate, burst: burst, tokens: burst}
+	b.drainFn = b.drain
+	return b
 }
 
 // Rate returns the current fill rate (tokens/s).
@@ -61,7 +68,7 @@ func (b *TokenBucket) Granted() float64 { return b.granted }
 func (b *TokenBucket) StallTime() sim.Duration { return b.stalled }
 
 // QueueLen returns the number of requests waiting for tokens.
-func (b *TokenBucket) QueueLen() int { return len(b.waiters) }
+func (b *TokenBucket) QueueLen() int { return len(b.waiters) - b.whead }
 
 func (b *TokenBucket) refill() {
 	now := b.eng.Now()
@@ -82,14 +89,14 @@ func (b *TokenBucket) refill() {
 // head, preserving the long-run rate.
 func (b *TokenBucket) Take(n float64, done func()) {
 	if done == nil {
-		done = func() {}
+		done = noop
 	}
 	if n <= 0 {
 		done()
 		return
 	}
 	b.refill()
-	if len(b.waiters) == 0 && b.tokens >= n {
+	if b.whead == len(b.waiters) && b.tokens >= n {
 		b.tokens -= n
 		b.granted += n
 		done()
@@ -110,12 +117,14 @@ func (b *TokenBucket) grantThreshold(n float64) float64 {
 }
 
 // kick schedules the next waiter's grant time if not already scheduled.
+// The drain event is the reusable drainFn closure, so a grant cycle costs
+// no allocation regardless of queue depth.
 func (b *TokenBucket) kick() {
-	if b.draining || len(b.waiters) == 0 {
+	if b.draining || b.whead >= len(b.waiters) {
 		return
 	}
 	b.refill()
-	need := b.grantThreshold(b.waiters[0].n) - b.tokens
+	need := b.grantThreshold(b.waiters[b.whead].n) - b.tokens
 	var wait sim.Duration
 	if need > 0 {
 		wait = sim.Duration(need / b.rate * float64(sim.Second))
@@ -124,23 +133,32 @@ func (b *TokenBucket) kick() {
 		}
 	}
 	b.draining = true
-	b.eng.Schedule(wait, func() {
-		b.draining = false
-		b.refill()
-		for len(b.waiters) > 0 {
-			w := b.waiters[0]
-			if b.tokens < b.grantThreshold(w.n) {
-				break
-			}
-			b.tokens -= w.n // may go negative for oversized requests
-			b.granted += w.n
-			b.stalled += b.eng.Now().Sub(w.since)
-			copy(b.waiters, b.waiters[1:])
-			b.waiters = b.waiters[:len(b.waiters)-1]
-			w.done()
+	b.eng.Schedule(wait, b.drainFn)
+}
+
+// drain grants every waiter the accrued tokens cover, in FIFO order. The
+// ring-head pop is O(1); the drained prefix is reclaimed whenever the queue
+// empties, bounding memory to the high-water mark of concurrent waiters.
+func (b *TokenBucket) drain() {
+	b.draining = false
+	b.refill()
+	for b.whead < len(b.waiters) {
+		w := b.waiters[b.whead]
+		if b.tokens < b.grantThreshold(w.n) {
+			break
 		}
-		b.kick()
-	})
+		b.tokens -= w.n // may go negative for oversized requests
+		b.granted += w.n
+		b.stalled += b.eng.Now().Sub(w.since)
+		b.waiters[b.whead] = tbWaiter{}
+		b.whead++
+		if b.whead == len(b.waiters) {
+			b.waiters = b.waiters[:0]
+			b.whead = 0
+		}
+		w.done()
+	}
+	b.kick()
 }
 
 // FlowLimiter models the provider policy that throttles a volume's write

@@ -78,7 +78,7 @@ func BurstTierDevices() []expgrid.NamedFactory {
 
 func profileFactory(name string) expgrid.Factory {
 	return func(seed uint64) blockdev.Device {
-		dev, err := profiles.ByName(name, sim.NewEngine(), sim.NewRNG(seed, seed^0x5c))
+		dev, err := profiles.ByName(name, sim.AcquireEngine(), sim.NewRNG(seed, seed^0x5c))
 		if err != nil {
 			panic(err) // expgrid recovers this into CellResult.Err
 		}

@@ -98,7 +98,7 @@ func (s NeighborSweep) withDefaults() NeighborSweep {
 // exactly.
 func (s NeighborSweep) BuildTenants(c expgrid.Cell) (*sim.Engine, []workload.Tenant) {
 	s = s.withDefaults()
-	eng := sim.NewEngine()
+	eng := sim.AcquireEngine() // released by expgrid after the cell drains
 	rng := sim.NewRNG(c.Seed, c.Seed^0x5c)
 	be := essd.NewBackend(eng, profiles.NeighborBackendConfig(), rng.Derive("backend"))
 	return eng, s.AttachTenants(be, rng, c)

@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -58,41 +57,70 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among same-time events
-	fn  func()
+	fn  func() // nil advances the clock without doing work
+	// cfn+arg is the allocation-free alternative to fn: a long-lived bound
+	// method plus a per-event argument. Function values and pointers are
+	// stored in an interface word directly, so hot paths that complete with
+	// a caller-supplied callback (e.g. Server visits) can schedule without
+	// materializing a closure per event. When cfn is set, fn is ignored.
+	cfn func(any)
+	arg any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (time, sequence): a strict total order, so any
+// heap arity yields the identical pop order.
+func (ev event) less(o event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+	return ev.seq < o.seq
 }
 
 // Engine is a single-threaded discrete-event simulation engine. It is not
 // safe for concurrent use; all device models run inside its event loop.
+//
+// The pending-event set is split in two: a typed 4-ary min-heap for future
+// events, and a FIFO ready ring for events scheduled at the current
+// simulated time. Same-timestamp dispatch is the dominant pattern in the
+// device models (completion callbacks chaining into dispatchers), and the
+// ready ring turns each of those events into an O(1) append/pop instead of
+// an O(log n) sift — while preserving the exact (time, sequence) execution
+// order of a single heap, because ready events are appended in increasing
+// sequence order and compared against the heap root before running.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	heap   []event // 4-ary min-heap ordered by event.less
+	ready  []event // FIFO ring of events at the current time
+	rhead  int     // ready ring head index
 	nsteps uint64
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Reset returns the engine to its initial state — clock at zero, no pending
+// events, step and sequence counters cleared — while keeping the event
+// storage for reuse. A reset engine behaves identically to a NewEngine one,
+// so pooled engines (see AcquireEngine) preserve determinism.
+func (e *Engine) Reset() {
+	clearEvents(e.heap)
+	clearEvents(e.ready[e.rhead:])
+	e.heap = e.heap[:0]
+	e.ready = e.ready[:0]
+	e.rhead = 0
+	e.now = 0
+	e.seq = 0
+	e.nsteps = 0
+}
+
+// clearEvents zeroes the slice so dropped callback closures are collectable.
+func clearEvents(evs []event) {
+	for i := range evs {
+		evs[i] = event{}
+	}
 }
 
 // Now returns the current simulated time.
@@ -102,7 +130,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
 // Pending returns the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.ready) - e.rhead }
 
 // Schedule runs fn after delay d of simulated time. A negative delay is
 // treated as zero (run as soon as the loop resumes, after already-queued
@@ -117,26 +145,137 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 // At runs fn at absolute simulated time t. Times in the past are clamped to
 // the current time. A nil fn advances the clock without doing work.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	if fn == nil {
-		fn = func() {}
+	if t <= e.now {
+		// Current-time events go straight to the ready ring: appended in
+		// increasing sequence order, so FIFO order is execution order.
+		e.seq++
+		e.ready = append(e.ready, event{at: e.now, seq: e.seq, fn: fn})
+		return
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// ScheduleCall runs fn(arg) after delay d. It is Schedule for callers that
+// already hold a long-lived fn (typically a bound method stored once at
+// construction): passing the per-event state through arg avoids allocating
+// a closure per scheduled event. Ordering is identical to Schedule.
+func (e *Engine) ScheduleCall(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtCall(e.now.Add(d), fn, arg)
+}
+
+// AtCall runs fn(arg) at absolute simulated time t; see ScheduleCall.
+func (e *Engine) AtCall(t Time, fn func(any), arg any) {
+	e.seq++
+	if t <= e.now {
+		e.ready = append(e.ready, event{at: e.now, seq: e.seq, cfn: fn, arg: arg})
+		return
+	}
+	e.push(event{at: t, seq: e.seq, cfn: fn, arg: arg})
+}
+
+// push inserts ev into the 4-ary heap.
+func (e *Engine) push(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// pop removes and returns the heap minimum.
+func (e *Engine) pop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.heap = h
+	if n > 0 {
+		// Sift last down from the root, choosing the least of up to four
+		// children at each level.
+		i := 0
+		for {
+			c := i*4 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].less(h[m]) {
+					m = j
+				}
+			}
+			if !h[m].less(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// next removes and returns the earliest pending event, honoring the
+// (time, sequence) order across the heap and the ready ring. ok is false
+// when no events remain.
+func (e *Engine) next() (ev event, ok bool) {
+	hasReady := e.rhead < len(e.ready)
+	hasHeap := len(e.heap) > 0
+	switch {
+	case !hasReady && !hasHeap:
+		return event{}, false
+	case !hasReady:
+		return e.pop(), true
+	case hasHeap:
+		// Ready events sit at the current time; a heap event can only
+		// precede them when it shares that timestamp with a smaller
+		// sequence number (it was scheduled before the clock reached now).
+		if root := &e.heap[0]; root.at == e.now && root.seq < e.ready[e.rhead].seq {
+			return e.pop(), true
+		}
+	}
+	ev = e.ready[e.rhead]
+	e.ready[e.rhead] = event{}
+	e.rhead++
+	if e.rhead == len(e.ready) {
+		e.ready = e.ready[:0]
+		e.rhead = 0
+	}
+	return ev, true
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev, ok := e.next()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
 	e.now = ev.at
 	e.nsteps++
-	ev.fn()
+	switch {
+	case ev.cfn != nil:
+		ev.cfn(ev.arg)
+	case ev.fn != nil:
+		ev.fn()
+	}
 	return true
 }
 
@@ -149,7 +288,15 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 // Events scheduled exactly at t are executed.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for {
+		if e.rhead < len(e.ready) {
+			// Ready events are always at the current time, which is <= t.
+			e.Step()
+			continue
+		}
+		if len(e.heap) == 0 || e.heap[0].at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {

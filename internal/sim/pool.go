@@ -1,0 +1,34 @@
+package sim
+
+import "sync"
+
+// enginePool recycles engines across experiment cells. An engine's event
+// storage grows to the high-water mark of its busiest simulation; reusing
+// it lets every subsequent cell run allocation-free in the event loop.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// AcquireEngine returns a reset engine, reusing pooled event storage when
+// available. It is indistinguishable from NewEngine for determinism: a
+// reset engine starts with the clock at zero, no pending events, and fresh
+// counters.
+//
+// Callers that finish a bounded simulation (an experiment cell, a bench
+// iteration) should hand the engine back with ReleaseEngine once nothing
+// can schedule onto it anymore.
+func AcquireEngine() *Engine {
+	e := enginePool.Get().(*Engine)
+	e.Reset()
+	return e
+}
+
+// ReleaseEngine resets e and returns it to the pool. The caller must
+// guarantee no other component still schedules onto or reads from e —
+// typically right after the cell's measurement and inspection complete.
+// Releasing nil is a no-op.
+func ReleaseEngine(e *Engine) {
+	if e == nil {
+		return
+	}
+	e.Reset()
+	enginePool.Put(e)
+}

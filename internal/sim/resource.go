@@ -11,10 +11,12 @@ type Server struct {
 	name string
 	cap  int
 
-	busy    int
-	queue   []serverJob
-	served  uint64
-	busyAcc Duration // accumulated slot-busy time, for utilization
+	busy     int
+	queue    []serverJob // FIFO ring: live jobs are queue[qhead:]
+	qhead    int
+	served   uint64
+	busyAcc  Duration  // accumulated slot-busy time, for utilization
+	finishFn func(any) // bound finish method, allocated once per server
 }
 
 type serverJob struct {
@@ -28,14 +30,16 @@ func NewServer(eng *Engine, name string, slots int) *Server {
 	if slots < 1 {
 		slots = 1
 	}
-	return &Server{eng: eng, name: name, cap: slots}
+	s := &Server{eng: eng, name: name, cap: slots}
+	s.finishFn = s.finish
+	return s
 }
 
 // Name returns the server's diagnostic name.
 func (s *Server) Name() string { return s.name }
 
 // QueueLen returns the number of waiting (not yet in service) jobs.
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return len(s.queue) - s.qhead }
 
 // Busy returns the number of occupied service slots.
 func (s *Server) Busy() int { return s.busy }
@@ -62,22 +66,33 @@ func (s *Server) Visit(service Duration, done func()) {
 func (s *Server) start(service Duration, done func()) {
 	s.busy++
 	s.busyAcc += service
-	s.eng.Schedule(service, func() {
-		s.busy--
-		s.served++
-		if done != nil {
-			done()
-		}
-		s.dispatch()
-	})
+	// The completion event reuses the server's bound finish method with the
+	// visit's done callback as the event argument — no closure per visit.
+	s.eng.ScheduleCall(service, s.finishFn, done)
+}
+
+func (s *Server) finish(arg any) {
+	s.busy--
+	s.served++
+	if done := arg.(func()); done != nil {
+		done()
+	}
+	s.dispatch()
 }
 
 func (s *Server) dispatch() {
-	for s.busy < s.cap && len(s.queue) > 0 {
-		j := s.queue[0]
-		// Shift rather than re-slice forever to bound memory.
-		copy(s.queue, s.queue[1:])
-		s.queue = s.queue[:len(s.queue)-1]
+	for s.busy < s.cap && s.qhead < len(s.queue) {
+		j := s.queue[s.qhead]
+		// Advance a head index instead of shifting: popping is O(1), and
+		// the drained prefix is reclaimed whenever the ring empties (the
+		// steady state of a stable queue), bounding memory to the high-water
+		// mark of outstanding jobs.
+		s.queue[s.qhead] = serverJob{}
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		}
 		s.start(j.service, j.done)
 	}
 }
@@ -131,11 +146,9 @@ func (p *Pipe) Transfer(n int64, done func()) {
 	finish := start.Add(p.TransferTime(n))
 	p.nextFree = finish
 	p.moved += n
-	p.eng.At(finish, func() {
-		if done != nil {
-			done()
-		}
-	})
+	// done is scheduled directly (nil is a bare clock advance): no wrapper
+	// closure per transfer on the hot path.
+	p.eng.At(finish, done)
 }
 
 // Backlog returns how far in the future the pipe is already committed,

@@ -149,6 +149,60 @@ func (h *Histogram) Percentile(p float64) sim.Duration {
 	return h.Max()
 }
 
+// percentileAcross returns the value at quantile p over the union of the
+// given histograms (nil entries are skipped), exactly as if they had been
+// merged into one histogram first — same bucket resolution, same min/max
+// clamping — but without allocating the merged copy.
+func percentileAcross(hists []*Histogram, p float64) sim.Duration {
+	var total uint64
+	min := sim.Duration(math.MaxInt64)
+	var max sim.Duration
+	for _, h := range hists {
+		if h == nil || h.count == 0 {
+			continue
+		}
+		total += h.count
+		if h.min < min {
+			min = h.min
+		}
+		if h.max > max {
+			max = h.max
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return min
+	}
+	if p >= 100 {
+		return max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histogramSlots; i++ {
+		for _, h := range hists {
+			if h != nil {
+				cum += uint64(h.counts[i])
+			}
+		}
+		if cum >= rank {
+			v := sim.Duration(bucketMid(i))
+			if v > max {
+				return max
+			}
+			if v < min {
+				return min
+			}
+			return v
+		}
+	}
+	return max
+}
+
 // Merge adds all observations from other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {

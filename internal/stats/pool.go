@@ -1,0 +1,28 @@
+package stats
+
+import "sync"
+
+// histPool recycles histograms for bounded-lifetime measurement: a histogram
+// carries an 8 KiB bucket array, so scratch aggregations (per-window scans,
+// per-cell probes) that would otherwise allocate one per use can instead
+// borrow from the pool. Histograms retained in results must NOT be pooled —
+// results outlive their cell and may be served from a sweep cache.
+var histPool = sync.Pool{New: func() any { return NewHistogram() }}
+
+// AcquireHistogram returns an empty histogram, reusing pooled bucket storage
+// when available. Reset is the reuse hook: an acquired histogram is
+// indistinguishable from a NewHistogram one.
+func AcquireHistogram() *Histogram {
+	h := histPool.Get().(*Histogram)
+	h.Reset()
+	return h
+}
+
+// ReleaseHistogram returns h to the pool. The caller must not use h (or any
+// result referencing it) afterwards. Releasing nil is a no-op.
+func ReleaseHistogram(h *Histogram) {
+	if h == nil {
+		return
+	}
+	histPool.Put(h)
+}

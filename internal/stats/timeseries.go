@@ -222,6 +222,9 @@ func (l *LatencySeries) CountRange(from, to int) uint64 {
 // PercentileRange returns the latency at quantile p over buckets [from,
 // to). It requires a series built with NewLatencySeriesHist and returns 0
 // when histograms are not tracked or the window holds no completions.
+// The quantile is computed by a rank scan across the per-bucket histograms
+// in place — no merged histogram is materialized, so sweeps that query many
+// windows (SLO probes, windowed-percentile reports) allocate nothing here.
 func (l *LatencySeries) PercentileRange(from, to int, p float64) sim.Duration {
 	if !l.trackHist {
 		return 0
@@ -232,13 +235,7 @@ func (l *LatencySeries) PercentileRange(from, to int, p float64) sim.Duration {
 	if to > len(l.hists) {
 		to = len(l.hists)
 	}
-	merged := NewHistogram()
-	for i := from; i < to; i++ {
-		if l.hists[i] != nil {
-			merged.Merge(l.hists[i])
-		}
-	}
-	return merged.Percentile(p)
+	return percentileAcross(l.hists[from:to], p)
 }
 
 // Counter is a simple monotonically increasing tally of operations and bytes.
