@@ -452,6 +452,49 @@ func BenchmarkNeighborSweep(b *testing.B) {
 	b.ReportMetric(inflation, "victim-p999-x")
 }
 
+// BenchmarkNeighborIsolation measures the throughput cost and the tail
+// effect of each per-tenant QoS isolation policy on the 3-cell
+// noisy-neighbor grid. cells/sec per policy is the perf-trajectory metric
+// for the scheduled (non-FIFO) queueing paths; victim-p999-x pins the
+// isolation signal itself — wfq and reservation must keep the victim's
+// worst p99.9 inflation far below fifo's as the simulator evolves.
+//
+// Run: go test -bench=NeighborIsolation -benchtime=1x
+func BenchmarkNeighborIsolation(b *testing.B) {
+	policies := []essdsim.IsolationPolicy{
+		essdsim.IsolationFIFO, essdsim.IsolationWFQ, essdsim.IsolationReservation,
+	}
+	for _, policy := range policies {
+		b.Run(policy.String(), func(b *testing.B) {
+			sweep := essdsim.NeighborSweep{
+				AggressorCounts:      []int{0, 2, 4},
+				AggressorRatesPerSec: []float64{1600},
+				VictimOps:            900,
+				Seed:                 7,
+				Isolation:            essdsim.Isolation{Policy: policy},
+			}
+			b.ReportAllocs()
+			var inflation float64
+			cells := 0
+			for i := 0; i < b.N; i++ {
+				rep, err := essdsim.RunNeighborScenario(context.Background(), sweep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = len(rep.Cells)
+				inflation = 0
+				for _, c := range rep.Cells {
+					if c.P999Inflation > inflation {
+						inflation = c.P999Inflation
+					}
+				}
+			}
+			reportCells(b, cells)
+			b.ReportMetric(inflation, "victim-p999-x")
+		})
+	}
+}
+
 // BenchmarkFleetPack measures fleet packing-study throughput: eight
 // tenants placed by all four policies onto two backends (ten
 // simulation cells including the two solo controls). cells/sec is the

@@ -84,6 +84,9 @@ func main() {
 		traceFmt = flag.String("trace-format", "text", "trace file format: text (native) or msr (MSR-Cambridge CSV)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		isoName  = flag.String("isolation", "fifo", "backend QoS isolation policy: fifo, wfq, or reservation (essd-class devices)")
+		qosWt    = flag.Float64("weight", 0, "volume scheduling weight under -isolation wfq/reservation (0 = default 1)")
+		qosResv  = flag.Float64("reserved-bps", 0, "volume reserved backend bytes/sec under -isolation reservation")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -96,6 +99,16 @@ func main() {
 	defer stopProfiles()
 	if *mixPct < 0 || *mixPct > 100 {
 		fatal(fmt.Errorf("-rwmixwrite %d out of [0, 100]", *mixPct))
+	}
+	isoPolicy, err := essdsim.ParseIsolationPolicy(*isoName)
+	if err != nil {
+		fatal(err)
+	}
+	devQoS.iso = essdsim.Isolation{Policy: isoPolicy}
+	devQoS.weight = *qosWt
+	devQoS.resv = *qosResv
+	if (devQoS.weight != 0 || devQoS.resv != 0) && !devQoS.iso.Enabled() {
+		fatal(fmt.Errorf("-weight/-reserved-bps need -isolation wfq or reservation; fifo ignores shares"))
 	}
 
 	rates, err := parseRates(*rate)
@@ -155,7 +168,7 @@ func main() {
 			fatal(fmt.Errorf("-cache needs a sweep (comma-list axes) or -slo-p99 search; a single run is never memoized"))
 		}
 		eng := essdsim.NewEngine()
-		dev, err := essdsim.NewDevice(*device, eng, *seed)
+		dev, err := newDevice(*device, eng, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -178,7 +191,7 @@ func main() {
 	}
 
 	eng := essdsim.NewEngine()
-	dev, err := essdsim.NewDevice(*device, eng, *seed)
+	dev, err := newDevice(*device, eng, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -304,6 +317,7 @@ func runTraceReplay(file, format, devices, precond string, seed uint64, workers 
 		Kind:     essdsim.SweepTraceReplay,
 		Seed:     seed,
 		Label:    "essdbench-trace",
+		Variant:  qosVariant(),
 		Trace:    recs,
 		FitTrace: format == "msr",
 	}
@@ -311,7 +325,7 @@ func runTraceReplay(file, format, devices, precond string, seed uint64, workers 
 	for _, name := range strings.Split(devices, ",") {
 		names = append(names, strings.TrimSpace(name))
 	}
-	sw.Devices = essdsim.ProfileDevices(names...)
+	sw.Devices = profileDevices(names...)
 	if sw.Precondition, err = parsePrecond(precond); err != nil {
 		fatal(err)
 	}
@@ -372,7 +386,8 @@ func runSLOSearch(device, rws, sizes, arrivals, rateRange string, tol float64,
 		}
 	}
 	search := essdsim.SLOSearch{
-		Device:        essdsim.ProfileDevices(device)[0],
+		Device:        profileDevices(device)[0],
+		Variant:       qosVariant(),
 		Pattern:       pattern,
 		BlockSize:     blockSize,
 		WriteRatioPct: mixPct,
@@ -490,12 +505,12 @@ func runCachedSweep(sw essdsim.Sweep, workers int, cachePath string) ([]essdsim.
 // prints one summary row per cell.
 func runOpenSweep(devices, rws, sizes, arrivals string, rates []float64,
 	ops uint64, mixPct int, precond string, seed uint64, workers int, cachePath string) {
-	sw := essdsim.Sweep{Kind: essdsim.SweepOpen, Seed: seed, Label: "essdbench-open"}
+	sw := essdsim.Sweep{Kind: essdsim.SweepOpen, Seed: seed, Label: "essdbench-open", Variant: qosVariant()}
 	var names []string
 	for _, name := range strings.Split(devices, ",") {
 		names = append(names, strings.TrimSpace(name))
 	}
-	sw.Devices = essdsim.ProfileDevices(names...)
+	sw.Devices = profileDevices(names...)
 	mixed := false
 	for _, s := range strings.Split(rws, ",") {
 		p, err := workload.ParsePattern(strings.TrimSpace(s))
@@ -548,12 +563,12 @@ func runOpenSweep(devices, rws, sizes, arrivals string, rates []float64,
 // size, and depth lists as a parallel experiment grid and prints one
 // summary row per cell.
 func runSweep(devices, rws, sizes, depths, runtime, warmup, precond string, mixPct int, seed uint64, workers int, cachePath string) {
-	sw := essdsim.Sweep{Seed: seed, Label: "essdbench"}
+	sw := essdsim.Sweep{Seed: seed, Label: "essdbench", Variant: qosVariant()}
 	var names []string
 	for _, name := range strings.Split(devices, ",") {
 		names = append(names, strings.TrimSpace(name))
 	}
-	sw.Devices = essdsim.ProfileDevices(names...)
+	sw.Devices = profileDevices(names...)
 	mixed := false
 	for _, s := range strings.Split(rws, ",") {
 		p, err := workload.ParsePattern(strings.TrimSpace(s))
@@ -637,6 +652,39 @@ func sizeLabel(bs int64) string {
 	default:
 		return fmt.Sprintf("%d", bs)
 	}
+}
+
+// devQoS carries the backend isolation policy and per-volume QoS share
+// from the flags to every device construction site; the zero value is the
+// original FIFO stack.
+var devQoS struct {
+	iso    essdsim.Isolation
+	weight float64
+	resv   float64
+}
+
+func qosEnabled() bool {
+	return devQoS.iso.Enabled() || devQoS.weight != 0 || devQoS.resv != 0
+}
+
+// qosVariant keys cache entries for isolated runs: same seeds and
+// arrivals as fifo (deltas are pure scheduling effects), distinct entries.
+func qosVariant() string {
+	if !qosEnabled() {
+		return ""
+	}
+	return fmt.Sprintf("iso:%s|w%g|r%g", devQoS.iso.Signature(), devQoS.weight, devQoS.resv)
+}
+
+func newDevice(name string, eng *essdsim.Engine, seed uint64) (essdsim.Device, error) {
+	return essdsim.NewDeviceQoS(name, devQoS.iso, devQoS.weight, devQoS.resv, eng, seed)
+}
+
+func profileDevices(names ...string) []essdsim.NamedFactory {
+	if !qosEnabled() {
+		return essdsim.ProfileDevices(names...)
+	}
+	return essdsim.ProfileDevicesQoS(devQoS.iso, devQoS.weight, devQoS.resv, names...)
 }
 
 func fatal(err error) {

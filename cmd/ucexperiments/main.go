@@ -2,10 +2,14 @@
 // (Table I and Figures 2-5) on the simulated devices and prints them in the
 // paper's layout, plus the burst-credit scenario suite, the latency-SLO
 // search behind Observation #4 on the burstable tiers, the noisy-neighbor
-// suite measuring cross-tenant interference on a shared backend, and the
-// fleet tenant-packing study comparing placement policies over many shared
-// backends. Optionally dumps raw CSV series for plotting (docs/formats.md
-// describes the schemas).
+// suite measuring cross-tenant interference on a shared backend, the QoS
+// isolation comparison running that suite under every scheduling policy
+// (fifo, wfq, reservation) on identical arrival streams, and the fleet
+// tenant-packing study comparing placement policies over many shared
+// backends. -isolation selects one backend scheduling policy for the
+// neighbor and fleet suites; -exp isolation sweeps them all. Optionally
+// dumps raw CSV series for plotting (docs/formats.md describes the
+// schemas).
 //
 // The neighbor suite's aggressors are synthetic by default; with
 // -aggr-trace FILE (and -aggr-trace-format msr for MSR-Cambridge CSV) the
@@ -32,6 +36,9 @@
 //	ucexperiments -exp fig2 -quick
 //	ucexperiments -exp burst -quick
 //	ucexperiments -exp neighbor -quick -out results/
+//	ucexperiments -exp neighbor -isolation wfq -victim-weight 2
+//	ucexperiments -exp isolation -quick -out results/
+//	ucexperiments -exp fleet -isolation reservation
 //	ucexperiments -exp neighbor -aggr-trace msr-rows.csv -aggr-trace-format msr
 //	ucexperiments -exp fleet -quick -cache sweepcache.json
 //	ucexperiments -exp fleet -fleet-tenants 16 -fleet-backends 4 -fleet-policy spread,interference
@@ -55,6 +62,7 @@ import (
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
 	"essdsim/internal/profiling"
+	"essdsim/internal/qos"
 	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
 	"essdsim/internal/slo"
@@ -81,7 +89,7 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, fleet, or all")
+		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, isolation, fleet, or all")
 		quick       = flag.Bool("quick", false, "reduced grids for a fast pass")
 		seed        = flag.Uint64("seed", 7, "deterministic seed")
 		out         = flag.String("out", "", "directory for raw CSV dumps (optional)")
@@ -98,6 +106,9 @@ func main() {
 		fleetP999   = flag.Duration("fleet-slo-p999", 5*time.Millisecond, "-exp fleet p99.9 target the violation columns count against")
 		fleetScreen = flag.Bool("screen", false, "-exp fleet: two-fidelity mode — score placements analytically, simulate only the Pareto frontier")
 		fleetCands  = flag.Int("screen-candidates", 1024, "-exp fleet -screen analytic candidate budget")
+		isolation   = flag.String("isolation", "fifo", "-exp neighbor/fleet backend QoS policy: fifo, wfq, or reservation")
+		victimWt    = flag.Float64("victim-weight", 0, "-exp neighbor victim scheduling weight under wfq/reservation (0 = default 1)")
+		victimResv  = flag.Float64("victim-reserved-bps", 0, "-exp neighbor victim reserved bytes/s under -isolation reservation (0 = 2x victim offered)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -112,6 +123,12 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
+
+	isoPolicy, err := qos.ParseIsolationPolicy(*isolation)
+	if err != nil {
+		fatal(err)
+	}
+	iso := qos.Isolation{Policy: isoPolicy}
 
 	var cache *expgrid.Cache
 	if *cacheFile != "" {
@@ -243,10 +260,13 @@ func main() {
 			os.Exit(1)
 		}
 		sweep := scenario.NeighborSweep{
-			AggressorArrival: arr,
-			Cache:            cache,
-			Seed:             *seed,
-			Workers:          *workers,
+			AggressorArrival:   arr,
+			Cache:              cache,
+			Seed:               *seed,
+			Workers:            *workers,
+			Isolation:          iso,
+			VictimWeight:       *victimWt,
+			VictimReservedRate: *victimResv,
 		}
 		if *quick {
 			sweep.AggressorCounts = []int{0, 2, 4}
@@ -286,6 +306,38 @@ func main() {
 			dumpNeighborCSV(*out, rep)
 		}
 	}
+	if want("isolation") {
+		ran = true
+		cmp := scenario.IsolationComparison{Sweep: scenario.NeighborSweep{
+			Cache:              cache,
+			Seed:               *seed,
+			Workers:            *workers,
+			VictimWeight:       *victimWt,
+			VictimReservedRate: *victimResv,
+		}}
+		if *quick {
+			cmp.Sweep.AggressorCounts = []int{0, 2, 4}
+			cmp.Sweep.AggressorRatesPerSec = []float64{1600}
+			cmp.Sweep.VictimOps = 1200
+		}
+		rep, err := scenario.RunIsolationComparison(context.Background(), cmp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- QoS isolation comparison (per-tenant scheduling on the shared backend) ---")
+		scenario.FormatIsolation(os.Stdout, rep)
+		if cache != nil {
+			cells := 0
+			for _, v := range rep.Variants {
+				cells += len(v.Report.Cells)
+			}
+			fmt.Printf("isolation: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, cells)
+		}
+		fmt.Println()
+		if *out != "" {
+			dumpIsolationCSV(*out, rep)
+		}
+	}
 	if want("fleet") {
 		ran = true
 		tenants, aggressors := *fleetTen, *fleetAggr
@@ -305,6 +357,7 @@ func main() {
 			Seed:     *seed,
 			Workers:  *workers,
 		}
+		spec.Backend.Isolation = iso
 		if *fleetScreen {
 			srep, err := fleet.Screen(context.Background(), fleet.ScreenSpec{
 				Spec:       spec,
@@ -462,6 +515,14 @@ func dumpNeighborCSV(dir string, rep *scenario.NeighborReport) {
 	f := csvFile(dir, "neighbor_cells.csv")
 	defer f.Close()
 	if err := scenario.WriteNeighborCSV(f, rep); err != nil {
+		panic(err)
+	}
+}
+
+func dumpIsolationCSV(dir string, rep *scenario.IsolationReport) {
+	f := csvFile(dir, "isolation_comparison.csv")
+	defer f.Close()
+	if err := scenario.WriteIsolationCSV(f, rep); err != nil {
 		panic(err)
 	}
 }

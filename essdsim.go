@@ -31,7 +31,14 @@
 //     (synthetic or fitted from real traces) placed onto many shared
 //     backends by pluggable placement policies — first-fit, spread,
 //     best-fit, interference-aware — with per-policy SLO-violation,
-//     utilization, and worst-victim-inflation comparisons; and
+//     utilization, and worst-victim-inflation comparisons;
+//   - pluggable per-tenant QoS isolation (Isolation, docs/isolation.md):
+//     every contention point of the shared backend — cluster streams,
+//     pooled cleaner debt, fabric links — schedules per-flow under fifo
+//     (the byte-identical default), weighted fair queueing, or
+//     work-conserving reservations, with per-volume Weight/ReservedRate,
+//     the policy-comparison suite (RunIsolationComparison), and the
+//     isolation × placement fleet study (RunFleetIsolationStudy); and
 //   - CSV/JSON exports of every suite for plotting (docs/formats.md).
 //
 // Quick start:
@@ -60,6 +67,7 @@ import (
 	"essdsim/internal/fleet"
 	"essdsim/internal/harness"
 	"essdsim/internal/profiles"
+	"essdsim/internal/qos"
 	"essdsim/internal/scenario"
 	"essdsim/internal/sim"
 	"essdsim/internal/slo"
@@ -464,6 +472,103 @@ func FormatNeighborReport(w io.Writer, r *NeighborReport) { scenario.FormatNeigh
 // WriteNeighborCSV dumps the scenario report as one CSV row per cell; see
 // docs/formats.md for the schema.
 func WriteNeighborCSV(w io.Writer, r *NeighborReport) error { return scenario.WriteNeighborCSV(w, r) }
+
+// Per-tenant QoS isolation types: every contention point of the shared
+// backend (cluster streams, cleaner debt pool, fabric links) dispatches
+// through a pluggable scheduling policy, with per-volume weights and
+// reserved rates carried by VolumeConfig. The zero Isolation value is the
+// original FIFO stack, bit-for-bit.
+type (
+	// Isolation selects the backend's QoS scheduling policy and knobs.
+	Isolation = qos.Isolation
+	// IsolationPolicy names a scheduling discipline: fifo, wfq, or
+	// reservation.
+	IsolationPolicy = qos.IsolationPolicy
+	// IsolationComparison sweeps a neighbor scenario across isolation
+	// policies on identical arrival streams.
+	IsolationComparison = scenario.IsolationComparison
+	// IsolationScenarioReport compares victim tails per policy.
+	IsolationScenarioReport = scenario.IsolationReport
+	// IsolationScenarioVariant is one policy's neighbor outcome.
+	IsolationScenarioVariant = scenario.IsolationVariant
+	// FleetIsolationStudySpec crosses a fleet study with isolation
+	// configurations.
+	FleetIsolationStudySpec = fleet.IsolationStudySpec
+	// FleetIsolationStudyReport holds per-variant fleet outcomes.
+	FleetIsolationStudyReport = fleet.IsolationStudyReport
+)
+
+// Isolation policy names accepted by ParseIsolationPolicy.
+const (
+	IsolationFIFO        = qos.IsolationFIFO
+	IsolationWFQ         = qos.IsolationWFQ
+	IsolationReservation = qos.IsolationReservation
+)
+
+// ParseIsolationPolicy maps a policy name to its IsolationPolicy,
+// rejecting unknown names with a descriptive error.
+func ParseIsolationPolicy(s string) (IsolationPolicy, error) {
+	return qos.ParseIsolationPolicy(s)
+}
+
+// RunIsolationComparison runs the neighbor sweep once per isolation
+// policy on identical arrival streams and reports victim-tail inflation
+// per policy. Deterministic for any worker count; each policy caches
+// separately under NeighborSweep.Cache.
+func RunIsolationComparison(ctx context.Context, c IsolationComparison) (*IsolationScenarioReport, error) {
+	return scenario.RunIsolationComparison(ctx, c)
+}
+
+// FormatIsolationReport writes the per-policy comparison table.
+func FormatIsolationReport(w io.Writer, r *IsolationScenarioReport) { scenario.FormatIsolation(w, r) }
+
+// WriteIsolationCSV dumps the comparison as one CSV row per (policy,
+// cell); see docs/formats.md for the schema.
+func WriteIsolationCSV(w io.Writer, r *IsolationScenarioReport) error {
+	return scenario.WriteIsolationCSV(w, r)
+}
+
+// RunFleetIsolationStudy runs a fleet study once per isolation
+// configuration, measuring how many SLO violations each placement policy
+// sheds when the backend scheduler isolates tenants.
+func RunFleetIsolationStudy(ctx context.Context, ss FleetIsolationStudySpec) (*FleetIsolationStudyReport, error) {
+	return fleet.RunIsolationStudy(ctx, ss)
+}
+
+// FormatFleetIsolationStudy writes the isolation × placement trade-off
+// matrix.
+func FormatFleetIsolationStudy(w io.Writer, r *FleetIsolationStudyReport) {
+	fleet.FormatIsolationStudy(w, r)
+}
+
+// NewDeviceQoS builds a device by profile name with a backend isolation
+// policy and per-volume QoS share applied. With the zero Isolation and no
+// weight or reservation it is exactly NewDevice; otherwise the profile
+// must be essd-class (a local SSD has no shared backend to schedule).
+func NewDeviceQoS(name string, iso Isolation, weight, reservedBps float64, eng *Engine, seed uint64) (Device, error) {
+	return profiles.ByNameQoS(name, iso, weight, reservedBps, eng, sim.NewRNG(seed, seed^0x4))
+}
+
+// ProfileDevicesQoS builds a sweep device axis like ProfileDevices but
+// with an isolation policy and per-volume QoS share applied to every
+// profile. Pair with Sweep.Variant so isolated cells cache separately.
+func ProfileDevicesQoS(iso Isolation, weight, reservedBps float64, names ...string) []NamedFactory {
+	devices := make([]NamedFactory, 0, len(names))
+	for _, name := range names {
+		name := name
+		devices = append(devices, NamedFactory{
+			Name: name,
+			New: func(seed uint64) Device {
+				dev, err := NewDeviceQoS(name, iso, weight, reservedBps, NewEngine(), seed)
+				if err != nil {
+					panic(err) // expgrid recovers this into CellResult.Err
+				}
+				return dev
+			},
+		})
+	}
+	return devices
+}
 
 // Fleet tenant-packing types: a catalog of tenant demands placed onto
 // many shared backends by pluggable placement policies, each placement

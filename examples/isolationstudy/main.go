@@ -1,0 +1,57 @@
+// isolationstudy compares the pluggable per-tenant QoS isolation policies
+// on the noisy-neighbor scenario: the same victim + aggressor tenants run
+// on one shared backend under fifo (the default, no isolation), weighted
+// fair queueing, and reservation scheduling. Every policy variant measures
+// identical arrival streams — same seeds, same request sequences — so the
+// victim-tail differences are pure scheduling effects.
+//
+// The study answers the provisioning question the unwritten contract
+// leaves open: when the provider cannot reveal your neighbors, how much of
+// the noisy-neighbor tax can the backend scheduler refund? fifo shows the
+// full tax; wfq caps each tenant's share of every contention point
+// (cluster streams, cleaner debt pool, fabric links); reservation
+// additionally guarantees the victim a minimum backend rate.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"essdsim"
+)
+
+func main() {
+	cmp := essdsim.IsolationComparison{
+		Sweep: essdsim.NeighborSweep{
+			// Trimmed so the example runs in a few seconds: one aggressor
+			// rate, three aggressor counts (0 = the solo control the
+			// inflation columns divide by).
+			AggressorCounts:      []int{0, 2, 4},
+			AggressorRatesPerSec: []float64{1600},
+			VictimOps:            900,
+			Seed:                 7,
+		},
+		// Default policy set: fifo, wfq, reservation.
+	}
+	rep, err := essdsim.RunIsolationComparison(context.Background(), cmp)
+	if err != nil {
+		panic(err)
+	}
+	essdsim.FormatIsolationReport(os.Stdout, rep)
+
+	fmt.Println()
+	fmt.Println("What each policy refunds of the noisy-neighbor tax:")
+	base := rep.Variants[0]
+	for _, v := range rep.Variants {
+		if v.Policy == essdsim.IsolationFIFO {
+			fmt.Printf("  %-12v victim p99.9 inflates %.1fx at the busiest cell, %d cell(s) throttled — the full tax\n",
+				v.Policy, v.MaxP999Inflation, v.ThrottledCells)
+			continue
+		}
+		fmt.Printf("  %-12v victim p99.9 inflates %.1fx (vs %.1fx under fifo), %d cell(s) throttled\n",
+			v.Policy, v.MaxP999Inflation, base.MaxP999Inflation, v.ThrottledCells)
+	}
+	fmt.Println()
+	fmt.Println("Same arrivals, same seeds: the gap between the rows is scheduling, not load.")
+}

@@ -21,11 +21,21 @@
 // node servers, streams, and the one background cleaner. The pooled debt is
 // what makes one tenant's overwrite churn advance every tenant's flow
 // limiter (the cross-tenant face of Obs#2).
+//
+// SetIsolation makes both couplings schedulable (qos.Isolation): node
+// streams, replication links, read bandwidth, and service slots dispatch
+// per-flow by weight or reservation instead of FIFO, and each flow's
+// contributions to the pooled debt pass through a per-flow admission
+// token bucket — excess churn stays in a private account only that flow's
+// limiter observes (DebtObservedBy), so one tenant's GC debt cannot
+// throttle another. The default (no isolation) is byte-identical to the
+// pre-isolation cluster.
 package cluster
 
 import (
 	"fmt"
 
+	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 )
 
@@ -108,6 +118,17 @@ type FlowStats struct {
 	DebtAdded             int64
 }
 
+// flowIso is one flow's isolation state: its scheduling parameters and
+// its cleaner-debt admission bucket (non-FIFO policies only).
+type flowIso struct {
+	weight   float64
+	reserved float64 // reserved bytes/s across the flow's contention points
+
+	tokens   float64 // debt-share admission balance, bytes
+	lastFill sim.Time
+	private  float64 // debt kept private to this flow, bytes
+}
+
 // Cluster is the storage backend for one or more volumes.
 type Cluster struct {
 	eng   *sim.Engine
@@ -119,6 +140,15 @@ type Cluster struct {
 	debt       int64
 	debtUpdate sim.Time
 	cleaned    float64 // fractional carry of cleaner progress
+
+	// Isolation (SetIsolation): per-flow scheduling on every node
+	// resource plus per-flow debt-share admission. isoOn false keeps the
+	// original fully-pooled FIFO paths untouched.
+	isoOn      bool
+	iso        qos.Isolation
+	shareRate  float64 // resolved DebtShareRate
+	shareBurst float64 // resolved DebtShareBurst
+	fiso       []flowIso
 }
 
 // New builds the cluster. It panics on invalid configuration.
@@ -162,11 +192,87 @@ func (c *Cluster) NodeOfChunk(chunk int64) int {
 func (c *Cluster) NodeStats(i int) NodeStats { return c.nodes[i].stats }
 
 // RegisterFlow adds a named per-volume accounting flow and returns its id
-// for WriteFor/ReadFor/AddDebtFor. Flows share every cluster resource; the
-// id only attributes usage.
+// for WriteFor/ReadFor/AddDebtFor. Flows share every cluster resource;
+// without isolation the id only attributes usage, with it the id also
+// keys the per-flow schedulers and the debt-share admission bucket.
 func (c *Cluster) RegisterFlow(name string) int {
 	c.flows = append(c.flows, FlowStats{Name: name})
+	if c.isoOn {
+		c.fiso = append(c.fiso, flowIso{
+			weight:   1,
+			tokens:   c.shareBurst,
+			lastFill: c.eng.Now(),
+		})
+	}
 	return len(c.flows) - 1
+}
+
+// SetIsolation installs a per-flow scheduler on every node resource and
+// switches cleaner debt to per-flow admission. Call before registering
+// flows or submitting traffic; a fifo (zero) policy is a no-op, leaving
+// the original FIFO paths and the fully pooled debt untouched.
+func (c *Cluster) SetIsolation(iso qos.Isolation) {
+	if !iso.Enabled() {
+		return
+	}
+	c.isoOn = true
+	c.iso = iso
+	c.shareRate = iso.DebtShareRate
+	if c.shareRate <= 0 {
+		c.shareRate = c.cfg.CleanerRate
+	}
+	c.shareBurst = iso.DebtShareBurst
+	if c.shareBurst <= 0 {
+		c.shareBurst = c.shareRate // one second of admission
+	}
+	for range c.flows { // backfill flows registered before isolation
+		c.fiso = append(c.fiso, flowIso{weight: 1, tokens: c.shareBurst, lastFill: c.eng.Now()})
+	}
+	bq := iso.QuantumOrDefault()
+	sq := c.serviceQuantum(bq)
+	for _, n := range c.nodes {
+		n.stream.SetQueue(iso.NewQueue(c.eng, bq))
+		n.repl.SetQueue(iso.NewQueue(c.eng, bq))
+		n.readBW.SetQueue(iso.NewQueue(c.eng, bq))
+		n.write.SetQueue(iso.NewQueue(c.eng, sq))
+		n.read.SetQueue(iso.NewQueue(c.eng, sq))
+	}
+}
+
+// serviceQuantum converts the byte quantum into a service-time quantum
+// (nanoseconds) via the node stream bandwidth — the time the stream
+// would take to carry one quantum, which keeps the round granularity of
+// the servers commensurate with the pipes feeding them.
+func (c *Cluster) serviceQuantum(byteQuantum int64) int64 {
+	q := int64(float64(byteQuantum) / c.cfg.StreamBW * float64(sim.Second))
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// SetFlowQoS sets a registered flow's weight and reserved bytes/s on
+// every node resource (no-op without isolation). The reservation is
+// enforced per contention point: the flow is guaranteed reservedBps at
+// each pipe it traverses, converted to service time at the node servers
+// the same way the scheduling quantum is.
+func (c *Cluster) SetFlowQoS(flow int, weight, reservedBps float64) {
+	if !c.isoOn || flow < 0 {
+		return
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	c.fiso[flow].weight = weight
+	c.fiso[flow].reserved = reservedBps
+	reservedSvc := reservedBps / c.cfg.StreamBW * float64(sim.Second)
+	for _, n := range c.nodes {
+		n.stream.SetFlow(flow, weight, reservedBps)
+		n.repl.SetFlow(flow, weight, reservedBps)
+		n.readBW.SetFlow(flow, weight, reservedBps)
+		n.write.SetFlow(flow, weight, reservedSvc)
+		n.read.SetFlow(flow, weight, reservedSvc)
+	}
 }
 
 // NumFlows returns the number of registered flows.
@@ -207,16 +313,16 @@ func (c *Cluster) WriteFor(flow int, chunk int64, bytes int64, done func()) {
 			done()
 		}
 	}
-	pn.stream.Transfer(bytes, func() {
-		pn.write.Visit(c.cfg.WriteService.Sample(c.rng), leg)
+	pn.stream.TransferFlow(flow, bytes, func() {
+		pn.write.VisitFlow(flow, c.cfg.WriteService.Sample(c.rng), leg)
 	})
 	for i := 0; i < c.cfg.Replicas-1; i++ {
 		r := (p + 1 + i) % len(c.nodes)
 		rn := c.nodes[r]
 		rn.stats.ReplWrites++
-		pn.repl.Transfer(bytes, func() {
+		pn.repl.TransferFlow(flow, bytes, func() {
 			c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), func() {
-				rn.write.Visit(c.cfg.WriteService.Sample(c.rng), func() {
+				rn.write.VisitFlow(flow, c.cfg.WriteService.Sample(c.rng), func() {
 					c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), leg)
 				})
 			})
@@ -242,8 +348,8 @@ func (c *Cluster) ReadFor(flow int, chunk int64, bytes int64, done func()) {
 	n := c.nodes[p]
 	n.stats.Reads++
 	n.stats.ReadBytes += bytes
-	n.read.Visit(c.cfg.ReadService.Sample(c.rng), func() {
-		n.readBW.Transfer(bytes, done)
+	n.read.VisitFlow(flow, c.cfg.ReadService.Sample(c.rng), func() {
+		n.readBW.TransferFlow(flow, bytes, done)
 	})
 }
 
@@ -254,38 +360,123 @@ func (c *Cluster) AddDebt(bytes int64) {
 }
 
 // AddDebtFor is AddDebt with the contribution attributed to the registered
-// flow (pass -1 for untracked). Debt is pooled regardless of flow: the
-// cleaner has one backlog, so every attached volume's flow limiter sees the
-// sum of all tenants' churn.
+// flow (pass -1 for untracked). Under fifo, debt is pooled regardless of
+// flow: the cleaner has one backlog, so every attached volume's flow
+// limiter sees the sum of all tenants' churn. Under isolation each flow's
+// contribution passes a token-bucket admission (DebtShareRate bytes/s
+// into the pool); the excess stays private to the flow, observed only by
+// its own limiter (DebtObservedBy) — one aggressor's churn can no longer
+// throttle everyone.
 func (c *Cluster) AddDebtFor(flow int, bytes int64) {
 	if flow >= 0 {
 		c.flows[flow].DebtAdded += bytes
 	}
 	c.settleDebt()
-	c.debt += bytes
+	if !c.isoOn || flow < 0 {
+		c.debt += bytes
+		return
+	}
+	f := &c.fiso[flow]
+	c.fillShare(f)
+	admit := float64(bytes)
+	if admit > f.tokens {
+		admit = f.tokens
+	}
+	if admit < 0 {
+		admit = 0
+	}
+	whole := int64(admit)
+	f.tokens -= float64(whole)
+	c.debt += whole
+	f.private += float64(bytes - whole)
 }
 
-// Debt returns the current uncleaned invalidation debt in bytes.
+// fillShare accrues a flow's debt-share admission tokens up to now.
+func (c *Cluster) fillShare(f *flowIso) {
+	now := c.eng.Now()
+	dt := now.Sub(f.lastFill).Seconds()
+	f.lastFill = now
+	if dt <= 0 {
+		return
+	}
+	f.tokens += dt * c.shareRate
+	if f.tokens > c.shareBurst {
+		f.tokens = c.shareBurst
+	}
+}
+
+// Debt returns the current uncleaned invalidation debt in bytes: the
+// whole backlog under fifo, the shared (admitted) pool under isolation.
 func (c *Cluster) Debt() int64 {
 	c.settleDebt()
 	return c.debt
 }
 
-// settleDebt applies the cleaner's continuous drain up to the current time.
+// DebtObservedBy returns the cleaning debt the flow's limiter observes:
+// identical to Debt under fifo, and the shared pool plus the flow's own
+// private (unadmitted) debt under isolation — a flow always answers for
+// its own churn in full, but for its neighbours' only up to the
+// admission rate.
+func (c *Cluster) DebtObservedBy(flow int) int64 {
+	c.settleDebt()
+	if !c.isoOn || flow < 0 {
+		return c.debt
+	}
+	return c.debt + int64(c.fiso[flow].private)
+}
+
+// settleDebt applies the cleaner's continuous drain up to the current
+// time: the shared pool first, then (under isolation) any leftover
+// capacity drains the flows' private debt proportionally.
 func (c *Cluster) settleDebt() {
 	now := c.eng.Now()
 	dt := now.Sub(c.debtUpdate).Seconds()
 	c.debtUpdate = now
-	if dt <= 0 || c.debt == 0 || c.cfg.CleanerRate <= 0 {
+	if dt <= 0 || c.cfg.CleanerRate <= 0 {
 		return
 	}
-	c.cleaned += dt * c.cfg.CleanerRate
-	if whole := int64(c.cleaned); whole > 0 {
-		c.cleaned -= float64(whole)
-		c.debt -= whole
-		if c.debt < 0 {
-			c.debt = 0
-			c.cleaned = 0
+	havePrivate := false
+	if c.isoOn {
+		for i := range c.fiso {
+			if c.fiso[i].private > 0 {
+				havePrivate = true
+				break
+			}
 		}
+	}
+	if c.debt == 0 && !havePrivate {
+		return
+	}
+	var spare float64 // whole bytes of capacity beyond the shared pool
+	if c.debt > 0 {
+		c.cleaned += dt * c.cfg.CleanerRate
+		if whole := int64(c.cleaned); whole > 0 {
+			c.cleaned -= float64(whole)
+			c.debt -= whole
+			if c.debt < 0 {
+				spare = float64(-c.debt)
+				c.debt = 0
+				c.cleaned = 0
+			}
+		}
+	} else {
+		spare = dt * c.cfg.CleanerRate
+	}
+	if spare <= 0 || !havePrivate {
+		return
+	}
+	var total float64
+	for i := range c.fiso {
+		total += c.fiso[i].private
+	}
+	if total <= spare {
+		for i := range c.fiso {
+			c.fiso[i].private = 0
+		}
+		return
+	}
+	keep := 1 - spare/total
+	for i := range c.fiso {
+		c.fiso[i].private *= keep
 	}
 }

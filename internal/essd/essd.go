@@ -34,6 +34,7 @@ package essd
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 	"sync"
 
 	"essdsim/internal/blockdev"
@@ -108,6 +109,15 @@ type VolumeConfig struct {
 	// ceiling of such a tier.
 	BurstBaseline    float64
 	BurstCreditBytes float64
+
+	// Per-tenant isolation parameters, inert under the backend's default
+	// FIFO policy: Weight is this volume's share at every backend
+	// contention point under wfq/reservation (default 1), ReservedRate
+	// the bytes/s served strictly first at each contention point under
+	// reservation. New fields stay at the end of the struct: Signature
+	// depends on the field order.
+	Weight       float64
+	ReservedRate float64
 }
 
 // Validate reports a descriptive error for inconsistent volume
@@ -124,8 +134,23 @@ func (c VolumeConfig) Validate(chunkBytes int64) error {
 		return fmt.Errorf("essd: frontend misconfigured")
 	case chunkBytes%c.BlockSize != 0:
 		return fmt.Errorf("essd: cluster chunk not a multiple of block size")
+	case c.Weight < 0 || c.ReservedRate < 0:
+		return fmt.Errorf("essd: negative isolation weight/reservation")
 	}
 	return nil
+}
+
+// Signature renders the volume configuration exactly as %#v rendered the
+// pre-isolation struct, with the isolation fields stripped — existing
+// cache labels built from it stay byte-identical — and re-appends them
+// only when set, so isolation variants get distinct labels.
+func (c VolumeConfig) Signature() string {
+	s := fmt.Sprintf("%#v", c)
+	s = strings.TrimSuffix(s, fmt.Sprintf(", Weight:%#v, ReservedRate:%#v}", c.Weight, c.ReservedRate)) + "}"
+	if c.Weight != 0 || c.ReservedRate != 0 {
+		s += fmt.Sprintf("+qos{w:%g,r:%g}", c.Weight, c.ReservedRate)
+	}
+	return s
 }
 
 // BackendConfig parameterizes the shared storage side of the stack: the
@@ -134,11 +159,31 @@ func (c VolumeConfig) Validate(chunkBytes int64) error {
 type BackendConfig struct {
 	Net     netsim.Config
 	Cluster cluster.Config
+
+	// Isolation selects the per-tenant QoS policy installed at every
+	// backend contention point (fabric pipes, node streams and servers,
+	// cleaner-debt admission). The zero value is plain FIFO — the exact
+	// pre-isolation behaviour, byte for byte. New fields stay at the end
+	// of the struct: Signature depends on the field order.
+	Isolation qos.Isolation
 }
 
 // Validate reports a descriptive error for inconsistent backend
 // configuration.
 func (c BackendConfig) Validate() error { return c.Cluster.Validate() }
+
+// Signature renders the backend configuration exactly as %#v rendered the
+// pre-isolation struct, with the Isolation field stripped — existing
+// cache labels built from it stay byte-identical — and re-appends it only
+// when the policy departs from FIFO.
+func (c BackendConfig) Signature() string {
+	s := fmt.Sprintf("%#v", c)
+	s = strings.TrimSuffix(s, fmt.Sprintf(", Isolation:%#v}", c.Isolation)) + "}"
+	if c.Isolation.Enabled() {
+		s += "+iso{" + c.Isolation.Signature() + "}"
+	}
+	return s
+}
 
 // Config is the classic flat single-volume configuration: one volume's
 // settings plus the backend it (alone) runs on. Split separates the two
@@ -178,12 +223,19 @@ type Config struct {
 	// ceiling of such a tier.
 	BurstBaseline    float64
 	BurstCreditBytes float64
+
+	// Isolation and the volume's scheduling parameters (see BackendConfig
+	// and VolumeConfig); all inert at their zero values. New fields stay
+	// at the end of the struct for cache-label stability.
+	Isolation    qos.Isolation
+	Weight       float64
+	ReservedRate float64
 }
 
 // Split divides the flat config into its shared-backend and per-volume
 // halves.
 func (c Config) Split() (BackendConfig, VolumeConfig) {
-	return BackendConfig{Net: c.Net, Cluster: c.Cluster}, VolumeConfig{
+	return BackendConfig{Net: c.Net, Cluster: c.Cluster, Isolation: c.Isolation}, VolumeConfig{
 		Name:             c.Name,
 		Provider:         c.Provider,
 		Model:            c.Model,
@@ -200,6 +252,8 @@ func (c Config) Split() (BackendConfig, VolumeConfig) {
 		ThrottleRate:     c.ThrottleRate,
 		BurstBaseline:    c.BurstBaseline,
 		BurstCreditBytes: c.BurstCreditBytes,
+		Weight:           c.Weight,
+		ReservedRate:     c.ReservedRate,
 	}
 }
 
@@ -243,6 +297,10 @@ func newBackend(eng *sim.Engine, cfg BackendConfig, rng *sim.RNG) *Backend {
 	b := &Backend{eng: eng, cfg: cfg}
 	b.net = netsim.New(eng, cfg.Net, rng.Derive("net"))
 	b.cl = cluster.New(eng, cfg.Cluster, rng.Derive("cluster"))
+	// Both installs are no-ops under the default FIFO policy — not
+	// installing a scheduler is what keeps the default byte-identical.
+	b.net.SetIsolation(cfg.Isolation)
+	b.cl.SetIsolation(cfg.Isolation)
 	return b
 }
 
@@ -331,8 +389,13 @@ func (b *Backend) Attach(cfg VolumeConfig, rng *sim.RNG) *ESSD {
 func (b *Backend) attach(cfg VolumeConfig, rng *sim.RNG) *ESSD {
 	e := &ESSD{eng: b.eng, cfg: cfg, rng: rng, be: b}
 	e.fe = sim.NewServer(b.eng, "frontend", cfg.FrontendSlots)
-	e.nf = b.net.NewFlow(cfg.Name)
+	weight := cfg.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	e.nf = b.net.NewFlowQoS(cfg.Name, weight, cfg.ReservedRate)
 	e.flow = b.cl.RegisterFlow(cfg.Name)
+	b.cl.SetFlowQoS(e.flow, weight, cfg.ReservedRate)
 	burst := cfg.BudgetBurst
 	if burst <= 0 {
 		burst = cfg.ThroughputBudget / 100 // 10 ms of budget by default
@@ -645,7 +708,11 @@ func (e *ESSD) submitWrite(r *blockdev.Request) {
 	if debt > 0 {
 		e.be.cl.AddDebtFor(e.flow, debt)
 	}
-	e.limiter.Observe(e.eng.Now(), e.be.cl.Debt(), e.writeClamp())
+	// Under isolation each volume observes the shared (admitted) pool plus
+	// only its own private excess — a neighbour's churn beyond the
+	// admission rate cannot advance this volume's throttle onset. Under
+	// fifo this is exactly the pooled Debt() it always was.
+	e.limiter.Observe(e.eng.Now(), e.be.cl.DebtObservedBy(e.flow), e.writeClamp())
 	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
 		e.iopsTb.Take(e.iopsCost(r.Size), func() {
 			e.takeWriteTokens(float64(r.Size), func() {

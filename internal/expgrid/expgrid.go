@@ -202,6 +202,15 @@ type Sweep struct {
 	Seed  uint64
 	Label string
 
+	// Variant distinguishes sweeps that must NOT share cache entries but
+	// must measure identical arrival streams: it feeds the cache
+	// fingerprint (when non-empty; "" keeps the pre-Variant fingerprint)
+	// and not the cell seeds. The isolation axis uses it — every policy
+	// variant of a scenario sees the same per-cell workload draws, so
+	// differences are pure scheduling effects, while each variant caches
+	// separately.
+	Variant string
+
 	// fingerprint memoizes the cache fingerprint; set by withDefaults.
 	fingerprint uint64
 }
@@ -252,6 +261,10 @@ func (s Sweep) fp() uint64 {
 	}
 	if s.FitTrace {
 		h.str("fittrace")
+	}
+	if s.Variant != "" {
+		h.str("variant")
+		h.str(s.Variant)
 	}
 	for _, r := range s.Trace {
 		h.word(uint64(r.At))

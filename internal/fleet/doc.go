@@ -41,4 +41,11 @@
 // debt and throttle counts. Format renders the policy-vs-policy table;
 // WriteBackendsCSV and WriteTenantsCSV export the schemas documented in
 // docs/formats.md.
+//
+// RunIsolationStudy crosses a fleet spec with backend QoS isolation
+// configurations (qos.Isolation): the same catalog and placements run
+// once per configuration on identical arrival streams, reporting how many
+// SLO violations each placement policy sheds when the backend scheduler
+// isolates tenants — the isolation × placement substitution the screen's
+// DebtCouplingFactor discount mirrors analytically.
 package fleet

@@ -69,7 +69,11 @@ type Spec struct {
 
 func (s Spec) withDefaults() Spec {
 	if s.Backend.Cluster.Nodes == 0 {
+		// Preserve an isolation-only override: a spec may select a policy
+		// while leaving the cluster/net template to the profile default.
+		iso := s.Backend.Isolation
 		s.Backend = profiles.NeighborBackendConfig()
+		s.Backend.Isolation = iso
 	}
 	if s.Volume.Capacity == 0 {
 		s.Volume = profiles.NeighborVolumeConfig("tenant")
@@ -444,15 +448,29 @@ func Run(ctx context.Context, s Spec) (*Report, error) {
 	// fields; membership lives in the cell device names. Fold the rest
 	// into the label so two Specs share cache entries (and cell seeds)
 	// exactly when their cells would build identical tenant mixes. The
-	// Backend and Volume templates go in via %#v — they are pointer-free
-	// value structs (distributions included), so the rendering is
-	// deterministic and changes with any template field.
+	// Backend and Volume templates go in via their Signature methods —
+	// deterministic pointer-free renderings that change with any template
+	// field while keeping the label (and thus every cell seed) byte-
+	// identical to the pre-isolation %#v rendering for default configs.
 	var cat strings.Builder
 	for _, d := range s.Demands {
 		fmt.Fprintf(&cat, "%s=%s;", d.Name, d.signature())
 	}
-	label := fmt.Sprintf("%s|bud%g|hz%v|be%#v|vol%#v|%s",
-		s.Label, s.BackendBps, s.Horizon, s.Backend, s.Volume, cat.String())
+	// The isolation axis goes in the sweep Variant, not the label: the
+	// label (stripped of isolation) keeps the cell seeds — and hence every
+	// tenant's arrival draws — identical across policies, so a fleet
+	// isolation study compares pure scheduling effects, while each variant
+	// caches separately.
+	beLabel, volLabel := s.Backend, s.Volume
+	beLabel.Isolation = qos.Isolation{}
+	volLabel.Weight, volLabel.ReservedRate = 0, 0
+	label := fmt.Sprintf("%s|bud%g|hz%v|be%s|vol%s|%s",
+		s.Label, s.BackendBps, s.Horizon, beLabel.Signature(), volLabel.Signature(), cat.String())
+	var variant string
+	if s.Backend.Isolation.Enabled() || s.Volume.Weight != 0 || s.Volume.ReservedRate != 0 {
+		variant = fmt.Sprintf("iso:%s|w%g|r%g",
+			s.Backend.Isolation.Signature(), s.Volume.Weight, s.Volume.ReservedRate)
+	}
 
 	sw := expgrid.Sweep{
 		Kind: expgrid.TenantMix,
@@ -466,6 +484,7 @@ func Run(ctx context.Context, s Spec) (*Report, error) {
 		DecodeInfo:      decodeCellInfo,
 		Seed:            s.Seed,
 		Label:           label,
+		Variant:         variant,
 	}
 	for _, def := range defs {
 		sw.Devices = append(sw.Devices, expgrid.NamedFactory{Name: def.name})

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"essdsim/internal/qos"
+)
+
+// IsolationStudySpec declares an isolation × placement trade-off study:
+// the base fleet spec (catalog, templates, policies, budgets) is run once
+// per isolation configuration, with identical cell seeds across variants
+// (the isolation axis feeds the cache variant, not the seeds). The study
+// answers the provisioning question the two knobs pose together: how much
+// backend isolation does each placement policy still need? A policy that
+// already separates interfering tenants (interference-aware) has little
+// left for the scheduler to fix; a policy that stacks them (first-fit)
+// leans on isolation heavily.
+type IsolationStudySpec struct {
+	Spec
+
+	// Isolations are the backend QoS configurations to compare, applied
+	// to the spec's backend template in order (default: the fifo zero
+	// value and plain wfq).
+	Isolations []qos.Isolation
+}
+
+func (ss IsolationStudySpec) withDefaults() IsolationStudySpec {
+	if len(ss.Isolations) == 0 {
+		ss.Isolations = []qos.Isolation{{}, {Policy: qos.IsolationWFQ}}
+	}
+	return ss
+}
+
+// IsolationStudyVariant is one isolation configuration's complete fleet
+// outcome.
+type IsolationStudyVariant struct {
+	Isolation qos.Isolation
+	Report    *Report
+}
+
+// IsolationStudyReport is the cross-variant comparison.
+type IsolationStudyReport struct {
+	Variants    []IsolationStudyVariant
+	CachedCells int // across all variants
+}
+
+// Violations returns a policy's p99.9 SLO violation count under the
+// variant at index vi, or -1 when the policy is missing.
+func (r *IsolationStudyReport) Violations(vi int, policy string) int {
+	pr := r.Variants[vi].Report.Policy(policy)
+	if pr == nil {
+		return -1
+	}
+	return pr.P999Violations
+}
+
+// IsolationGain returns how many p99.9 violations the variant at index vi
+// removes for a policy relative to the first (baseline) variant — the
+// "how much does isolation buy this placement" number. Negative means the
+// variant made the policy worse.
+func (r *IsolationStudyReport) IsolationGain(vi int, policy string) int {
+	return r.Violations(0, policy) - r.Violations(vi, policy)
+}
+
+// RunIsolationStudy executes the base fleet study once per isolation
+// configuration. Deterministic for a fixed spec: every variant's cells
+// measure identical arrival streams, so violation deltas are pure
+// scheduling effects.
+func RunIsolationStudy(ctx context.Context, ss IsolationStudySpec) (*IsolationStudyReport, error) {
+	ss = ss.withDefaults()
+	rep := &IsolationStudyReport{}
+	for _, iso := range ss.Isolations {
+		s := ss.Spec
+		s.Backend.Isolation = iso
+		fr, err := Run(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		rep.Variants = append(rep.Variants, IsolationStudyVariant{Isolation: iso, Report: fr})
+		rep.CachedCells += fr.CachedCells
+	}
+	return rep, nil
+}
+
+// FormatIsolationStudy writes the trade-off matrix: one row per placement
+// policy, one violation column per isolation variant, and the per-policy
+// isolation gain over the baseline variant.
+func FormatIsolationStudy(w io.Writer, r *IsolationStudyReport) {
+	if len(r.Variants) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "fleet isolation × placement: p99.9 SLO violations per (policy, isolation)\n")
+	fmt.Fprintf(w, "%-16s", "policy")
+	for _, v := range r.Variants {
+		fmt.Fprintf(w, " %12s", v.Isolation.Policy)
+	}
+	fmt.Fprintf(w, " %8s\n", "gain")
+	for _, pr := range r.Variants[0].Report.Policies {
+		fmt.Fprintf(w, "%-16s", pr.Policy)
+		for vi := range r.Variants {
+			fmt.Fprintf(w, " %12d", r.Violations(vi, pr.Policy))
+		}
+		fmt.Fprintf(w, " %8d\n", r.IsolationGain(len(r.Variants)-1, pr.Policy))
+	}
+}

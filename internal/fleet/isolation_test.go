@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"essdsim/internal/expgrid"
+	"essdsim/internal/qos"
+)
+
+// TestFleetIsolationPlacementTradeoff pins the study's headline: backend
+// isolation and interference-aware placement are substitutes. On the
+// calibrated ordering catalog, wfq removes strictly more p99.9 violations
+// from first-fit (which stacks both aggressors on one backend) than from
+// the interference-aware policy (which already separated them) — the
+// smarter placer needs less isolation. And first-fit under wfq must be at
+// least as good as interference-aware under fifo: the scheduler can buy
+// back what the placement gave away.
+func TestFleetIsolationPlacementTradeoff(t *testing.T) {
+	rep, err := RunIsolationStudy(context.Background(), IsolationStudySpec{Spec: orderingSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Variants) != 2 ||
+		rep.Variants[0].Isolation.Enabled() ||
+		rep.Variants[1].Isolation.Policy != qos.IsolationWFQ {
+		t.Fatalf("default variants are not fifo,wfq: %+v", rep.Variants)
+	}
+
+	gainFF := rep.IsolationGain(1, "first-fit")
+	gainIA := rep.IsolationGain(1, "interference")
+	if gainFF <= gainIA {
+		t.Fatalf("isolation gain: first-fit %+d, interference-aware %+d — the naive packer must need isolation more",
+			gainFF, gainIA)
+	}
+	if gainIA < 0 {
+		t.Fatalf("wfq made interference-aware placement worse by %d violations", -gainIA)
+	}
+	if ffWFQ, iaFIFO := rep.Violations(1, "first-fit"), rep.Violations(0, "interference"); ffWFQ > iaFIFO {
+		t.Fatalf("first-fit under wfq has %d violations, interference-aware under fifo %d — isolation failed to substitute for placement",
+			ffWFQ, iaFIFO)
+	}
+	// Identical arrival streams across variants: the solo controls are
+	// scheduling-invariant, so their tails must match exactly.
+	fifoSolo, wfqSolo := rep.Variants[0].Report.Solo, rep.Variants[1].Report.Solo
+	if len(fifoSolo) != len(wfqSolo) {
+		t.Fatalf("solo control counts differ: %d vs %d", len(fifoSolo), len(wfqSolo))
+	}
+	for i, solo := range fifoSolo {
+		if wfqSolo[i].Signature != solo.Signature || wfqSolo[i].Lat.P999 != solo.Lat.P999 {
+			t.Fatalf("solo control %q differs across isolation variants", solo.Signature)
+		}
+	}
+}
+
+// TestFleetIsolationCacheWarm extends the cache satellite over the fleet
+// isolation axis: variants cache separately, and a warm study re-run
+// simulates zero new cells.
+func TestFleetIsolationCacheWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant fleet study")
+	}
+	cache := expgrid.NewCache(0)
+	ss := IsolationStudySpec{Spec: orderingSpec()}
+	ss.Cache = cache
+	cold, err := RunIsolationStudy(context.Background(), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CachedCells != 0 {
+		t.Fatalf("cold study hit %d cached cells — fifo and wfq variants must not share entries", cold.CachedCells)
+	}
+	warm, err := RunIsolationStudy(context.Background(), ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, v := range warm.Variants {
+		total += v.Report.Cells
+	}
+	if warm.CachedCells != total {
+		t.Fatalf("warm study cached %d of %d cells", warm.CachedCells, total)
+	}
+}
+
+// TestScreenCouplingDiscount pins the screen-side honesty bound: with a
+// debt-share rate at half the cleaner rate, qos.Isolation.DebtCouplingFactor
+// halves the cross-tenant penalties, so a placement that stacks both
+// aggressors scores strictly lower (better) than under fifo while
+// single-aggressor placements score identically.
+func TestScreenCouplingDiscount(t *testing.T) {
+	base := orderingSpec().withDefaults()
+	iso := base
+	iso.Backend.Isolation = qos.Isolation{
+		Policy:        qos.IsolationWFQ,
+		DebtShareRate: iso.Backend.Cluster.CleanerRate / 2,
+	}
+
+	mFIFO := base.newScreenModel()
+	mISO := iso.newScreenModel()
+	if mFIFO.coupling != 1 {
+		t.Fatalf("fifo coupling = %g, want 1", mFIFO.coupling)
+	}
+	if mISO.coupling != 0.5 {
+		t.Fatalf("half-rate wfq coupling = %g, want 0.5", mISO.coupling)
+	}
+
+	// first-fit stacks both aggressors (positions 0 and 4) on backend 0;
+	// interference-aware separates them.
+	cons := base.constraints()
+	stacked := FirstFit{}.Place(cons, base.Demands)
+	separated := InterferenceAware{}.Place(cons, base.Demands)
+
+	sFIFO, _ := mFIFO.score(base.Demands, stacked, base.Backends)
+	sISO, _ := mISO.score(base.Demands, stacked, base.Backends)
+	if sISO >= sFIFO {
+		t.Fatalf("stacked placement: isolated score %.3f not below fifo %.3f", sISO, sFIFO)
+	}
+	pFIFO, _ := mFIFO.score(base.Demands, separated, base.Backends)
+	pISO, _ := mISO.score(base.Demands, separated, base.Backends)
+	if pISO > pFIFO {
+		t.Fatalf("separated placement: isolated score %.3f above fifo %.3f", pISO, pFIFO)
+	}
+	// The discount narrows the stacked-vs-separated spread: isolation makes
+	// dense packing relatively cheaper, which is the screen-side mirror of
+	// the simulated trade-off.
+	if (sISO - pISO) >= (sFIFO - pFIFO) {
+		t.Fatalf("penalty spread did not narrow under isolation: iso %.3f vs fifo %.3f",
+			sISO-pISO, sFIFO-pFIFO)
+	}
+}

@@ -78,10 +78,15 @@ type screenModel struct {
 	writeBps   float64
 	horizon    float64 // seconds
 
-	baseline float64
-	burst    float64
-	capacity float64
-	floor    float64 // credit-capped sustainable bytes/s per volume
+	cb    *qos.CreditBucket // scratch bucket; nil for non-burstable classes
+	floor float64           // credit-capped sustainable bytes/s per volume
+
+	// coupling is the analytic fraction of a neighbour's excess churn that
+	// can surface in a co-tenant's observed debt under the template's
+	// isolation policy (1 under fifo) — qos.Isolation.DebtCouplingFactor.
+	// It discounts the cross-tenant penalties so the screen predicts what
+	// the isolated simulation actually delivers, no more.
+	coupling float64
 }
 
 // newScreenModel derives the model from the (defaulted) spec templates.
@@ -93,14 +98,12 @@ func (s Spec) newScreenModel() screenModel {
 		writeBps:   s.WriteBps,
 		horizon:    s.Horizon.Seconds(),
 		floor:      s.Volume.ThroughputBudget,
+		coupling:   s.Backend.Isolation.DebtCouplingFactor(s.Backend.Cluster.CleanerRate),
 	}
 	if s.Volume.BurstBaseline > 0 {
-		cb := qos.NewCreditBucket(sim.NewEngine(), s.Volume.BurstBaseline,
+		m.cb = qos.NewCreditBucket(sim.NewEngine(), s.Volume.BurstBaseline,
 			s.Volume.ThroughputBudget, s.Volume.BurstCreditBytes)
-		m.baseline = cb.Baseline()
-		m.burst = cb.Burst()
-		m.capacity = s.Volume.BurstCreditBytes
-		m.floor = cb.SustainedFloor()
+		m.floor = m.cb.SustainedFloor()
 	}
 	return m
 }
@@ -116,24 +119,15 @@ func (m screenModel) effOffered(d Demand) float64 {
 }
 
 // exhaustionSecs predicts when a demand alone exhausts the volume's burst
-// credits: banked capacity over the net credit drain rate. Each byte riding
-// the burst rate costs (1 - baseline/burst) credits while the bucket earns
-// baseline credits per second, mirroring qos.CreditBucket's Spend/settle
-// arithmetic. Returns +Inf when the balance never empties (no burst tier,
-// or the demand sits at or under the earn rate).
+// credits: qos.CreditBucket.TimeToExhaustion of the demand's offered rate.
+// The bound lives next to the bucket's Spend/settle arithmetic so the two
+// cannot drift apart. Returns +Inf when the balance never empties (no
+// burst tier, or the demand sits at or under the earn rate).
 func (m screenModel) exhaustionSecs(d Demand) float64 {
-	if m.capacity <= 0 || m.burst <= m.baseline {
+	if m.cb == nil {
 		return math.Inf(1)
 	}
-	r := d.OfferedBps()
-	if r > m.burst {
-		r = m.burst
-	}
-	drain := r*(1-m.baseline/m.burst) - m.baseline
-	if drain <= 0 {
-		return math.Inf(1)
-	}
-	return m.capacity / drain
+	return m.cb.TimeToExhaustion(d.OfferedBps())
 }
 
 // score predicts a placement's violation pressure: per backend, the
@@ -174,9 +168,13 @@ func (m screenModel) score(demands []Demand, assign []int, backends int) (float6
 			score += over
 		}
 		// h·(h−1)/2 aggressor pairs: stacking write floods is superlinearly
-		// bad (the Obs#2 coupling the neighbor suite measures).
-		score += 0.5 * float64(heavy[b]*(heavy[b]-1)/2)
-		score += 0.25 * credit[b]
+		// bad (the Obs#2 coupling the neighbor suite measures). Both
+		// cross-tenant penalties scale with the isolation policy's debt
+		// coupling — shaped admission bounds how much of a neighbour's
+		// churn a co-tenant can observe, so an isolated backend tolerates
+		// denser packing before the screen predicts violations.
+		score += m.coupling * 0.5 * float64(heavy[b]*(heavy[b]-1)/2)
+		score += m.coupling * 0.25 * credit[b]
 	}
 	return score, used
 }

@@ -80,16 +80,17 @@ func TestScreenCreditBoundsMatchEmpirical(t *testing.T) {
 		Volume:   vcfg,
 	}.withDefaults()
 	model := spec.newScreenModel()
-	if model.capacity <= 0 || model.burst <= model.baseline {
+	if model.cb == nil || model.cb.Burst() <= model.cb.Baseline() {
 		t.Fatalf("gp2-small model is not burstable: %+v", model)
 	}
+	baseline, burst := model.cb.Baseline(), model.cb.Burst()
 
 	empirical := func(rate float64) (exhausted sim.Time) {
 		eng := sim.NewEngine()
 		cb := qos.NewCreditBucket(eng, vcfg.BurstBaseline, vcfg.ThroughputBudget, vcfg.BurstCreditBytes)
 		const tick = 10 * sim.Millisecond
 		perTick := int64(rate * tick.Seconds())
-		horizon := eng.Now().Add(sim.Duration(10 * model.capacity / model.baseline * float64(sim.Second)))
+		horizon := eng.Now().Add(sim.Duration(10 * vcfg.BurstCreditBytes / baseline * float64(sim.Second)))
 		for eng.Now() < horizon && cb.ExhaustedAt() < 0 {
 			cb.Spend(perTick)
 			eng.RunUntil(eng.Now().Add(tick))
@@ -99,7 +100,7 @@ func TestScreenCreditBoundsMatchEmpirical(t *testing.T) {
 
 	// A demand riding the burst tier above the earn rate: predicted and
 	// measured exhaustion must agree within one part in ten.
-	drainRate := (model.baseline + model.burst) / 2
+	drainRate := (baseline + burst) / 2
 	d := Demand{Name: "drain", RatePerSec: 1, BlockSize: int64(drainRate)}
 	want := model.exhaustionSecs(d)
 	if math.IsInf(want, 1) {
@@ -113,11 +114,11 @@ func TestScreenCreditBoundsMatchEmpirical(t *testing.T) {
 
 	// A demand at the earn rate never drains; prediction and measurement
 	// must both say "never".
-	idle := Demand{Name: "idle", RatePerSec: 1, BlockSize: int64(model.baseline)}
+	idle := Demand{Name: "idle", RatePerSec: 1, BlockSize: int64(baseline)}
 	if secs := model.exhaustionSecs(idle); !math.IsInf(secs, 1) {
 		t.Errorf("rate at baseline predicted to exhaust in %.2fs", secs)
 	}
-	if at := empirical(model.baseline); at >= 0 {
+	if at := empirical(baseline); at >= 0 {
 		t.Errorf("rate at baseline measured to exhaust at t=%dns", int64(at))
 	}
 }

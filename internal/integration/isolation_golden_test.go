@@ -1,0 +1,102 @@
+package integration
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"essdsim/internal/fleet"
+	"essdsim/internal/scenario"
+	"essdsim/internal/sim"
+)
+
+// The CSV files under testdata/ were captured on the pre-isolation stack
+// (every contention point hard-coded FIFO, the tree before the pluggable
+// qos.IsolationPolicy refactor) by running these exact sweeps with
+// -update. The isolation refactor threads a scheduler interface through
+// sim.Server, sim.Pipe, the cluster, and the fabric; this test pins the
+// promise that the default fifo policy is invisible: same RNG derivation
+// chain, same event order, byte-identical CSV output.
+var update = flag.Bool("update", false, "rewrite the isolation golden files from the current tree")
+
+func goldenNeighborSweep() scenario.NeighborSweep {
+	return scenario.NeighborSweep{
+		AggressorCounts:      []int{0, 2, 4},
+		AggressorRatesPerSec: []float64{1600},
+		VictimOps:            900,
+		Seed:                 7,
+		Label:                "neighbor-golden",
+	}
+}
+
+func goldenFleetSpec() fleet.Spec {
+	return fleet.Spec{
+		Demands:  fleet.SyntheticDemands(6, 2),
+		Backends: 2,
+		SLOP999:  5 * sim.Millisecond,
+		Seed:     7,
+		Label:    "fleet-golden",
+	}
+}
+
+// checkGolden compares got against the named testdata file, rewriting the
+// file instead when -update is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update on a known-good tree): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from the pre-isolation golden capture (%d vs %d bytes)", name, len(got), len(want))
+	}
+}
+
+// TestNeighborDefaultIsolationGolden pins the noisy-neighbor suite's
+// default-policy output byte-for-byte against the pre-refactor capture.
+func TestNeighborDefaultIsolationGolden(t *testing.T) {
+	rep, err := scenario.RunNeighbor(context.Background(), goldenNeighborSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := scenario.WriteNeighborCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "neighbor_fifo_golden.csv", buf.Bytes())
+}
+
+// TestFleetDefaultIsolationGolden pins the fleet packing study's
+// default-policy output (both CSV views) byte-for-byte against the
+// pre-refactor capture.
+func TestFleetDefaultIsolationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-backend fleet sweep")
+	}
+	rep, err := fleet.Run(context.Background(), goldenFleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backends, tenants bytes.Buffer
+	if err := fleet.WriteBackendsCSV(&backends, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.WriteTenantsCSV(&tenants, rep); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleet_fifo_backends_golden.csv", backends.Bytes())
+	checkGolden(t, "fleet_fifo_tenants_golden.csv", tenants.Bytes())
+}

@@ -7,9 +7,14 @@
 // disaggregated backend): each client tags its traffic with a Flow, which
 // accounts bytes per direction while every flow contends on the same two
 // pipes — the fabric-contention half of cross-tenant interference.
+// SetIsolation installs a qos.Isolation scheduling policy on both pipes;
+// flows created with NewFlowQoS then share each direction by weight (or
+// reserved rate) instead of arrival order, while the default keeps the
+// FIFO fabric byte-identical.
 package netsim
 
 import (
+	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 )
 
@@ -27,11 +32,12 @@ type Config struct {
 // Network is a full-duplex path: an uplink pipe, a downlink pipe, and a
 // sampled hop latency applied to each traversal.
 type Network struct {
-	eng  *sim.Engine
-	cfg  Config
-	rng  *sim.RNG
-	up   *sim.Pipe
-	down *sim.Pipe
+	eng   *sim.Engine
+	cfg   Config
+	rng   *sim.RNG
+	up    *sim.Pipe
+	down  *sim.Pipe
+	flows int
 }
 
 // New builds a network path on the engine.
@@ -48,19 +54,40 @@ func New(eng *sim.Engine, cfg Config, rng *sim.RNG) *Network {
 	}
 }
 
+// SetIsolation installs the isolation policy's flow scheduler on the
+// uplink and downlink pipes. A FIFO (zero-value) policy installs nothing,
+// keeping the default path byte-identical to the unscheduled pipes.
+// Install before the first transfer.
+func (n *Network) SetIsolation(iso qos.Isolation) {
+	if !iso.Enabled() {
+		return
+	}
+	q := iso.QuantumOrDefault()
+	n.up.SetQueue(iso.NewQueue(n.eng, q))
+	n.down.SetQueue(iso.NewQueue(n.eng, q))
+}
+
 // SendUp transfers n payload bytes toward the storage cluster and invokes
 // done when the last byte (plus one hop latency) arrives.
 func (n *Network) SendUp(bytes int64, done func()) {
+	n.sendUp(-1, bytes, done)
+}
+
+func (n *Network) sendUp(flow int, bytes int64, done func()) {
 	lat := n.cfg.HopLatency.Sample(n.rng)
-	n.up.Transfer(bytes, func() {
+	n.up.TransferFlow(flow, bytes, func() {
 		n.eng.Schedule(lat, done)
 	})
 }
 
 // SendDown transfers n payload bytes toward the client.
 func (n *Network) SendDown(bytes int64, done func()) {
+	n.sendDown(-1, bytes, done)
+}
+
+func (n *Network) sendDown(flow int, bytes int64, done func()) {
 	lat := n.cfg.HopLatency.Sample(n.rng)
-	n.down.Transfer(bytes, func() {
+	n.down.TransferFlow(flow, bytes, func() {
 		n.eng.Schedule(lat, done)
 	})
 }
@@ -95,14 +122,27 @@ func (n *Network) MovedDown() int64 { return n.down.Moved() }
 type Flow struct {
 	n        *Network
 	name     string
+	id       int
 	up, down int64
 }
 
 // NewFlow registers a named traffic flow on the network. The name is
-// descriptive only (volume name, tenant id); flows are not rate-limited
-// individually.
+// descriptive only (volume name, tenant id); under the default FIFO
+// policy flows are not rate-limited individually.
 func (n *Network) NewFlow(name string) *Flow {
-	return &Flow{n: n, name: name}
+	return n.NewFlowQoS(name, 1, 0)
+}
+
+// NewFlowQoS registers a flow with scheduling parameters: weight is its
+// share at the fabric pipes under wfq/reservation, reservedBps the
+// strictly-first bandwidth under reservation. Both are inert under the
+// default FIFO policy.
+func (n *Network) NewFlowQoS(name string, weight, reservedBps float64) *Flow {
+	f := &Flow{n: n, name: name, id: n.flows}
+	n.flows++
+	n.up.SetFlow(f.id, weight, reservedBps)
+	n.down.SetFlow(f.id, weight, reservedBps)
+	return f
 }
 
 // Name returns the flow's tag.
@@ -112,14 +152,14 @@ func (f *Flow) Name() string { return f.name }
 // attributing the bytes to this flow.
 func (f *Flow) SendUp(bytes int64, done func()) {
 	f.up += bytes
-	f.n.SendUp(bytes, done)
+	f.n.sendUp(f.id, bytes, done)
 }
 
 // SendDown transfers payload toward the client on the shared downlink,
 // attributing the bytes to this flow.
 func (f *Flow) SendDown(bytes int64, done func()) {
 	f.down += bytes
-	f.n.SendDown(bytes, done)
+	f.n.sendDown(f.id, bytes, done)
 }
 
 // Hop schedules done after one sampled hop latency with no payload.

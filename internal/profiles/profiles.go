@@ -18,6 +18,7 @@ import (
 	"essdsim/internal/cluster"
 	"essdsim/internal/essd"
 	"essdsim/internal/netsim"
+	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 	"essdsim/internal/ssd"
 )
@@ -288,3 +289,49 @@ func ByName(name string, eng *sim.Engine, rng *sim.RNG) (blockdev.Device, error)
 
 // Names lists the valid ByName keys.
 func Names() []string { return []string{"essd1", "essd2", "ssd", "gp3", "gp2", "gp2s", "pl1"} }
+
+// ConfigByName returns the flat single-volume configuration for an
+// essd-class profile key. Local-SSD profiles have no flat essd.Config and
+// are rejected; use ByName for those.
+func ConfigByName(name string) (essd.Config, error) {
+	switch name {
+	case "essd1":
+		return ESSD1Config(), nil
+	case "essd2":
+		return ESSD2Config(), nil
+	case "gp3":
+		return GP3Config(), nil
+	case "gp2":
+		return GP2Config(), nil
+	case "gp2s":
+		return GP2SmallConfig(), nil
+	case "pl1":
+		return PL1Config(), nil
+	case "ssd":
+		return essd.Config{}, fmt.Errorf("profiles: %q is a local SSD with no shared backend", name)
+	default:
+		return essd.Config{}, fmt.Errorf("profiles: unknown device %q (want essd1, essd2, ssd, gp3, gp2, gp2s, pl1)", name)
+	}
+}
+
+// ByNameQoS constructs a device like ByName but with a backend isolation
+// policy and per-volume QoS share applied. With isolation disabled and no
+// weight or reservation it is exactly ByName (any profile). Otherwise the
+// profile must be essd-class: a local SSD has no shared backend to
+// schedule, so asking to isolate one is a configuration error.
+func ByNameQoS(name string, iso qos.Isolation, weight, reservedBps float64, eng *sim.Engine, rng *sim.RNG) (blockdev.Device, error) {
+	if !iso.Enabled() && weight == 0 && reservedBps == 0 {
+		return ByName(name, eng, rng)
+	}
+	cfg, err := ConfigByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Isolation = iso
+	cfg.Weight = weight
+	cfg.ReservedRate = reservedBps
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return essd.New(eng, cfg, rng), nil
+}

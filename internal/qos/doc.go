@@ -13,6 +13,13 @@
 //     the bank, and when it empties the volume falls to a sustained floor.
 //     This is the mechanism behind the contract cliff that the scenario
 //     suites and the slo search package measure.
+//   - Isolation selects the per-tenant scheduling policy of a shared
+//     backend (fifo, wfq, reservation) and its knobs (DRR quantum,
+//     debt-share rate/burst). NewQueue builds the matching sim.FlowQueue
+//     for every backend contention point, and the analytic accessors
+//     (GuaranteedShare, DebtCouplingFactor) give the fleet screen
+//     closed-form bounds on what the policy guarantees; docs/isolation.md
+//     documents the end-to-end surface.
 //
 // # Model assumptions
 //

@@ -136,6 +136,41 @@ func WriteNeighborCSV(w io.Writer, r *NeighborReport) error {
 	return NeighborCellsTable(r).WriteCSV(w)
 }
 
+// IsolationComparisonTable renders the cross-policy comparison as one row
+// per (policy, cell): the policy name, the cell's aggressor coordinates,
+// the victim tails, and the inflation over that policy's own solo
+// control. Schema documented in docs/formats.md.
+func IsolationComparisonTable(r *IsolationReport) *results.Table {
+	t := results.NewTable("isolation_comparison",
+		"policy", "aggressors", "aggr_rate_per_s", "aggr_write_ratio_pct",
+		"victim_lat_p50_ms", "victim_lat_p99_ms", "victim_lat_p999_ms",
+		"p99_inflation", "p999_inflation", "throttled", "shared_debt_bytes",
+	)
+	for _, v := range r.Variants {
+		for _, c := range v.Report.Cells {
+			t.AddRow(
+				v.Policy.String(),
+				results.Int(int64(c.Aggressors)),
+				results.Float(c.AggrRatePerSec),
+				results.Int(int64(c.AggrWriteRatioPct)),
+				results.Millis(c.VictimLat.P50),
+				results.Millis(c.VictimLat.P99),
+				results.Millis(c.VictimLat.P999),
+				results.Float(c.P99Inflation),
+				results.Float(c.P999Inflation),
+				results.Bool(c.Throttled),
+				results.Int(c.SharedDebt),
+			)
+		}
+	}
+	return t
+}
+
+// WriteIsolationCSV dumps the per-(policy, cell) comparison table as CSV.
+func WriteIsolationCSV(w io.Writer, r *IsolationReport) error {
+	return IsolationComparisonTable(r).WriteCSV(w)
+}
+
 // WriteBurstCSV dumps the per-cell table as CSV.
 func WriteBurstCSV(w io.Writer, r *BurstReport) error {
 	return BurstCellsTable(r).WriteCSV(w)

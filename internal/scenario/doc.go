@@ -36,8 +36,17 @@
 // and NeighborInfo are JSON-round-trippable (DecodeCreditInfo,
 // DecodeNeighborInfo) so cached cells survive persistence.
 //
-// Reports render as aligned tables (FormatBurst, FormatNeighbor) or as CSV
-// for plotting (WriteBurstCSV and WriteBurstTimelineCSV for the burst
-// suite, WriteNeighborCSV for the neighbor suite); the CSV schemas are
-// documented in docs/formats.md.
+// The isolation comparison (IsolationComparison, RunIsolationComparison)
+// reruns the neighbor grid once per backend QoS scheduling policy (fifo,
+// wfq, reservation — qos.Isolation) on identical arrival streams: the
+// isolation configuration feeds each cell's cache variant, never its
+// seeds, so the per-policy victim-tail differences are pure scheduling
+// effects. NeighborSweep.Isolation/VictimWeight/VictimReservedRate run a
+// single policy inside the plain neighbor suite.
+//
+// Reports render as aligned tables (FormatBurst, FormatNeighbor,
+// FormatIsolation) or as CSV for plotting (WriteBurstCSV and
+// WriteBurstTimelineCSV for the burst suite, WriteNeighborCSV for the
+// neighbor suite, WriteIsolationCSV for the isolation comparison); the
+// CSV schemas are documented in docs/formats.md.
 package scenario

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"essdsim/internal/expgrid"
+	"essdsim/internal/qos"
+)
+
+// TestIsolationOrderingPinned pins the suite's headline ordering: across
+// identical per-cell arrival streams, weighted-fair scheduling may not
+// leave the victim worse off than fifo, and reservation may not leave it
+// worse off than wfq. The comparisons are deterministic — every policy
+// variant sees the same cell seeds — so the ordering is exact, not
+// statistical.
+func TestIsolationOrderingPinned(t *testing.T) {
+	rep, err := RunIsolationComparison(context.Background(), IsolationComparison{Sweep: quickNeighbor()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Variants) != 3 {
+		t.Fatalf("variants = %d, want fifo/wfq/reservation", len(rep.Variants))
+	}
+	byPolicy := map[qos.IsolationPolicy]IsolationVariant{}
+	for _, v := range rep.Variants {
+		byPolicy[v.Policy] = v
+	}
+	fifo := byPolicy[qos.IsolationFIFO]
+	wfq := byPolicy[qos.IsolationWFQ]
+	resv := byPolicy[qos.IsolationReservation]
+
+	if wfq.MaxP999Inflation > fifo.MaxP999Inflation {
+		t.Fatalf("wfq victim p99.9 inflation %.3f worse than fifo %.3f",
+			wfq.MaxP999Inflation, fifo.MaxP999Inflation)
+	}
+	if resv.MaxP999Inflation > wfq.MaxP999Inflation {
+		t.Fatalf("reservation victim p99.9 inflation %.3f worse than wfq %.3f",
+			resv.MaxP999Inflation, wfq.MaxP999Inflation)
+	}
+	// Isolation must do real work in this configuration, not merely tie:
+	// fifo lets the aggressors inflate the victim tail several-fold.
+	if fifo.MaxP999Inflation < 2*wfq.MaxP999Inflation {
+		t.Fatalf("fifo inflation %.3f not clearly above wfq %.3f — the suite no longer exercises contention",
+			fifo.MaxP999Inflation, wfq.MaxP999Inflation)
+	}
+	// Debt-admission shaping: the neighbors' excess churn stays out of the
+	// victim's observed debt, so isolation may not throttle the victim in
+	// more cells than fifo does.
+	if wfq.ThrottledCells > fifo.ThrottledCells {
+		t.Fatalf("wfq throttled the victim in %d cells, fifo only %d",
+			wfq.ThrottledCells, fifo.ThrottledCells)
+	}
+	// Control cells are scheduling-invariant: a lone tenant sees the same
+	// latencies under every work-conserving policy.
+	for _, v := range rep.Variants {
+		for _, c := range v.Report.Cells {
+			if c.Aggressors != 0 {
+				continue
+			}
+			ctrl := fifo.Report.Cells[0]
+			if c.VictimLat.P999 != ctrl.VictimLat.P999 {
+				t.Fatalf("%s control cell p99.9 %v differs from fifo control %v",
+					v.Policy, c.VictimLat.P999, ctrl.VictimLat.P999)
+			}
+		}
+	}
+}
+
+// TestIsolationWorkerDeterminism extends the determinism satellite over
+// the isolation axis: a wfq sweep is byte-identical at 1 and 8 workers.
+func TestIsolationWorkerDeterminism(t *testing.T) {
+	base := quickNeighbor()
+	base.Isolation = qos.Isolation{Policy: qos.IsolationWFQ}
+	s1 := base
+	s1.Workers = 1
+	r1, err := RunNeighbor(context.Background(), s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8 := base
+	s8.Workers = 8
+	r8, err := RunNeighbor(context.Background(), s8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatal("wfq neighbor sweep differs between 1 and 8 workers")
+	}
+}
+
+// TestIsolationCacheWarm extends the cache satellite over the isolation
+// axis: each policy variant caches separately (no cross-policy hits), and
+// a warm re-run of a variant simulates zero new cells while reproducing
+// the identical report.
+func TestIsolationCacheWarm(t *testing.T) {
+	cache := expgrid.NewCache(0)
+	fifoSweep := quickNeighbor()
+	fifoSweep.Cache = cache
+	if _, err := RunNeighbor(context.Background(), fifoSweep); err != nil {
+		t.Fatal(err)
+	}
+
+	wfqSweep := quickNeighbor()
+	wfqSweep.Cache = cache
+	wfqSweep.Isolation = qos.Isolation{Policy: qos.IsolationWFQ}
+	cold, err := RunNeighbor(context.Background(), wfqSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CachedCells != 0 {
+		t.Fatalf("wfq run hit %d cells cached by the fifo run — policy variants must not share entries",
+			cold.CachedCells)
+	}
+
+	warm, err := RunNeighbor(context.Background(), wfqSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CachedCells != len(warm.Cells) {
+		t.Fatalf("warm wfq run cached %d of %d cells", warm.CachedCells, len(warm.Cells))
+	}
+	warm.CachedCells = cold.CachedCells
+	for i := range warm.Cells {
+		warm.Cells[i].Cached = cold.Cells[i].Cached
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cache-warm wfq report differs from cold run")
+	}
+}

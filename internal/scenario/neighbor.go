@@ -9,6 +9,7 @@ import (
 	"essdsim/internal/essd"
 	"essdsim/internal/expgrid"
 	"essdsim/internal/profiles"
+	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 	"essdsim/internal/stats"
 	"essdsim/internal/workload"
@@ -54,6 +55,19 @@ type NeighborSweep struct {
 	Seed    uint64
 	Workers int    // expgrid pool size (0 = GOMAXPROCS)
 	Label   string // seed decorrelation label (default "neighbor")
+
+	// Isolation selects the backend's per-tenant QoS policy for every
+	// cell (default fifo — the exact pre-isolation suite). The policy
+	// changes only the backend's scheduling: cell seeds and hence every
+	// tenant's arrival draws are identical across policies, so victim
+	// tails compare scheduling effects and nothing else.
+	Isolation qos.Isolation
+	// VictimWeight is the victim volume's share under wfq/reservation
+	// (default 1; aggressors always weigh 1). VictimReservedRate is the
+	// victim's strictly-reserved bytes/s under reservation (default 2×
+	// the victim's offered bytes/s, enough to cover its load with slack).
+	VictimWeight       float64
+	VictimReservedRate float64
 }
 
 func (s NeighborSweep) withDefaults() NeighborSweep {
@@ -87,6 +101,9 @@ func (s NeighborSweep) withDefaults() NeighborSweep {
 	if s.Label == "" {
 		s.Label = "neighbor"
 	}
+	if s.Isolation.Policy == qos.IsolationReservation && s.VictimReservedRate <= 0 {
+		s.VictimReservedRate = 2 * s.VictimRatePerSec * float64(s.VictimBlockSize)
+	}
 	return s
 }
 
@@ -100,7 +117,9 @@ func (s NeighborSweep) BuildTenants(c expgrid.Cell) (*sim.Engine, []workload.Ten
 	s = s.withDefaults()
 	eng := sim.AcquireEngine() // released by expgrid after the cell drains
 	rng := sim.NewRNG(c.Seed, c.Seed^0x5c)
-	be := essd.NewBackend(eng, profiles.NeighborBackendConfig(), rng.Derive("backend"))
+	bcfg := profiles.NeighborBackendConfig()
+	bcfg.Isolation = s.Isolation
+	be := essd.NewBackend(eng, bcfg, rng.Derive("backend"))
 	return eng, s.AttachTenants(be, rng, c)
 }
 
@@ -110,7 +129,10 @@ func (s NeighborSweep) BuildTenants(c expgrid.Cell) (*sim.Engine, []workload.Ten
 // to private backends instead, as a no-sharing control.
 func (s NeighborSweep) AttachTenants(be *essd.Backend, rng *sim.RNG, c expgrid.Cell) []workload.Tenant {
 	s = s.withDefaults()
-	victim := be.Attach(profiles.NeighborVolumeConfig("victim"), rng)
+	vcfg := profiles.NeighborVolumeConfig("victim")
+	vcfg.Weight = s.VictimWeight
+	vcfg.ReservedRate = s.VictimReservedRate
+	victim := be.Attach(vcfg, rng)
 	victim.Precondition(1)
 	victimRatio := float64(s.VictimWriteRatioPct) / 100
 	if s.VictimWriteRatioPct < 0 { // -1 sentinel: pure-read victim
@@ -259,6 +281,9 @@ type NeighborReport struct {
 	// CachedCells counts cells served from the sweep cache instead of a
 	// fresh simulation.
 	CachedCells int
+	// Isolation is the backend QoS policy every cell ran under (zero
+	// value: the default fifo).
+	Isolation qos.Isolation
 }
 
 // RunNeighbor executes the noisy-neighbor suite on the expgrid worker pool
@@ -289,6 +314,14 @@ func RunNeighbor(ctx context.Context, s NeighborSweep) (*NeighborReport, error) 
 		s.VictimOps, s.VictimRatePerSec, s.VictimBlockSize,
 		s.VictimWriteRatioPct, s.VictimArrival,
 		s.AggressorBlockSize, s.AggressorArrival)
+	// The isolation axis goes in the sweep Variant, not the label: each
+	// policy caches separately (the backend schedules differently) while
+	// the cell seeds — and hence every tenant's arrival draws — stay
+	// identical across policies.
+	if s.Isolation.Enabled() || s.VictimWeight != 0 || s.VictimReservedRate != 0 {
+		sw.Variant = fmt.Sprintf("iso:%s|vw%g|vr%g",
+			s.Isolation.Signature(), s.VictimWeight, s.VictimReservedRate)
+	}
 	results, err := expgrid.Runner{Workers: s.Workers}.Run(ctx, sw)
 	if err != nil {
 		return nil, err
@@ -297,6 +330,7 @@ func RunNeighbor(ctx context.Context, s NeighborSweep) (*NeighborReport, error) 
 		VictimRatePerSec: s.VictimRatePerSec,
 		VictimBlockSize:  s.VictimBlockSize,
 		VictimOps:        s.VictimOps,
+		Isolation:        s.Isolation,
 	}
 	for _, r := range results {
 		rep.Cells = append(rep.Cells, foldNeighborCell(r, s))
@@ -376,6 +410,9 @@ func foldNeighborCell(r expgrid.CellResult, s NeighborSweep) NeighborCell {
 func FormatNeighbor(w io.Writer, r *NeighborReport) {
 	fmt.Fprintf(w, "Noisy-neighbor scenario: victim %d KiB mixed @ %.0f req/s (%d requests) vs bursty aggressors on one shared backend\n",
 		r.VictimBlockSize>>10, r.VictimRatePerSec, r.VictimOps)
+	if r.Isolation.Enabled() {
+		fmt.Fprintf(w, "isolation: %s\n", r.Isolation.Signature())
+	}
 	fmt.Fprintf(w, "%5s %9s %4s %9s %9s %9s %9s %7s %7s %10s %9s %9s\n",
 		"aggrs", "rate/s", "wr%", "offered", "vic-p50", "vic-p99", "vic-p99.9",
 		"p99-x", "p999-x", "throttle@", "debt", "aggrMB/s")

@@ -2,6 +2,12 @@
 // a virtual clock, an event heap, queueing resources (servers and bandwidth
 // pipes), and seedable latency distributions.
 //
+// The queueing resources dispatch through a pluggable FlowQueue scheduler
+// (Server.SetQueue, Pipe.SetQueue): nil keeps the original FIFO path
+// byte-identical, DRRQueue shares service among backlogged flows in
+// proportion to their weights, and ReservationQueue adds work-conserving
+// per-flow guaranteed rates on top of the weighted round.
+//
 // All simulated storage devices in this repository are built on top of this
 // engine. Simulated time is measured in integer nanoseconds and is entirely
 // decoupled from wall-clock time, so experiments are fast and reproducible.

@@ -117,6 +117,11 @@ type Search struct {
 	Precondition expgrid.Precond // default PrecondFull
 	Seed         uint64
 	Label        string // seed decorrelation label (default "slo")
+
+	// Variant feeds each probe cell's cache variant (expgrid.Sweep.Variant):
+	// device configurations that must not share cache entries but must keep
+	// identical probe seeds — backend QoS isolation, chiefly — set it.
+	Variant string
 }
 
 func (s Search) withDefaults() Search {
@@ -349,6 +354,7 @@ func (s Search) probe(ctx context.Context, rate float64) (*Probe, string, scenar
 		DecodeInfo:            scenario.DecodeCreditInfo,
 		Seed:                  s.Seed,
 		Label:                 s.Label,
+		Variant:               s.Variant,
 	}
 	if s.Pattern == workload.Mixed {
 		sw.WriteRatiosPct = []int{s.WriteRatioPct}
