@@ -525,6 +525,43 @@ func BenchmarkFleetPack(b *testing.B) {
 	b.ReportMetric(float64(gap), "violation-gap")
 }
 
+// BenchmarkChurnEpochs measures churn control-plane throughput: a
+// six-tenant catalog through three control epochs of seeded lifecycle
+// events with threshold rebalancing, every epoch's backend populations
+// simulated through one deduplicated sweep. cells/sec is the
+// perf-trajectory metric (comparable to FleetPack — the churn plane
+// rides the same cell machinery); cells/epoch tracks how well the
+// timeline dedups.
+//
+// Run: go test -bench=ChurnEpochs -benchtime=1x
+func BenchmarkChurnEpochs(b *testing.B) {
+	spec := essdsim.ChurnSpec{
+		Fleet: essdsim.FleetSpec{
+			Demands:  essdsim.SyntheticFleetDemands(6, 1),
+			Backends: 2,
+			SLOP999:  5 * essdsim.Millisecond,
+			Horizon:  500 * essdsim.Millisecond,
+			Seed:     11,
+		},
+		Epochs:     3,
+		ChurnRate:  1.5,
+		Rebalancer: essdsim.ThresholdRebalance{},
+	}
+	b.ReportAllocs()
+	cells, epochs := 0, 0
+	for i := 0; i < b.N; i++ {
+		rep, err := essdsim.RunChurn(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells, epochs = rep.Cells, len(rep.Epochs)
+	}
+	reportCells(b, cells)
+	if epochs > 0 {
+		b.ReportMetric(float64(cells)/float64(epochs), "cells/epoch")
+	}
+}
+
 // BenchmarkSweepCacheOverhead measures what attaching a cold SweepCache
 // costs a sweep that gets no hits from it: each iteration runs the
 // identical fleet study with no cache and with a fresh cache (every cell

@@ -3,14 +3,14 @@
 // every custom metric) and optionally gates metrics against a previously
 // committed baseline document.
 //
-// It is the back half of scripts/bench.sh, which produces BENCH_PR7.json:
+// It is the back half of scripts/bench.sh, which produces BENCH_PR8.json:
 //
-//	go test -bench=... -benchtime=5x -run '^$' . | benchreport -o BENCH_PR7.json
+//	go test -bench=... -benchtime=5x -run '^$' . | benchreport -o BENCH_PR8.json
 //
 // Gating compares a named benchmark metric against the baseline file and
 // exits non-zero when it regressed beyond the allowed fraction:
 //
-//	benchreport -o BENCH_PR7.json -baseline BENCH_BASELINE.json \
+//	benchreport -o BENCH_PR8.json -baseline BENCH_BASELINE.json \
 //	    -gate 'FleetPack:cells/sec:0.20'
 //
 // means "fail if FleetPack's cells/sec dropped more than 20% below the

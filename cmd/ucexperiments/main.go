@@ -22,6 +22,14 @@
 // shared backends under each -fleet-policy, and reports per-policy SLO
 // violations, utilization, and worst-victim inflation vs a solo control.
 //
+// The churn study (-exp churn) runs the same catalog through the fleet
+// control plane: -churn-epochs control epochs of seeded lifecycle events
+// at -churn-rate events per epoch (create, delete, expand, shrink,
+// snapshot-as-write-burst), online placement via the first -fleet-policy,
+// and the -rebalance policy (never, threshold, or drain) migrating
+// volumes between epochs. The report is a per-epoch time series of SLO
+// violations, utilization, stranded capacity, and migration cost.
+//
 // Experiment cells run concurrently on an internal/expgrid worker pool
 // (-workers, default GOMAXPROCS); results are deterministic and identical
 // to a serial run regardless of worker count. With -cache FILE, burst,
@@ -42,6 +50,8 @@
 //	ucexperiments -exp neighbor -aggr-trace msr-rows.csv -aggr-trace-format msr
 //	ucexperiments -exp fleet -quick -cache sweepcache.json
 //	ucexperiments -exp fleet -fleet-tenants 16 -fleet-backends 4 -fleet-policy spread,interference
+//	ucexperiments -exp churn -quick -cache sweepcache.json
+//	ucexperiments -exp churn -churn-rate 3 -rebalance drain -out results/
 //	ucexperiments -exp slo -slo-p99 20ms -out results/
 //	ucexperiments -exp slo -quick -cache sweepcache.json
 //	ucexperiments -exp all -out results/ -workers 8
@@ -57,6 +67,7 @@ import (
 	"time"
 
 	"essdsim/internal/blockdev"
+	"essdsim/internal/churn"
 	"essdsim/internal/expgrid"
 	"essdsim/internal/fleet"
 	"essdsim/internal/harness"
@@ -89,7 +100,7 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, isolation, fleet, or all")
+		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, isolation, fleet, churn, or all")
 		quick       = flag.Bool("quick", false, "reduced grids for a fast pass")
 		seed        = flag.Uint64("seed", 7, "deterministic seed")
 		out         = flag.String("out", "", "directory for raw CSV dumps (optional)")
@@ -106,6 +117,9 @@ func main() {
 		fleetP999   = flag.Duration("fleet-slo-p999", 5*time.Millisecond, "-exp fleet p99.9 target the violation columns count against")
 		fleetScreen = flag.Bool("screen", false, "-exp fleet: two-fidelity mode — score placements analytically, simulate only the Pareto frontier")
 		fleetCands  = flag.Int("screen-candidates", 1024, "-exp fleet -screen analytic candidate budget")
+		churnRate   = flag.Float64("churn-rate", 1.5, "-exp churn mean lifecycle events per epoch (0 = static fleet)")
+		churnEpochs = flag.Int("churn-epochs", 6, "-exp churn control epochs")
+		rebalance   = flag.String("rebalance", "threshold", "-exp churn rebalancing policy: never, threshold, or drain")
 		isolation   = flag.String("isolation", "fifo", "-exp neighbor/fleet backend QoS policy: fifo, wfq, or reservation")
 		victimWt    = flag.Float64("victim-weight", 0, "-exp neighbor victim scheduling weight under wfq/reservation (0 = default 1)")
 		victimResv  = flag.Float64("victim-reserved-bps", 0, "-exp neighbor victim reserved bytes/s under -isolation reservation (0 = 2x victim offered)")
@@ -388,6 +402,56 @@ func main() {
 			}
 		}
 	}
+	if want("churn") {
+		ran = true
+		tenants, aggressors := *fleetTen, *fleetAggr
+		epochs := *churnEpochs
+		if *quick {
+			tenants, aggressors = 6, 1
+			if epochs > 4 {
+				epochs = 4
+			}
+		}
+		policies, err := parseFleetPolicies(*fleetPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		rb, err := churn.RebalancerByName(*rebalance)
+		if err != nil {
+			fatal(err)
+		}
+		spec := churn.Spec{
+			Fleet: fleet.Spec{
+				Demands:  fleet.SyntheticDemands(tenants, aggressors),
+				Policies: policies,
+				Backends: *fleetBack,
+				SLOP999:  sim.Duration(fleetP999.Nanoseconds()),
+				Cache:    cache,
+				Seed:     *seed,
+				Workers:  *workers,
+			},
+			Epochs:     epochs,
+			ChurnRate:  *churnRate,
+			Rebalancer: rb,
+		}
+		spec.Fleet.Backend.Isolation = iso
+		if *quick {
+			spec.Fleet.Horizon = 500 * sim.Millisecond
+		}
+		rep, err := churn.Run(context.Background(), spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- Fleet churn (lifecycle events, online placement, rebalancing) ---")
+		churn.Format(os.Stdout, rep)
+		if cache != nil {
+			fmt.Printf("churn: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, rep.Cells)
+		}
+		fmt.Println()
+		if *out != "" {
+			dumpChurnCSV(*out, rep)
+		}
+	}
 	if want("slo") {
 		ran = true
 		fmt.Println("--- Latency-SLO search (highest rate meeting the target) ---")
@@ -453,6 +517,21 @@ func parseFleetPolicies(s string) ([]fleet.PlacementPolicy, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// dumpChurnCSV writes the churn study's epoch time series and event
+// audit trail under dir.
+func dumpChurnCSV(dir string, rep *churn.Report) {
+	f := csvFile(dir, "fleet_churn_epochs.csv")
+	if err := churn.WriteEpochsCSV(f, rep); err != nil {
+		panic(err)
+	}
+	f.Close()
+	f = csvFile(dir, "fleet_churn_events.csv")
+	defer f.Close()
+	if err := churn.WriteEventsCSV(f, rep); err != nil {
+		panic(err)
+	}
 }
 
 func csvFile(dir, name string) *os.File {

@@ -60,6 +60,7 @@ import (
 	"io"
 
 	"essdsim/internal/blockdev"
+	"essdsim/internal/churn"
 	"essdsim/internal/contract"
 	"essdsim/internal/essd"
 	"essdsim/internal/expgrid"
@@ -655,6 +656,78 @@ func WriteFleetCSV(w io.Writer, r *FleetReport) error { return fleet.WriteBacken
 // WriteFleetTenantsCSV dumps the per-tenant fleet table (one row per
 // policy × tenant) as CSV; see docs/formats.md for the schema.
 func WriteFleetTenantsCSV(w io.Writer, r *FleetReport) error { return fleet.WriteTenantsCSV(w, r) }
+
+// Fleet churn control-plane types: volume lifecycle events over a demand
+// catalog, online placement, and pluggable rebalancing, measured epoch by
+// epoch through the same cell machinery the static fleet studies use.
+type (
+	// ChurnSpec declares a churn study: an embedded FleetSpec (catalog,
+	// templates, budgets, SLOs, epoch length) plus the churn process,
+	// placement policy, rebalancer, and migration budget.
+	ChurnSpec = churn.Spec
+	// ChurnEventKind classifies a lifecycle event.
+	ChurnEventKind = churn.EventKind
+	// ChurnEvent is one scripted lifecycle event.
+	ChurnEvent = churn.Event
+	// ChurnEventRecord is one applied event in the report's audit trail.
+	ChurnEventRecord = churn.EventRecord
+	// ChurnReport is the study outcome: the per-epoch time series, the
+	// event audit trail, and fleet-level totals.
+	ChurnReport = churn.Report
+	// ChurnEpochReport is one control epoch's measured outcome.
+	ChurnEpochReport = churn.EpochReport
+	// Rebalancer plans volume migrations between control epochs.
+	Rebalancer = churn.Rebalancer
+	// NeverMove is the do-nothing rebalancer: the baseline that accepts
+	// whatever packing lifecycle events leave behind.
+	NeverMove = churn.NeverMove
+	// ThresholdRebalance migrates volumes off backends whose nominal
+	// utilization exceeds HighUtil, up to the spec's migration budget.
+	ThresholdRebalance = churn.Threshold
+	// DrainRebalance is the lazy variant of ThresholdRebalance: the same
+	// trigger, at most one migration per epoch.
+	DrainRebalance = churn.Drain
+)
+
+// Lifecycle event kinds for scripted churn timelines (ChurnSpec.Script).
+const (
+	ChurnCreate   = churn.Create
+	ChurnDelete   = churn.Delete
+	ChurnExpand   = churn.Expand
+	ChurnShrink   = churn.Shrink
+	ChurnSnapshot = churn.Snapshot
+)
+
+// RunChurn executes a fleet churn study: the placement policy packs the
+// initial catalog, each epoch applies lifecycle events (create, expand,
+// shrink, delete, snapshot-as-write-burst) and the rebalancer's moves on
+// the nominal demand numbers, and every epoch's backend populations are
+// simulated through one parallel sweep — cells deduplicated across epochs
+// and shared with static fleet studies on the same cache. Deterministic
+// for any worker count; with Fleet.Cache a warm re-run simulates zero new
+// cells.
+func RunChurn(ctx context.Context, s ChurnSpec) (*ChurnReport, error) {
+	return churn.Run(ctx, s)
+}
+
+// DefaultRebalancers returns the built-in rebalancing policies in
+// comparison order: never-move, threshold-triggered, background drain.
+func DefaultRebalancers() []Rebalancer { return churn.Rebalancers() }
+
+// RebalancerByName returns the built-in rebalancer with the given name
+// ("never", "threshold", "drain").
+func RebalancerByName(name string) (Rebalancer, error) { return churn.RebalancerByName(name) }
+
+// FormatChurnReport writes the per-epoch churn table with totals.
+func FormatChurnReport(w io.Writer, r *ChurnReport) { churn.Format(w, r) }
+
+// WriteChurnEpochsCSV dumps the per-epoch churn time series
+// (fleet_churn_epochs.csv) as CSV; see docs/formats.md for the schema.
+func WriteChurnEpochsCSV(w io.Writer, r *ChurnReport) error { return churn.WriteEpochsCSV(w, r) }
+
+// WriteChurnEventsCSV dumps the lifecycle-event audit trail
+// (fleet_churn_events.csv) as CSV; see docs/formats.md for the schema.
+func WriteChurnEventsCSV(w io.Writer, r *ChurnReport) error { return churn.WriteEventsCSV(w, r) }
 
 // TraceProfile summarizes a trace's offered load (rate, write mix, mean
 // request size) — the bridge from replayable records to the synthetic

@@ -1,0 +1,24 @@
+// Package churn is the fleet's discrete-event control plane: it drives
+// volume lifecycle events — create, expand, shrink, delete, and
+// snapshot/clone (modeled as a one-epoch write burst) — over a demand
+// catalog, makes online placement decisions through the fleet package's
+// PlacementPolicy interface, applies a pluggable rebalancing policy
+// under a per-epoch migration budget with an explicit migration-cost
+// model, and measures the resulting fleet epoch by epoch.
+//
+// Time advances in control epochs of one fleet horizon each. Within an
+// epoch the tenant population is fixed; between epochs the control
+// plane applies lifecycle events (from a seeded random process or an
+// explicit Spec.Script) and the rebalancer's moves. Every epoch's
+// backends are then simulated through the same expgrid tenant-mix
+// machinery fleet.Run uses — cells are identified by their population
+// only, so a backend whose membership is unchanged across epochs
+// simulates once, identical populations share cache entries with
+// static fleet studies, and the whole multi-epoch plan runs as one
+// parallel sweep that stays byte-identical for any worker count.
+//
+// The report is a time series: per-epoch SLO violations, utilization,
+// stranded capacity, migrations and their cost, and tail latency, with
+// every applied event in an audit trail. See docs/churn.md for the
+// event model, epoch semantics, and CSV schemas.
+package churn

@@ -141,6 +141,13 @@ type Cluster struct {
 	debtUpdate sim.Time
 	cleaned    float64 // fractional carry of cleaner progress
 
+	// live tracks each flow's residual contribution to the pooled debt:
+	// it grows with the flow's admitted debt and drains proportionally
+	// with the pool, so ReleaseFlow can credit back exactly the share of
+	// the backlog that belonged to a departing volume. Pure side
+	// accounting — it never feeds back into debt except at ReleaseFlow.
+	live []float64
+
 	// Isolation (SetIsolation): per-flow scheduling on every node
 	// resource plus per-flow debt-share admission. isoOn false keeps the
 	// original fully-pooled FIFO paths untouched.
@@ -197,6 +204,7 @@ func (c *Cluster) NodeStats(i int) NodeStats { return c.nodes[i].stats }
 // keys the per-flow schedulers and the debt-share admission bucket.
 func (c *Cluster) RegisterFlow(name string) int {
 	c.flows = append(c.flows, FlowStats{Name: name})
+	c.live = append(c.live, 0)
 	if c.isoOn {
 		c.fiso = append(c.fiso, flowIso{
 			weight:   1,
@@ -374,6 +382,9 @@ func (c *Cluster) AddDebtFor(flow int, bytes int64) {
 	c.settleDebt()
 	if !c.isoOn || flow < 0 {
 		c.debt += bytes
+		if flow >= 0 {
+			c.live[flow] += float64(bytes)
+		}
 		return
 	}
 	f := &c.fiso[flow]
@@ -388,6 +399,7 @@ func (c *Cluster) AddDebtFor(flow int, bytes int64) {
 	whole := int64(admit)
 	f.tokens -= float64(whole)
 	c.debt += whole
+	c.live[flow] += float64(whole)
 	f.private += float64(bytes - whole)
 }
 
@@ -452,12 +464,14 @@ func (c *Cluster) settleDebt() {
 		c.cleaned += dt * c.cfg.CleanerRate
 		if whole := int64(c.cleaned); whole > 0 {
 			c.cleaned -= float64(whole)
+			before := c.debt
 			c.debt -= whole
 			if c.debt < 0 {
 				spare = float64(-c.debt)
 				c.debt = 0
 				c.cleaned = 0
 			}
+			c.drainLive(before)
 		}
 	} else {
 		spare = dt * c.cfg.CleanerRate
@@ -478,5 +492,62 @@ func (c *Cluster) settleDebt() {
 	keep := 1 - spare/total
 	for i := range c.fiso {
 		c.fiso[i].private *= keep
+	}
+}
+
+// drainLive scales every flow's residual pooled-debt share by the drain
+// the cleaner just applied (before → c.debt), keeping the per-flow shares
+// summing to the pool as it shrinks.
+func (c *Cluster) drainLive(before int64) {
+	if before <= 0 || len(c.live) == 0 {
+		return
+	}
+	if c.debt == 0 {
+		for i := range c.live {
+			c.live[i] = 0
+		}
+		return
+	}
+	factor := float64(c.debt) / float64(before)
+	for i := range c.live {
+		c.live[i] *= factor
+	}
+}
+
+// ReleaseFlow reclaims a departed flow's shared-cluster state: the flow's
+// residual share of the pooled cleaner debt is credited back (a deleted
+// volume's data is gone, so the cleaner no longer owes work for it), its
+// private (unadmitted) debt account is cleared, and its scheduling shares
+// at every node resource reset to the inert defaults. The flow's
+// cumulative FlowStats counters are kept — a departed tenant's usage
+// remains attributable — but the id must not be used for new traffic.
+// Release only a quiescent flow (no in-flight operations).
+func (c *Cluster) ReleaseFlow(flow int) {
+	if flow < 0 || flow >= len(c.flows) {
+		return
+	}
+	c.settleDebt()
+	if reclaim := int64(c.live[flow]); reclaim > 0 {
+		if reclaim > c.debt {
+			reclaim = c.debt
+		}
+		c.debt -= reclaim
+		if c.debt == 0 {
+			c.cleaned = 0
+		}
+	}
+	c.live[flow] = 0
+	if !c.isoOn {
+		return
+	}
+	f := &c.fiso[flow]
+	f.weight, f.reserved = 1, 0
+	f.tokens, f.private = 0, 0
+	for _, n := range c.nodes {
+		n.stream.SetFlow(flow, 1, 0)
+		n.repl.SetFlow(flow, 1, 0)
+		n.readBW.SetFlow(flow, 1, 0)
+		n.write.SetFlow(flow, 1, 0)
+		n.read.SetFlow(flow, 1, 0)
 	}
 }

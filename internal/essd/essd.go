@@ -332,6 +332,36 @@ func (b *Backend) ReleaseResources() {
 	}
 }
 
+// Detach removes an attached volume from the backend and reclaims its
+// shared-infrastructure state: the flow's residual share of the pooled
+// cleaning debt is credited back to the cluster, its admission accounts
+// and per-node scheduling shares reset, and its fabric shares released,
+// so the survivors immediately see the capacity the departed tenant
+// held. Cumulative counters (cluster flow stats, fabric bytes) are kept
+// for attribution; the final per-volume accounting is returned. The
+// volume must be quiescent (no in-flight requests) and must not be used
+// afterwards — further Submit calls panic. Detach panics if v is not
+// attached to this backend.
+func (b *Backend) Detach(v *ESSD) VolumeStats {
+	idx := -1
+	for i, w := range b.vols {
+		if w == v {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("essd: detach of a volume not attached to this backend")
+	}
+	st := b.statsFor(v)
+	b.cl.ReleaseFlow(v.flow)
+	b.net.ReleaseFlow(v.nf)
+	b.vols = append(b.vols[:idx], b.vols[idx+1:]...)
+	v.ReleaseResources()
+	v.detached = true
+	return st
+}
+
 // VolumeStats tallies one attached volume's use of the shared backend.
 type VolumeStats struct {
 	Name                  string
@@ -446,6 +476,8 @@ type ESSD struct {
 	credits *qos.CreditBucket // burstable tiers only; nil otherwise
 
 	written []uint64 // bitmap: block ever written (for debt + zero reads)
+
+	detached bool // removed from its backend; further I/O panics
 
 	counters Counters
 }
@@ -679,6 +711,9 @@ func (e *ESSD) subCount(off, size int64) int {
 
 // Submit implements blockdev.Device.
 func (e *ESSD) Submit(r *blockdev.Request) {
+	if e.detached {
+		panic(fmt.Sprintf("essd: Submit on detached volume %q", e.cfg.Name))
+	}
 	blockdev.Validate(e, r)
 	r.Issued = e.eng.Now()
 	switch r.Op {

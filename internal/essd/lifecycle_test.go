@@ -1,0 +1,248 @@
+package essd
+
+import (
+	"fmt"
+	"testing"
+
+	"essdsim/internal/blockdev"
+	"essdsim/internal/qos"
+	"essdsim/internal/sim"
+)
+
+// randomBurst submits ops random requests on v (sizes 4k–128k, ~30%
+// reads) and runs the engine to quiescence, so the caller may detach
+// volumes afterwards.
+func randomBurst(t *testing.T, eng *sim.Engine, v *ESSD, rng *sim.RNG, ops int) {
+	t.Helper()
+	done := 0
+	for i := 0; i < ops; i++ {
+		op := blockdev.Write
+		if rng.Float64() < 0.3 {
+			op = blockdev.Read
+		}
+		bs := int64(4096) << rng.IntN(6)
+		off := rng.Int64N((v.Capacity()-bs)/4096) * 4096
+		v.Submit(&blockdev.Request{
+			Op: op, Offset: off, Size: bs,
+			OnComplete: func(*blockdev.Request, sim.Time) { done++ },
+		})
+	}
+	eng.Run()
+	if done != ops {
+		t.Fatalf("burst on %s: %d of %d requests completed", v.Name(), done, ops)
+	}
+}
+
+// TestBackendAttachDetachInvariant is the lifecycle extension of
+// TestBackendAccountingInvariant: under random seeded interleavings of
+// attach, detach, and I/O bursts, the per-volume attribution must stay
+// complete — summing VolumeStats over the currently-attached volumes
+// plus the stats captured at each Detach reproduces the backend-wide
+// cluster node totals and fabric byte totals exactly. Runs under both
+// fifo and wfq so the isolation reclamation path in ReleaseFlow is
+// exercised; the wfq variant is what the -race CI pass leans on.
+func TestBackendAttachDetachInvariant(t *testing.T) {
+	for _, iso := range []qos.Isolation{{}, {Policy: qos.IsolationWFQ}} {
+		iso := iso
+		t.Run(iso.Policy.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 4; seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					checkLifecycleInvariant(t, iso, seed)
+				})
+			}
+		})
+	}
+	t.Run("ghost-residue", testDetachLeavesNoResidue)
+}
+
+func checkLifecycleInvariant(t *testing.T, iso qos.Isolation, seed uint64) {
+	eng := sim.NewEngine()
+	bcfg, vcfg := testConfig().Split()
+	bcfg.Isolation = iso
+	be := NewBackend(eng, bcfg, sim.NewRNG(seed, 0xbe))
+	rng := sim.NewRNG(seed, 0xface)
+
+	var attached []*ESSD
+	var departed []VolumeStats
+	nextID := 0
+	attach := func() {
+		cfg := vcfg
+		cfg.Name = fmt.Sprintf("vol-%d", nextID)
+		v := be.Attach(cfg, sim.NewRNG(seed, uint64(100+nextID)))
+		v.Precondition(1) // every write overwrites, so churn always adds debt
+		nextID++
+		attached = append(attached, v)
+	}
+	attach()
+	attach()
+
+	for step := 0; step < 30; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.25 && len(attached) < 5:
+			attach()
+		case r < 0.45 && len(attached) > 1:
+			i := rng.IntN(len(attached))
+			v := attached[i]
+			departed = append(departed, be.Detach(v))
+			attached = append(attached[:i], attached[i+1:]...)
+			if !v.detached {
+				t.Fatal("Detach left the volume marked attached")
+			}
+			if be.Debt() < 0 {
+				t.Fatalf("step %d: negative pooled debt %d after detach", step, be.Debt())
+			}
+		default:
+			v := attached[rng.IntN(len(attached))]
+			randomBurst(t, eng, v, rng, 20+rng.IntN(60))
+		}
+	}
+	if len(be.Volumes()) != len(attached) {
+		t.Fatalf("backend reports %d volumes, test tracked %d",
+			len(be.Volumes()), len(attached))
+	}
+
+	var sum VolumeStats
+	var debtAdded int64
+	tally := func(vs VolumeStats) {
+		sum.Writes += vs.Writes
+		sum.Reads += vs.Reads
+		sum.WriteBytes += vs.WriteBytes
+		sum.ReadBytes += vs.ReadBytes
+		sum.FabricUp += vs.FabricUp
+		sum.FabricDown += vs.FabricDown
+		debtAdded += vs.DebtAdded
+	}
+	for _, vs := range be.VolumeStats() {
+		tally(vs)
+	}
+	for _, vs := range departed {
+		tally(vs)
+	}
+
+	cl := be.Cluster()
+	var nodeWrites, nodeReads uint64
+	var nodeWriteBytes, nodeReadBytes int64
+	for i := 0; i < cl.NumNodes(); i++ {
+		ns := cl.NodeStats(i)
+		nodeWrites += ns.Writes
+		nodeReads += ns.Reads
+		nodeWriteBytes += ns.WriteBytes
+		nodeReadBytes += ns.ReadBytes
+	}
+	if sum.Writes != nodeWrites || sum.Reads != nodeReads {
+		t.Errorf("cluster ops: flows %d/%d writes/reads, nodes %d/%d",
+			sum.Writes, sum.Reads, nodeWrites, nodeReads)
+	}
+	if sum.WriteBytes != nodeWriteBytes || sum.ReadBytes != nodeReadBytes {
+		t.Errorf("cluster bytes: flows %d/%d, nodes %d/%d",
+			sum.WriteBytes, sum.ReadBytes, nodeWriteBytes, nodeReadBytes)
+	}
+	net := be.Network()
+	if sum.FabricUp != net.MovedUp() || sum.FabricDown != net.MovedDown() {
+		t.Errorf("fabric bytes: flows %d/%d up/down, network %d/%d",
+			sum.FabricUp, sum.FabricDown, net.MovedUp(), net.MovedDown())
+	}
+	if debtAdded <= 0 {
+		t.Error("lifecycle churn attributed no cleaning debt")
+	}
+	if be.Debt() > debtAdded {
+		t.Errorf("pooled debt %d exceeds the %d attributed by flows", be.Debt(), debtAdded)
+	}
+}
+
+// testDetachLeavesNoResidue pins that detach reclaims per-flow state
+// completely: a backend that hosted a ghost tenant — attach, write
+// churn, idle until the pooled debt fully drains, detach — then gains a
+// late volume must serve the survivors draw-for-draw identically to a
+// fresh backend that never saw the ghost. Any residue the ghost leaves
+// in the pooled debt, the admission accounts, or the per-node
+// scheduling shares shows up here as a shifted latency.
+func testDetachLeavesNoResidue(t *testing.T) {
+	run := func(withGhost bool) []sim.Duration {
+		eng := sim.NewEngine()
+		bcfg, vcfg := testConfig().Split()
+		bcfg.Isolation = qos.Isolation{Policy: qos.IsolationWFQ}
+		be := NewBackend(eng, bcfg, sim.NewRNG(7, 8))
+		a := vcfg
+		a.Name = "survivor"
+		va := be.Attach(a, sim.NewRNG(21, 22))
+		if withGhost {
+			g := vcfg
+			g.Name = "ghost"
+			vg := be.Attach(g, sim.NewRNG(31, 32))
+			randomBurst(t, eng, vg, sim.NewRNG(41, 42), 200)
+			// Idle long enough for the cleaner to drain the ghost's
+			// pooled debt, then detach: nothing of the ghost may remain.
+			eng.Schedule(30*sim.Second, func() {})
+			eng.Run()
+			be.Detach(vg)
+			if be.Debt() != 0 {
+				t.Fatalf("pooled debt %d after idle drain + detach, want 0", be.Debt())
+			}
+		}
+		b := vcfg
+		b.Name = "late"
+		vb := be.Attach(b, sim.NewRNG(51, 52))
+
+		// Identical interleaved workload on the survivor and the late
+		// volume; record every completion latency in event order.
+		var lats []sim.Duration
+		wrng := sim.NewRNG(61, 62)
+		for i := 0; i < 150; i++ {
+			for _, v := range []*ESSD{va, vb} {
+				op := blockdev.Write
+				if wrng.Float64() < 0.3 {
+					op = blockdev.Read
+				}
+				bs := int64(4096) << wrng.IntN(6)
+				off := wrng.Int64N((v.Capacity()-bs)/4096) * 4096
+				v.Submit(&blockdev.Request{
+					Op: op, Offset: off, Size: bs,
+					OnComplete: func(r *blockdev.Request, at sim.Time) {
+						lats = append(lats, r.Latency(at))
+					},
+				})
+			}
+			if i%10 == 9 {
+				eng.Run()
+			}
+		}
+		eng.Run()
+		return lats
+	}
+
+	ghost := run(true)
+	fresh := run(false)
+	if len(ghost) != len(fresh) {
+		t.Fatalf("completion counts differ: ghost run %d, fresh run %d", len(ghost), len(fresh))
+	}
+	for i := range ghost {
+		if ghost[i] != fresh[i] {
+			t.Fatalf("latency %d diverged: ghost run %v, fresh run %v — detach left residue",
+				i, ghost[i], fresh[i])
+		}
+	}
+}
+
+// TestDetachErrors pins the misuse guards: detaching a volume twice (or
+// one never attached) panics, and so does submitting I/O to a detached
+// volume.
+func TestDetachErrors(t *testing.T) {
+	eng, be, va, _ := attachTwo(t)
+	be.Detach(va)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("double detach", func() { be.Detach(va) })
+	mustPanic("submit after detach", func() {
+		va.Submit(&blockdev.Request{Op: blockdev.Write, Offset: 0, Size: 4096})
+	})
+	_ = eng
+}

@@ -67,6 +67,13 @@ type Spec struct {
 	Label   string // seed decorrelation label (default "fleet")
 }
 
+// Normalize returns the spec with every zero-valued field resolved to
+// its documented default — the exact spec Run executes. Callers that
+// build on the fleet machinery (the churn control plane, the analytic
+// screen) normalize first so their own planning sees the same budgets,
+// templates, and horizon the simulation will use.
+func (s Spec) Normalize() Spec { return s.withDefaults() }
+
 func (s Spec) withDefaults() Spec {
 	if s.Backend.Cluster.Nodes == 0 {
 		// Preserve an isolation-only override: a spec may select a policy
@@ -132,6 +139,12 @@ func (s Spec) Validate() error {
 	}
 	return nil
 }
+
+// PackingConstraints derives the packing budgets handed to every
+// placement policy from the (normalized) spec — exported for callers
+// that invoke PlacementPolicy.Place outside Run, such as the churn
+// control plane's online placement decisions.
+func (s Spec) PackingConstraints() Constraints { return s.constraints() }
 
 // constraints derives the packing budgets handed to every policy,
 // including the per-volume sustainable-rate cap from the volume class's
@@ -219,18 +232,30 @@ func (s Spec) cells(assignments [][]int) (defs []cellDef, refs [][]backendRef) {
 	return defs, refs
 }
 
-// buildCell is the study's expgrid Tenants hook: it constructs one cell's
-// shared backend and attaches the member demands' volumes, every tenant
-// preconditioned and seeded from the cell seed.
-func (s Spec) buildCell(defs []cellDef) func(c expgrid.Cell) (*sim.Engine, []workload.Tenant) {
+// MixCell is one simulation cell of a fleet-machinery study: a shared
+// backend hosting the member demands together (or one demand alone when
+// Solo). Name must uniquely encode the membership — cell seeds and cache
+// entries are keyed on (label, name), so two cells may share a name only
+// when their members are identical. Run derives its cells from the
+// catalog; the churn control plane synthesizes cells whose members are
+// scaled copies of catalog entries, encoding the scale in the name.
+type MixCell struct {
+	Name    string
+	Solo    bool
+	Members []Demand
+}
+
+// buildMix is the expgrid Tenants hook over explicit MixCells: it
+// constructs one cell's shared backend and attaches the member demands'
+// volumes, every tenant preconditioned and seeded from the cell seed.
+func (s Spec) buildMix(cells []MixCell) func(c expgrid.Cell) (*sim.Engine, []workload.Tenant) {
 	return func(c expgrid.Cell) (*sim.Engine, []workload.Tenant) {
-		def := defs[c.DeviceIndex]
+		cell := cells[c.DeviceIndex]
 		eng := sim.AcquireEngine() // released by expgrid after the cell drains
 		rng := sim.NewRNG(c.Seed, c.Seed^0xf1ee)
 		be := essd.NewBackend(eng, s.Backend, rng.Derive("backend"))
-		tenants := make([]workload.Tenant, 0, len(def.members))
-		for i, di := range def.members {
-			d := s.Demands[di]
+		tenants := make([]workload.Tenant, 0, len(cell.Members))
+		for i, d := range cell.Members {
 			vcfg := s.Volume
 			vcfg.Name = d.Name
 			vol := be.Attach(vcfg, rng)
@@ -253,8 +278,8 @@ func (s Spec) buildCell(defs []cellDef) func(c expgrid.Cell) (*sim.Engine, []wor
 	}
 }
 
-// tenantInfo is one tenant's post-run backend-coupling capture.
-type tenantInfo struct {
+// TenantInfo is one tenant's post-run backend-coupling capture.
+type TenantInfo struct {
 	Name        string       `json:"name"`
 	Throttled   bool         `json:"throttled"`
 	ThrottledAt sim.Time     `json:"throttled_at"` // -1 when never engaged
@@ -263,20 +288,22 @@ type tenantInfo struct {
 	FabricUp    int64        `json:"fabric_up"`
 }
 
-// cellInfo is the InspectMix capture of one backend cell: the pooled debt
+// CellInfo is the InspectMix capture of one backend cell: the pooled debt
 // plus per-tenant throttle state and attribution. JSON-round-trippable so
-// cached cells survive persistence (see decodeCellInfo).
-type cellInfo struct {
+// cached cells survive persistence (see decodeCellInfo). Exported so
+// callers driving MixSweep directly (the churn control plane) can type-
+// assert each CellResult's Info.
+type CellInfo struct {
 	SharedDebt int64        `json:"shared_debt"`
-	Tenants    []tenantInfo `json:"tenants"`
+	Tenants    []TenantInfo `json:"tenants"`
 }
 
 // inspectCell captures every tenant's throttle/debt state while the
 // cell's volumes are still alive.
 func inspectCell(tenants []workload.Tenant, _ expgrid.Cell) any {
-	info := cellInfo{}
+	info := CellInfo{}
 	for _, t := range tenants {
-		ti := tenantInfo{Name: t.Name, ThrottledAt: -1}
+		ti := TenantInfo{Name: t.Name, ThrottledAt: -1}
 		if vol, ok := t.Dev.(*essd.ESSD); ok {
 			ti.Throttled = vol.Throttled()
 			if ti.Throttled {
@@ -296,7 +323,7 @@ func inspectCell(tenants []workload.Tenant, _ expgrid.Cell) any {
 // decodeCellInfo rehydrates a persisted cellInfo (the expgrid DecodeInfo
 // hook matching inspectCell).
 func decodeCellInfo(raw []byte) (any, error) {
-	var info cellInfo
+	var info CellInfo
 	if err := json.Unmarshal(raw, &info); err != nil {
 		return nil, err
 	}
@@ -442,16 +469,38 @@ func Run(ctx context.Context, s Spec) (*Report, error) {
 		}
 	}
 	defs, refs := s.cells(assignments)
+	cells := make([]MixCell, len(defs))
+	for i, def := range defs {
+		members := make([]Demand, len(def.members))
+		for j, di := range def.members {
+			members[j] = s.Demands[di]
+		}
+		cells[i] = MixCell{Name: def.name, Solo: def.solo, Members: members}
+	}
+	results, err := expgrid.Runner{Workers: s.Workers}.Run(ctx, s.MixSweep(cells))
+	if err != nil {
+		return nil, err
+	}
+	return s.fold(defs, refs, assignments, results), nil
+}
 
-	// The Tenants hook's inputs (demand catalog, templates, horizon) are
-	// invisible to the expgrid fingerprint, which only hashes Sweep
-	// fields; membership lives in the cell device names. Fold the rest
-	// into the label so two Specs share cache entries (and cell seeds)
-	// exactly when their cells would build identical tenant mixes. The
-	// Backend and Volume templates go in via their Signature methods —
-	// deterministic pointer-free renderings that change with any template
-	// field while keeping the label (and thus every cell seed) byte-
-	// identical to the pre-isolation %#v rendering for default configs.
+// MixSweep assembles the expgrid sweep that simulates the given cells
+// under the (normalized) spec's templates: one TenantMix cell per
+// MixCell, built by buildMix, inspected into CellInfo. The spec's full
+// identity — budgets, horizon, templates, and the demand catalog — is
+// folded into the sweep label, so two specs share cache entries (and
+// cell seeds) exactly when their cells would build identical tenant
+// mixes; the catalog hook's other inputs are invisible to the expgrid
+// fingerprint, which only hashes Sweep fields, and membership lives in
+// the cell device names. The Backend and Volume templates go in via
+// their Signature methods — deterministic pointer-free renderings that
+// change with any template field while keeping the label (and thus every
+// cell seed) byte-identical to the pre-isolation %#v rendering for
+// default configs. Callers synthesizing cells beyond the catalog (the
+// churn control plane) must keep the (label, cell-name) → members
+// mapping injective: a scaled member carries its scale in both its Name
+// and the cell name.
+func (s Spec) MixSweep(cells []MixCell) expgrid.Sweep {
 	var cat strings.Builder
 	for _, d := range s.Demands {
 		fmt.Fprintf(&cat, "%s=%s;", d.Name, d.signature())
@@ -478,7 +527,7 @@ func Run(ctx context.Context, s Spec) (*Report, error) {
 		// names carry each cell's full membership.
 		AggressorCounts: []int{0},
 		RatesPerSec:     []float64{1},
-		Tenants:         s.buildCell(defs),
+		Tenants:         s.buildMix(cells),
 		InspectMix:      inspectCell,
 		Cache:           s.Cache,
 		DecodeInfo:      decodeCellInfo,
@@ -486,14 +535,10 @@ func Run(ctx context.Context, s Spec) (*Report, error) {
 		Label:           label,
 		Variant:         variant,
 	}
-	for _, def := range defs {
-		sw.Devices = append(sw.Devices, expgrid.NamedFactory{Name: def.name})
+	for _, cell := range cells {
+		sw.Devices = append(sw.Devices, expgrid.NamedFactory{Name: cell.Name})
 	}
-	results, err := expgrid.Runner{Workers: s.Workers}.Run(ctx, sw)
-	if err != nil {
-		return nil, err
-	}
-	return s.fold(defs, refs, assignments, results), nil
+	return sw
 }
 
 // fold assembles the report from the raw cell results.
@@ -533,7 +578,7 @@ func (s Spec) fold(defs []cellDef, refs [][]backendRef, assignments [][]int, res
 		for _, ref := range refs[pi] {
 			def := defs[ref.cell]
 			r := results[ref.cell]
-			info := r.Info.(cellInfo)
+			info := r.Info.(CellInfo)
 			br := BackendReport{
 				Index:      ref.backend,
 				SharedDebt: info.SharedDebt,

@@ -145,6 +145,16 @@ func (n *Network) NewFlowQoS(name string, weight, reservedBps float64) *Flow {
 	return f
 }
 
+// ReleaseFlow resets a departed flow's scheduling shares on both fabric
+// pipes to the inert defaults (weight 1, no reservation), so the capacity
+// a detached volume held under wfq/reservation is redistributed to the
+// survivors. The flow's byte counters are kept — departed traffic remains
+// attributable — but the flow must not send after release.
+func (n *Network) ReleaseFlow(f *Flow) {
+	n.up.SetFlow(f.id, 1, 0)
+	n.down.SetFlow(f.id, 1, 0)
+}
+
 // Name returns the flow's tag.
 func (f *Flow) Name() string { return f.name }
 

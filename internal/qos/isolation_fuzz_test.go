@@ -1,0 +1,39 @@
+package qos
+
+import "testing"
+
+// FuzzParseIsolationPolicy pins the parser/String round trip over
+// arbitrary input: any accepted name must be in IsolationPolicyNames and
+// must survive name -> policy -> String -> policy unchanged; everything
+// else must produce the descriptive error, never a panic.
+func FuzzParseIsolationPolicy(f *testing.F) {
+	for _, name := range IsolationPolicyNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("FIFO")
+	f.Add("wfq ")
+	f.Add("drr")
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := ParseIsolationPolicy(name)
+		if err != nil {
+			return
+		}
+		if p.String() != name {
+			t.Fatalf("accepted %q but String() says %q", name, p.String())
+		}
+		valid := false
+		for _, n := range IsolationPolicyNames() {
+			if n == name {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("accepted %q, which IsolationPolicyNames does not list", name)
+		}
+		back, err := ParseIsolationPolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip of %q: got %v, %v", name, back, err)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"essdsim/internal/blockdev"
+)
+
+// FuzzParseMSR feeds arbitrary bytes through the MSR-Cambridge CSV
+// parser and checks its postconditions on every accepted input: records
+// rebased to start at zero, sorted by issue time, with non-negative
+// offsets, positive sizes, and a valid op — and the parse deterministic
+// across repeat calls. The parser must reject or accept, never panic.
+func FuzzParseMSR(f *testing.F) {
+	f.Add("128166372003061629,src1,0,Write,8192,4096,100\n")
+	f.Add("128166372003061629,src1,0,Read,0,512,0\n128166372003000000,src1,1,w,4096,8192,5\n")
+	f.Add("# comment\n\n1,h,0,write,0,1,0\n")
+	f.Add("not,enough,fields\n")
+	f.Add("1,h,0,Erase,0,1,0\n")
+	f.Add("-1,h,0,Read,0,1,0\n")
+	f.Add("1,h,0,Read,0,0,0\n")
+	f.Add("1,h,0,Read,-4096,4096,0\n")
+	f.Add("0,h,0,Read,0,1,0\n9223372036854775807,h,0,Read,0,1,0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ParseMSR(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		for i, r := range recs {
+			if r.Op != blockdev.Read && r.Op != blockdev.Write {
+				t.Fatalf("record %d: invalid op %v", i, r.Op)
+			}
+			if r.Offset < 0 || r.Size <= 0 {
+				t.Fatalf("record %d: bad geometry offset=%d size=%d", i, r.Offset, r.Size)
+			}
+			if r.At < 0 {
+				t.Fatalf("record %d: negative issue time %v", i, r.At)
+			}
+			if i > 0 && r.At < recs[i-1].At {
+				t.Fatalf("record %d issued at %v before record %d at %v", i, r.At, i-1, recs[i-1].At)
+			}
+		}
+		if len(recs) > 0 && recs[0].At != 0 {
+			t.Fatalf("first record not rebased to zero: %v", recs[0].At)
+		}
+		again, err := ParseMSR(bytes.NewReader([]byte(in)))
+		if err != nil {
+			t.Fatalf("re-parse of accepted input failed: %v", err)
+		}
+		if !reflect.DeepEqual(recs, again) {
+			t.Fatal("re-parse of accepted input produced different records")
+		}
+		// Fit must keep every accepted record inside any valid geometry.
+		const capacity, block = 1 << 20, 4096
+		for i, r := range Fit(recs, capacity, block) {
+			if r.Offset < 0 || r.Size <= 0 || r.Offset+r.Size > capacity {
+				t.Fatalf("fit record %d escapes device: offset=%d size=%d", i, r.Offset, r.Size)
+			}
+			if r.Offset%block != 0 || r.Size%block != 0 {
+				t.Fatalf("fit record %d not block-aligned: offset=%d size=%d", i, r.Offset, r.Size)
+			}
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package workload
+
+import "testing"
+
+// FuzzParseArrival pins the parser/String round trip over arbitrary
+// input: any accepted name must survive name -> Arrival -> String ->
+// Arrival unchanged; everything else must error, never panic.
+func FuzzParseArrival(f *testing.F) {
+	f.Add("uniform")
+	f.Add("poisson")
+	f.Add("bursty")
+	f.Add("")
+	f.Add("Uniform")
+	f.Add("burst")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseArrival(s)
+		if err != nil {
+			return
+		}
+		if a.String() != s {
+			t.Fatalf("accepted %q but String() says %q", s, a.String())
+		}
+		back, err := ParseArrival(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip of %q: got %v, %v", s, back, err)
+		}
+	})
+}

@@ -1,16 +1,17 @@
 #!/bin/sh
 # Repeatable perf-trajectory bench run: executes the simulator-throughput
-# benchmarks and writes BENCH_PR7.json (ns/op, cells/sec, allocs/op, and
+# benchmarks and writes BENCH_PR8.json (ns/op, cells/sec, allocs/op, and
 # every custom metric per benchmark) via cmd/benchreport.
 #
 # Usage:
-#   scripts/bench.sh                 # write BENCH_PR7.json
+#   scripts/bench.sh                 # write BENCH_PR8.json
 #   BENCH_GATE=1 scripts/bench.sh    # also gate FleetPack cells/sec against
 #                                    # BENCH_BASELINE.json (fail on >20% drop)
 #
 # The benchmark selection is the perf-critical core: the fleet/neighbor
 # sweep throughput the PR 6 optimization targets, the per-policy QoS
-# isolation cost and signal added in PR 7, the raw engine and device-op
+# isolation cost and signal added in PR 7, the churn control plane's
+# epoch throughput added in PR 8, the raw engine and device-op
 # costs underneath them, the cache-overhead proof, and the two-fidelity
 # screen. BENCHTIME defaults to 5x — enough to average the
 # shared-VM noise without taking minutes.
@@ -18,8 +19,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-5x}"
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
-PATTERN='^(BenchmarkFleetPack|BenchmarkNeighborSweep|BenchmarkNeighborIsolation|BenchmarkFleetScreen|BenchmarkSweepCacheOverhead|BenchmarkEngineThroughput|BenchmarkDeviceIO)$'
+OUT="${BENCH_OUT:-BENCH_PR8.json}"
+PATTERN='^(BenchmarkFleetPack|BenchmarkChurnEpochs|BenchmarkNeighborSweep|BenchmarkNeighborIsolation|BenchmarkFleetScreen|BenchmarkSweepCacheOverhead|BenchmarkEngineThroughput|BenchmarkDeviceIO)$'
 
 GATE_ARGS=""
 if [ "${BENCH_GATE:-0}" = "1" ]; then
