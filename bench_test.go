@@ -370,6 +370,72 @@ func BenchmarkKVDesign(b *testing.B) {
 	b.ReportMetric(ipRate/1e3, "inplace-Kops/s")
 }
 
+// BenchmarkKVIngest measures the raw KV hot path: wall-clock puts/sec
+// through the allocation-free LSM ingest pump (the number the PR 9 bench
+// gate holds), with the page-store read-modify-write path as a secondary
+// sub-benchmark. puts/sec here is wall-clock throughput of the simulator,
+// not virtual-time throughput of the engine.
+func BenchmarkKVIngest(b *testing.B) {
+	run := func(b *testing.B, mk func(dev essdsim.Device) kv.Engine) {
+		b.ReportAllocs()
+		const puts = 200_000
+		for i := 0; i < b.N; i++ {
+			eng := essdsim.NewEngine()
+			dev, err := essdsim.NewDevice("essd2", eng, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			essdsim.Precondition(dev, true)
+			e := mk(dev)
+			res := kv.Ingest(eng, e, puts, 1024, 32, 100_000, 3)
+			if res.Puts != puts {
+				b.Fatalf("ingest dropped puts: %+v", res)
+			}
+		}
+		b.ReportMetric(float64(puts)*float64(b.N)/b.Elapsed().Seconds(), "puts/sec")
+	}
+	b.Run("lsm", func(b *testing.B) {
+		run(b, func(dev essdsim.Device) kv.Engine {
+			return kv.NewLSM(dev, kv.DefaultLSMConfig())
+		})
+	})
+	b.Run("pagestore", func(b *testing.B) {
+		run(b, func(dev essdsim.Device) kv.Engine {
+			return kv.NewPageStore(dev, kv.DefaultPageStoreConfig(dev))
+		})
+	})
+}
+
+// BenchmarkKVMix measures the KV tenant-mix suite end to end: the
+// engine × skew grid of multi-tenant shared-backend cells through the
+// expgrid pool, the regime `-exp kv` runs. ops/sec is wall-clock user
+// operations simulated per second across all cells.
+func BenchmarkKVMix(b *testing.B) {
+	sweep := essdsim.KVMixSweep{
+		Engines:      []string{"lsm", "pagestore"},
+		Skews:        []float64{0, 0.99},
+		Tenants:      3,
+		OpsPerTenant: 1500,
+		Seed:         7,
+	}
+	b.ReportAllocs()
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := essdsim.RunKVMix(context.Background(), sweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = 0
+		for _, c := range rep.Cells {
+			if c.Ops == 0 {
+				b.Fatalf("cell %s/%g measured no ops", c.Engine, c.Skew)
+			}
+			ops += c.Ops
+		}
+	}
+	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}
+
 // BenchmarkAblationBurstCredits contrasts the burstable gp2-class tier's
 // two regimes: a short burst-backed sprint vs a drained-credit slog.
 func BenchmarkAblationBurstCredits(b *testing.B) {

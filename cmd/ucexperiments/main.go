@@ -22,6 +22,15 @@
 // shared backends under each -fleet-policy, and reports per-policy SLO
 // violations, utilization, and worst-victim inflation vs a solo control.
 //
+// The KV study (-exp kv) runs fleet-style key-value tenants — each an LSM
+// or page-store engine (-kv-engines) on its own elastic volume of a
+// shared backend — under open-loop zipfian point reads and writes,
+// sweeping engine design × key skew (-kv-skews) × value size
+// (-kv-value-sizes) × backend tier (-kv-tiers). The report shows each
+// design's foreground op tail next to its read/write amplification,
+// cache hit rate, stalls, and the shared-debt coupling its background
+// work (flushes, compactions, page-miss reads) induces.
+//
 // The churn study (-exp churn) runs the same catalog through the fleet
 // control plane: -churn-epochs control epochs of seeded lifecycle events
 // at -churn-rate events per epoch (create, delete, expand, shrink,
@@ -33,7 +42,7 @@
 // Experiment cells run concurrently on an internal/expgrid worker pool
 // (-workers, default GOMAXPROCS); results are deterministic and identical
 // to a serial run regardless of worker count. With -cache FILE, burst,
-// SLO, neighbor, and fleet cells are memoized in a persistent sweep cache:
+// SLO, neighbor, fleet, and KV cells are memoized in a persistent sweep cache:
 // a repeat run loads the file, executes zero new cells, and prints how
 // many cells each suite skipped, reproducing the same measurements and
 // byte-identical -out CSV dumps.
@@ -52,6 +61,8 @@
 //	ucexperiments -exp fleet -fleet-tenants 16 -fleet-backends 4 -fleet-policy spread,interference
 //	ucexperiments -exp churn -quick -cache sweepcache.json
 //	ucexperiments -exp churn -churn-rate 3 -rebalance drain -out results/
+//	ucexperiments -exp kv -quick -cache sweepcache.json
+//	ucexperiments -exp kv -kv-engines lsm -kv-skews 0,0.5,0.99 -kv-tiers essd1,essd2 -out results/
 //	ucexperiments -exp slo -slo-p99 20ms -out results/
 //	ucexperiments -exp slo -quick -cache sweepcache.json
 //	ucexperiments -exp all -out results/ -workers 8
@@ -63,6 +74,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -100,12 +112,12 @@ func factory(name string, seed uint64) harness.Factory {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, isolation, fleet, churn, or all")
+		exp         = flag.String("exp", "all", "table1, fig2, fig3, fig4, fig5, burst, slo, neighbor, isolation, fleet, churn, kv, or all")
 		quick       = flag.Bool("quick", false, "reduced grids for a fast pass")
 		seed        = flag.Uint64("seed", 7, "deterministic seed")
 		out         = flag.String("out", "", "directory for raw CSV dumps (optional)")
 		workers     = flag.Int("workers", 0, "parallel experiment cells (0 = GOMAXPROCS)")
-		cacheFile   = flag.String("cache", "", "sweep-cache JSON file for burst/slo/neighbor/fleet cells (loaded if present, saved on exit)")
+		cacheFile   = flag.String("cache", "", "sweep-cache JSON file for burst/slo/neighbor/fleet/kv cells (loaded if present, saved on exit)")
 		sloP99      = flag.Duration("slo-p99", 20*time.Millisecond, "p99 target of the -exp slo search")
 		aggrArrival = flag.String("aggr-arrival", "bursty", "-exp neighbor aggressor arrival shape: bursty or poisson")
 		aggrTrace   = flag.String("aggr-trace", "", "-exp neighbor: fit aggressor rate/write-ratio/size from this trace file")
@@ -123,6 +135,13 @@ func main() {
 		isolation   = flag.String("isolation", "fifo", "-exp neighbor/fleet backend QoS policy: fifo, wfq, or reservation")
 		victimWt    = flag.Float64("victim-weight", 0, "-exp neighbor victim scheduling weight under wfq/reservation (0 = default 1)")
 		victimResv  = flag.Float64("victim-reserved-bps", 0, "-exp neighbor victim reserved bytes/s under -isolation reservation (0 = 2x victim offered)")
+		kvEngines   = flag.String("kv-engines", "lsm,pagestore", "-exp kv storage-engine designs (comma list of lsm, pagestore)")
+		kvSkews     = flag.String("kv-skews", "0,0.99", "-exp kv zipfian key skews in [0,1) (comma list)")
+		kvValSizes  = flag.String("kv-value-sizes", "1024", "-exp kv put value sizes in bytes (comma list)")
+		kvTiers     = flag.String("kv-tiers", "essd1", "-exp kv backend tier profiles (comma list of essd1, essd2, gp3, gp2, gp2s, pl1)")
+		kvTenants   = flag.Int("kv-tenants", 3, "-exp kv tenants sharing each cell's backend")
+		kvRate      = flag.Float64("kv-rate", 4000, "-exp kv per-tenant offered op rate")
+		kvReadFrac  = flag.Int("kv-read-frac", 50, "-exp kv percentage of ops that are point reads (-1 = pure ingest)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -452,6 +471,54 @@ func main() {
 			dumpChurnCSV(*out, rep)
 		}
 	}
+	if want("kv") {
+		ran = true
+		engines, err := splitList(*kvEngines)
+		if err != nil {
+			fatal(fmt.Errorf("-kv-engines: %w", err))
+		}
+		skews, err := parseFloatList(*kvSkews)
+		if err != nil {
+			fatal(fmt.Errorf("-kv-skews: %w", err))
+		}
+		valSizes, err := parseInt64List(*kvValSizes)
+		if err != nil {
+			fatal(fmt.Errorf("-kv-value-sizes: %w", err))
+		}
+		tiers, err := splitList(*kvTiers)
+		if err != nil {
+			fatal(fmt.Errorf("-kv-tiers: %w", err))
+		}
+		sweep := scenario.KVMixSweep{
+			Engines:     engines,
+			Skews:       skews,
+			ValueSizes:  valSizes,
+			Tiers:       tiers,
+			Tenants:     *kvTenants,
+			RatePerSec:  *kvRate,
+			ReadFracPct: *kvReadFrac,
+			Cache:       cache,
+			Seed:        *seed,
+			Workers:     *workers,
+		}
+		if *quick {
+			sweep.Tenants = 2
+			sweep.OpsPerTenant = 600
+		}
+		rep, err := scenario.RunKVMix(context.Background(), sweep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- KV tenant mix (storage engines on shared elastic volumes) ---")
+		scenario.FormatKVMix(os.Stdout, rep)
+		if cache != nil {
+			fmt.Printf("kv: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, len(rep.Cells))
+		}
+		fmt.Println()
+		if *out != "" {
+			dumpKVCSV(*out, rep)
+		}
+	}
 	if want("slo") {
 		ran = true
 		fmt.Println("--- Latency-SLO search (highest rate meeting the target) ---")
@@ -501,6 +568,65 @@ func readTraceFile(file, format string) ([]trace.Record, error) {
 	}
 	defer f.Close()
 	return trace.ReadFormat(f, format)
+}
+
+// splitList parses a comma-separated flag into trimmed non-empty items.
+func splitList(s string) ([]string, error) {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		out = append(out, item)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseFloatList parses a comma-separated flag of floats.
+func parseFloatList(s string) ([]float64, error) {
+	items, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(items))
+	for i, item := range items {
+		v, err := strconv.ParseFloat(item, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", item)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseInt64List parses a comma-separated flag of integers.
+func parseInt64List(s string) ([]int64, error) {
+	items, err := splitList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(items))
+	for i, item := range items {
+		v, err := strconv.ParseInt(item, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", item)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// dumpKVCSV writes the KV tenant-mix per-cell table under dir.
+func dumpKVCSV(dir string, rep *scenario.KVMixReport) {
+	f := csvFile(dir, "kv_cells.csv")
+	defer f.Close()
+	if err := scenario.WriteKVCSV(f, rep); err != nil {
+		panic(err)
+	}
 }
 
 // parseFleetPolicies maps the -fleet-policy flag to placement policies.

@@ -76,6 +76,7 @@ import (
 	"essdsim/internal/stats"
 	"essdsim/internal/trace"
 	"essdsim/internal/workload"
+	"essdsim/kv"
 )
 
 // Core simulation types.
@@ -806,3 +807,103 @@ func FormatAdvice(w io.Writer, r *ContractReport) { contract.FormatAdvice(w, r) 
 func FormatWorkloadResult(w io.Writer, r *WorkloadResult) {
 	harness.FormatWorkloadResult(w, r)
 }
+
+// Key-value storage engine types (package kv): two write-path designs over
+// simulated block devices — the leveled LSM engine and the update-in-place
+// page store — with honest device-level I/O accounting, plus the ingest
+// harness and the multi-tenant open-loop mix runner.
+type (
+	// KVEngine is the storage-engine interface both designs implement:
+	// Put/Get with completion callbacks, write batches, a background-work
+	// barrier, and a Stats snapshot.
+	KVEngine = kv.Engine
+	// KVStats is an engine's cumulative activity snapshot (user ops,
+	// device I/O, flushes, compactions, cache hits, stalls) with
+	// ReadAmp/WriteAmp helpers.
+	KVStats = kv.Stats
+	// KVLSMConfig shapes the LSM engine (memtable bytes, fanout, level-0
+	// compaction trigger, bytes-per-level growth).
+	KVLSMConfig = kv.LSMConfig
+	// KVPageStoreConfig shapes the page store (page size, cache pages).
+	KVPageStoreConfig = kv.PageStoreConfig
+	// KVIngestSpec declares a closed-loop bulk-load measurement.
+	KVIngestSpec = kv.IngestSpec
+	// KVIngestResult is a completed ingest measurement.
+	KVIngestResult = kv.IngestResult
+	// KVMixSpec is one tenant's open-loop zipfian read/write traffic.
+	KVMixSpec = kv.MixSpec
+	// KVMixTenant pairs a storage engine with the traffic that drives it.
+	KVMixTenant = kv.MixTenant
+	// KVMixResult is one tenant's measurement from a RunKVMix call.
+	KVMixResult = kv.MixResult
+	// KVMixProfile is a measured tenant's device-level demand shape,
+	// placeable via KVDemand.
+	KVMixProfile = kv.MixProfile
+)
+
+// NewKVLSM builds a leveled LSM engine over the device.
+func NewKVLSM(dev Device, cfg KVLSMConfig) *kv.LSM { return kv.NewLSM(dev, cfg) }
+
+// DefaultKVLSMConfig returns the stock LSM shape (8 MiB memtable, fanout
+// 10, level-0 trigger 4).
+func DefaultKVLSMConfig() KVLSMConfig { return kv.DefaultLSMConfig() }
+
+// NewKVPageStore builds an update-in-place page store over the device.
+func NewKVPageStore(dev Device, cfg KVPageStoreConfig) *kv.PageStore {
+	return kv.NewPageStore(dev, cfg)
+}
+
+// DefaultKVPageStoreConfig sizes pages to the device's block size and the
+// cache to a fraction of its capacity.
+func DefaultKVPageStoreConfig(dev Device) KVPageStoreConfig {
+	return kv.DefaultPageStoreConfig(dev)
+}
+
+// KVIngest runs a closed-loop bulk load against the engine and returns
+// its throughput and amplification measurement.
+func KVIngest(eng *Engine, e KVEngine, spec KVIngestSpec) KVIngestResult {
+	return kv.IngestRun(eng, e, spec)
+}
+
+// RunKVMixTenants drives several KV tenants' open-loop arrival schedules
+// concurrently inside one simulation engine — the multi-tenant regime
+// where one tenant's compactions contend with another's point reads on a
+// shared backend. Results are in tenant order.
+func RunKVMixTenants(eng *Engine, tenants []KVMixTenant) []*KVMixResult {
+	return kv.RunMix(eng, tenants)
+}
+
+// KVProfileOf summarizes a mix result as the device-level demand shape
+// the tenant's engine actually offered.
+func KVProfileOf(r *KVMixResult) KVMixProfile { return kv.ProfileOf(r) }
+
+// KVDemand converts a measured KV tenant profile into a placeable fleet
+// demand (the engine-translated device load, not the user op rate).
+func KVDemand(name string, p KVMixProfile, blockSize int64) (FleetDemand, error) {
+	return fleet.DemandFromKV(name, p, blockSize)
+}
+
+// KV tenant-mix suite types: the engine × skew × value-size × tier sweep
+// over shared backends (internal/scenario.KVMixSweep).
+type (
+	// KVMixSweep declares the suite's axes and per-tenant shape.
+	KVMixSweep = scenario.KVMixSweep
+	// KVMixReport is the folded suite measurement.
+	KVMixReport = scenario.KVMixReport
+	// KVMixCell is one measured cell of the suite.
+	KVMixCell = scenario.KVMixCell
+)
+
+// RunKVMix executes the KV tenant-mix suite on the expgrid worker pool.
+// Results are deterministic for any worker count; attach a SweepCache and
+// a repeat run executes zero new cells.
+func RunKVMix(ctx context.Context, s KVMixSweep) (*KVMixReport, error) {
+	return scenario.RunKVMix(ctx, s)
+}
+
+// FormatKVMix writes a human-readable KV tenant-mix report.
+func FormatKVMix(w io.Writer, r *KVMixReport) { scenario.FormatKVMix(w, r) }
+
+// WriteKVMixCSV dumps the suite's per-cell table (kv_cells.csv) as CSV;
+// see docs/formats.md for the schema.
+func WriteKVMixCSV(w io.Writer, r *KVMixReport) error { return scenario.WriteKVCSV(w, r) }

@@ -156,6 +156,137 @@ type Cluster struct {
 	shareRate  float64 // resolved DebtShareRate
 	shareBurst float64 // resolved DebtShareBurst
 	fiso       []flowIso
+
+	// Intrusive free lists of pooled per-operation jobs (see writeJob):
+	// the steady-state Write/Read paths allocate nothing.
+	freeWrites *writeJob
+	freeRepls  *replJob
+	freeReads  *readJob
+}
+
+// writeJob is one replicated chunk write in flight: the leg fan-in counter
+// plus the primary-leg continuations, bound once at construction so a
+// steady-state write allocates nothing. Service times are still sampled at
+// each stage's run time, keeping the RNG draw order of the closure-based
+// path.
+type writeJob struct {
+	c        *Cluster
+	flow     int
+	rem      int // outstanding durability legs (primary + replicas)
+	done     func()
+	pn       *node
+	onStream func() // primary stream drained → journal write service
+	onLeg    func() // one leg durable
+	nextFree *writeJob
+}
+
+func (c *Cluster) getWriteJob() *writeJob {
+	j := c.freeWrites
+	if j != nil {
+		c.freeWrites = j.nextFree
+		j.nextFree = nil
+	} else {
+		j = &writeJob{c: c}
+		j.onStream = j.streamDone
+		j.onLeg = j.leg
+	}
+	return j
+}
+
+func (j *writeJob) streamDone() {
+	c := j.c
+	j.pn.write.VisitFlow(j.flow, c.cfg.WriteService.Sample(c.rng), j.onLeg)
+}
+
+func (j *writeJob) leg() {
+	j.rem--
+	if j.rem != 0 {
+		return
+	}
+	c, done := j.c, j.done
+	j.done = nil
+	j.pn = nil
+	j.nextFree = c.freeWrites
+	c.freeWrites = j
+	done()
+}
+
+// replJob is one replica leg of a writeJob: repl-pipe drain, hop to the
+// replica, its journal write service, and the hop back to the fan-in.
+type replJob struct {
+	c        *Cluster
+	j        *writeJob
+	rn       *node
+	onRepl   func() // repl pipe drained → hop toward the replica
+	onHop    func() // hop arrived → replica journal write service
+	onSvc    func() // service done → hop the ack back to the fan-in
+	nextFree *replJob
+}
+
+func (c *Cluster) getReplJob() *replJob {
+	r := c.freeRepls
+	if r != nil {
+		c.freeRepls = r.nextFree
+		r.nextFree = nil
+	} else {
+		r = &replJob{c: c}
+		r.onRepl = r.replDone
+		r.onHop = r.hopDone
+		r.onSvc = r.svcDone
+	}
+	return r
+}
+
+func (r *replJob) replDone() {
+	c := r.c
+	c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), r.onHop)
+}
+
+func (r *replJob) hopDone() {
+	c := r.c
+	r.rn.write.VisitFlow(r.j.flow, c.cfg.WriteService.Sample(c.rng), r.onSvc)
+}
+
+func (r *replJob) svcDone() {
+	c, j := r.c, r.j
+	r.j = nil
+	r.rn = nil
+	r.nextFree = c.freeRepls
+	c.freeRepls = r
+	c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), j.onLeg)
+}
+
+// readJob is one chunk read in flight: read service, then the node's read
+// bandwidth.
+type readJob struct {
+	c        *Cluster
+	n        *node
+	flow     int
+	bytes    int64
+	done     func()
+	onSvc    func()
+	nextFree *readJob
+}
+
+func (c *Cluster) getReadJob() *readJob {
+	j := c.freeReads
+	if j != nil {
+		c.freeReads = j.nextFree
+		j.nextFree = nil
+	} else {
+		j = &readJob{c: c}
+		j.onSvc = j.svcDone
+	}
+	return j
+}
+
+func (j *readJob) svcDone() {
+	c, n, flow, bytes, done := j.c, j.n, j.flow, j.bytes, j.done
+	j.n = nil
+	j.done = nil
+	j.nextFree = c.freeReads
+	c.freeReads = j
+	n.readBW.TransferFlow(flow, bytes, done)
 }
 
 // New builds the cluster. It panics on invalid configuration.
@@ -313,28 +444,20 @@ func (c *Cluster) WriteFor(flow int, chunk int64, bytes int64, done func()) {
 	// durable. The primary's repl pipe carries Replicas-1 copies, so its
 	// bandwidth must exceed (Replicas-1)× the stream bandwidth for the
 	// per-node stream to remain the sequential-write bottleneck.
-	legs := 1 + (c.cfg.Replicas - 1)
-	rem := legs
-	leg := func() {
-		rem--
-		if rem == 0 {
-			done()
-		}
-	}
-	pn.stream.TransferFlow(flow, bytes, func() {
-		pn.write.VisitFlow(flow, c.cfg.WriteService.Sample(c.rng), leg)
-	})
+	j := c.getWriteJob()
+	j.flow = flow
+	j.done = done
+	j.pn = pn
+	j.rem = 1 + (c.cfg.Replicas - 1)
+	pn.stream.TransferFlow(flow, bytes, j.onStream)
 	for i := 0; i < c.cfg.Replicas-1; i++ {
 		r := (p + 1 + i) % len(c.nodes)
 		rn := c.nodes[r]
 		rn.stats.ReplWrites++
-		pn.repl.TransferFlow(flow, bytes, func() {
-			c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), func() {
-				rn.write.VisitFlow(flow, c.cfg.WriteService.Sample(c.rng), func() {
-					c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), leg)
-				})
-			})
-		})
+		rj := c.getReplJob()
+		rj.j = j
+		rj.rn = rn
+		pn.repl.TransferFlow(flow, bytes, rj.onRepl)
 	}
 }
 
@@ -356,9 +479,12 @@ func (c *Cluster) ReadFor(flow int, chunk int64, bytes int64, done func()) {
 	n := c.nodes[p]
 	n.stats.Reads++
 	n.stats.ReadBytes += bytes
-	n.read.VisitFlow(flow, c.cfg.ReadService.Sample(c.rng), func() {
-		n.readBW.TransferFlow(flow, bytes, done)
-	})
+	j := c.getReadJob()
+	j.n = n
+	j.flow = flow
+	j.bytes = bytes
+	j.done = done
+	n.read.VisitFlow(flow, c.cfg.ReadService.Sample(c.rng), j.onSvc)
 }
 
 // AddDebt records freshly invalidated bytes (overwrites of previously

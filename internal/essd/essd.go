@@ -480,6 +480,11 @@ type ESSD struct {
 	detached bool // removed from its backend; further I/O panics
 
 	counters Counters
+
+	// Intrusive free lists of pooled per-request ops (see ioOp): the
+	// steady-state Submit path allocates nothing.
+	freeOps  *ioOp
+	freeSubs *subOp
 }
 
 // New builds a single-volume ESSD on a private backend. It panics on
@@ -709,7 +714,10 @@ func (e *ESSD) subCount(off, size int64) int {
 	return int((off+size-1)/chunk - off/chunk + 1)
 }
 
-// Submit implements blockdev.Device.
+// Submit implements blockdev.Device. Every request rides one pooled ioOp
+// through the frontend → QoS → dispatch stage chain; the accounting that
+// the old closure chain did at submission time (counters, debt, limiter
+// observation) still happens here, synchronously.
 func (e *ESSD) Submit(r *blockdev.Request) {
 	if e.detached {
 		panic(fmt.Sprintf("essd: Submit on detached volume %q", e.cfg.Name))
@@ -718,45 +726,35 @@ func (e *ESSD) Submit(r *blockdev.Request) {
 	r.Issued = e.eng.Now()
 	switch r.Op {
 	case blockdev.Write:
-		e.submitWrite(r)
+		e.counters.Writes++
+		e.counters.WriteBytes += r.Size
+		debt := e.markWritten(r.Offset, r.Size)
+		if debt > 0 {
+			e.be.cl.AddDebtFor(e.flow, debt)
+		}
+		// Under isolation each volume observes the shared (admitted) pool
+		// plus only its own private excess — a neighbour's churn beyond the
+		// admission rate cannot advance this volume's throttle onset. Under
+		// fifo this is exactly the pooled Debt() it always was.
+		e.limiter.Observe(e.eng.Now(), e.be.cl.DebtObservedBy(e.flow), e.writeClamp())
 	case blockdev.Read:
-		e.submitRead(r)
+		e.counters.Reads++
+		e.counters.ReadBytes += r.Size
 	case blockdev.Trim:
-		e.submitTrim(r)
+		e.counters.Trims++
 	case blockdev.Flush:
-		e.submitFlush(r)
+		e.counters.Flushes++
 	default:
 		panic(fmt.Sprintf("essd: unknown op %v", r.Op))
 	}
+	o := e.getOp(r)
+	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), o.onFE)
 }
 
 func (e *ESSD) complete(r *blockdev.Request) {
 	if r.OnComplete != nil {
 		r.OnComplete(r, e.eng.Now())
 	}
-}
-
-func (e *ESSD) submitWrite(r *blockdev.Request) {
-	e.counters.Writes++
-	e.counters.WriteBytes += r.Size
-	debt := e.markWritten(r.Offset, r.Size)
-	if debt > 0 {
-		e.be.cl.AddDebtFor(e.flow, debt)
-	}
-	// Under isolation each volume observes the shared (admitted) pool plus
-	// only its own private excess — a neighbour's churn beyond the
-	// admission rate cannot advance this volume's throttle onset. Under
-	// fifo this is exactly the pooled Debt() it always was.
-	e.limiter.Observe(e.eng.Now(), e.be.cl.DebtObservedBy(e.flow), e.writeClamp())
-	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
-		e.iopsTb.Take(e.iopsCost(r.Size), func() {
-			e.takeWriteTokens(float64(r.Size), func() {
-				e.spendCredits(r.Size, func() {
-					e.dispatchWrite(r)
-				})
-			})
-		})
-	})
 }
 
 // writeClamp lazily creates the throttle bucket so the limiter has
@@ -768,111 +766,202 @@ func (e *ESSD) writeClamp() *qos.TokenBucket {
 	return e.wClamp
 }
 
-// takeWriteTokens charges the combined budget and, when the flow limiter
-// has engaged, the write clamp as well.
-func (e *ESSD) takeWriteTokens(n float64, done func()) {
-	e.bytesTb.Take(n, func() {
-		if !e.limiter.Engaged() {
-			done()
-			return
-		}
-		e.writeClamp().Take(n, done)
-	})
+// ioOp carries one request through the device's stage chain with every
+// continuation bound once at construction, so a steady-state Submit
+// allocates nothing. The stages run in exactly the order (and with exactly
+// the RNG draws) of the closure chain they replace:
+//
+//	write: frontend → IOPS bucket → bytes bucket [→ write clamp when the
+//	       limiter engaged] → burst credits → per-chunk fan-out
+//	read:  frontend → IOPS → bytes → credits → fan-out (written ranges),
+//	       or two control hops (never-written ranges)
+//	trim/flush: frontend → two control hops
+type ioOp struct {
+	e   *ESSD
+	r   *blockdev.Request
+	rem int // outstanding chunk subrequests
+
+	onFE      func()
+	onIOPS    func()
+	onBytes   func()
+	onTokens  func()
+	onCredits func()
+	onSub     func()
+	onHop     func()
+	onFinish  func()
+
+	nextFree *ioOp
 }
 
-func (e *ESSD) dispatchWrite(r *blockdev.Request) {
-	chunkBytes := e.be.cfg.Cluster.ChunkBytes
-	rem := e.subCount(r.Offset, r.Size)
-	off, left := r.Offset, r.Size
-	for left > 0 {
-		sz := chunkBytes - off%chunkBytes
-		if sz > left {
-			sz = left
-		}
-		chunk := off / chunkBytes
-		e.counters.SubWrites++
-		// Payload crosses the network once per subrequest, then the
-		// cluster replicates it; the final ack is one hop back.
-		e.nf.SendUp(sz, func() {
-			e.be.cl.WriteFor(e.flow, chunk, sz, func() {
-				e.nf.Hop(func() {
-					rem--
-					if rem == 0 {
-						e.complete(r)
-					}
-				})
-			})
-		})
-		off += sz
-		left -= sz
+func (e *ESSD) getOp(r *blockdev.Request) *ioOp {
+	o := e.freeOps
+	if o != nil {
+		e.freeOps = o.nextFree
+		o.nextFree = nil
+	} else {
+		o = &ioOp{e: e}
+		o.onFE = o.feDone
+		o.onIOPS = o.iopsDone
+		o.onBytes = o.bytesDone
+		o.onTokens = o.tokensDone
+		o.onCredits = o.creditsDone
+		o.onSub = o.subDone
+		o.onHop = o.hopDone
+		o.onFinish = o.finish
 	}
+	o.r = r
+	return o
 }
 
-func (e *ESSD) submitRead(r *blockdev.Request) {
-	e.counters.Reads++
-	e.counters.ReadBytes += r.Size
-	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
+// release returns the op to the free list and fires the request's
+// completion last, so a completion that submits new I/O reuses this op.
+func (o *ioOp) release() {
+	e, r := o.e, o.r
+	o.r = nil
+	o.nextFree = e.freeOps
+	e.freeOps = o
+	e.complete(r)
+}
+
+func (o *ioOp) feDone() {
+	e, r := o.e, o.r
+	switch r.Op {
+	case blockdev.Write:
+		e.iopsTb.Take(e.iopsCost(r.Size), o.onIOPS)
+	case blockdev.Read:
 		// Reads of never-written ranges are served from volume metadata
 		// without touching the cluster data path.
 		if e.allWritten(r.Offset, r.Size) {
-			e.iopsTb.Take(e.iopsCost(r.Size), func() {
-				e.bytesTb.Take(float64(r.Size), func() {
-					e.spendCredits(r.Size, func() {
-						e.dispatchRead(r)
-					})
-				})
-			})
+			e.iopsTb.Take(e.iopsCost(r.Size), o.onIOPS)
 			return
 		}
 		e.counters.UnwrittenReads++
-		e.nf.Hop(func() { e.nf.Hop(func() { e.complete(r) }) })
-	})
+		e.nf.Hop(o.onHop)
+	case blockdev.Trim:
+		for b := r.Offset / e.cfg.BlockSize; b < (r.Offset+r.Size)/e.cfg.BlockSize; b++ {
+			e.written[b>>6] &^= 1 << uint(b&63)
+		}
+		e.nf.Hop(o.onHop)
+	case blockdev.Flush:
+		// Journal-acknowledged writes are already durable; a flush is one
+		// round trip.
+		e.nf.Hop(o.onHop)
+	}
 }
 
-func (e *ESSD) dispatchRead(r *blockdev.Request) {
+func (o *ioOp) iopsDone() {
+	o.e.bytesTb.Take(float64(o.r.Size), o.onBytes)
+}
+
+// bytesDone charges the engaged write clamp after the combined budget —
+// the second half of the old takeWriteTokens; reads and unengaged writes
+// fall straight through.
+func (o *ioOp) bytesDone() {
+	e := o.e
+	if o.r.Op == blockdev.Write && e.limiter.Engaged() {
+		e.writeClamp().Take(float64(o.r.Size), o.onTokens)
+		return
+	}
+	o.tokensDone()
+}
+
+func (o *ioOp) tokensDone() {
+	o.e.spendCredits(o.r.Size, o.onCredits)
+}
+
+// creditsDone fans the request out into chunk-boundary subrequests, each
+// carried by a pooled subOp. Payload writes cross the network once per
+// subrequest, then the cluster replicates them; reads send a command hop
+// up and stream the payload down.
+func (o *ioOp) creditsDone() {
+	e, r := o.e, o.r
 	chunkBytes := e.be.cfg.Cluster.ChunkBytes
-	rem := e.subCount(r.Offset, r.Size)
+	o.rem = e.subCount(r.Offset, r.Size)
 	off, left := r.Offset, r.Size
+	write := r.Op == blockdev.Write
 	for left > 0 {
 		sz := chunkBytes - off%chunkBytes
 		if sz > left {
 			sz = left
 		}
-		chunk := off / chunkBytes
-		e.counters.SubReads++
-		// Command hop up, cluster read, payload down.
-		e.nf.Hop(func() {
-			e.be.cl.ReadFor(e.flow, chunk, sz, func() {
-				e.nf.SendDown(sz, func() {
-					rem--
-					if rem == 0 {
-						e.complete(r)
-					}
-				})
-			})
-		})
+		s := e.getSub(o, off/chunkBytes, sz)
+		if write {
+			e.counters.SubWrites++
+			e.nf.SendUp(sz, s.onNet)
+		} else {
+			e.counters.SubReads++
+			e.nf.Hop(s.onNet)
+		}
 		off += sz
 		left -= sz
 	}
 }
 
-func (e *ESSD) submitTrim(r *blockdev.Request) {
-	e.counters.Trims++
-	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
-		for b := r.Offset / e.cfg.BlockSize; b < (r.Offset+r.Size)/e.cfg.BlockSize; b++ {
-			e.written[b>>6] &^= 1 << uint(b&63)
-		}
-		e.nf.Hop(func() { e.nf.Hop(func() { e.complete(r) }) })
-	})
+func (o *ioOp) subDone() {
+	o.rem--
+	if o.rem == 0 {
+		o.release()
+	}
 }
 
-func (e *ESSD) submitFlush(r *blockdev.Request) {
-	e.counters.Flushes++
-	// Journal-acknowledged writes are already durable; a flush is one
-	// round trip.
-	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), func() {
-		e.nf.Hop(func() { e.nf.Hop(func() { e.complete(r) }) })
-	})
+// hopDone/finish are the two control hops of the no-payload completions
+// (unwritten reads, trims, flushes).
+func (o *ioOp) hopDone() { o.e.nf.Hop(o.onFinish) }
+
+func (o *ioOp) finish() { o.release() }
+
+// subOp is one chunk subrequest of an ioOp: network leg, cluster
+// operation, and the return leg, after which the fan-in counter on the
+// parent op decides completion.
+type subOp struct {
+	o        *ioOp
+	chunk    int64
+	sz       int64
+	onNet    func()
+	onCl     func()
+	nextFree *subOp
+}
+
+func (e *ESSD) getSub(o *ioOp, chunk, sz int64) *subOp {
+	s := e.freeSubs
+	if s != nil {
+		e.freeSubs = s.nextFree
+		s.nextFree = nil
+	} else {
+		s = &subOp{}
+		s.onNet = s.netDone
+		s.onCl = s.clDone
+	}
+	s.o = o
+	s.chunk = chunk
+	s.sz = sz
+	return s
+}
+
+func (s *subOp) netDone() {
+	o := s.o
+	e := o.e
+	if o.r.Op == blockdev.Write {
+		e.be.cl.WriteFor(e.flow, s.chunk, s.sz, s.onCl)
+		return
+	}
+	e.be.cl.ReadFor(e.flow, s.chunk, s.sz, s.onCl)
+}
+
+// clDone releases the subOp before issuing the return leg — the remaining
+// state (the fan-in) lives on the parent op.
+func (s *subOp) clDone() {
+	o := s.o
+	e := o.e
+	sz := s.sz
+	s.o = nil
+	s.nextFree = e.freeSubs
+	e.freeSubs = s
+	if o.r.Op == blockdev.Write {
+		e.nf.Hop(o.onSub)
+		return
+	}
+	e.nf.SendDown(sz, o.onSub)
 }
 
 var _ blockdev.Device = (*ESSD)(nil)

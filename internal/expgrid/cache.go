@@ -11,6 +11,7 @@ import (
 
 	"essdsim/internal/trace"
 	"essdsim/internal/workload"
+	"essdsim/kv"
 )
 
 // Cache memoizes cell results across sweeps so repeated coordinates — an
@@ -69,6 +70,7 @@ type cacheRecord struct {
 	Open   *workload.OpenResult     `json:"open,omitempty"`
 	Replay *trace.ReplayResult      `json:"replay,omitempty"`
 	Mix    []*workload.TenantResult `json:"mix,omitempty"`
+	KV     []*kv.MixResult          `json:"kv,omitempty"`
 	Info   json.RawMessage          `json:"info,omitempty"`
 }
 
@@ -145,6 +147,7 @@ func (c *Cache) lookup(fingerprint uint64, cell Cell, inspect bool, decode func(
 		Open:   e.rec.Open,
 		Replay: e.rec.Replay,
 		Mix:    e.rec.Mix,
+		KV:     e.rec.KV,
 		Cached: true,
 	}
 	if inspect {
@@ -170,6 +173,7 @@ func (c *Cache) store(fingerprint uint64, res CellResult) {
 			Open:   res.Open,
 			Replay: res.Replay,
 			Mix:    res.Mix,
+			KV:     res.KV,
 		},
 		info: res.Info,
 	}

@@ -8,6 +8,7 @@ import (
 	"essdsim/internal/sim"
 	"essdsim/internal/trace"
 	"essdsim/internal/workload"
+	"essdsim/kv"
 )
 
 // Factory constructs a fresh device (with its own engine) for one
@@ -85,6 +86,14 @@ const (
 	// and tenant mix from those coordinates. Devices names backend
 	// variants (factories may be nil — the hook constructs everything).
 	TenantMix
+	// KVMix runs kv.RunMix: several key-value tenants (LSM or page-store
+	// engines on volumes of one shared backend) driven by open-loop
+	// zipfian point reads and writes inside one engine. The grid gains
+	// KVEngines, KVSkews, and KVValueSizes axes; the KV hook builds each
+	// cell's engine and tenant set from those coordinates. Devices names
+	// backend tiers (factories may be nil — the hook constructs
+	// everything).
+	KVMix
 )
 
 // String names the sweep kind.
@@ -98,6 +107,8 @@ func (k Kind) String() string {
 		return "trace"
 	case TenantMix:
 		return "tenants"
+	case KVMix:
+		return "kv"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -162,6 +173,26 @@ type Sweep struct {
 	// worker after the cell's mix drains, with every tenant's device
 	// still alive, and its return value is stored in CellResult.Info.
 	InspectMix func(tenants []workload.Tenant, c Cell) any
+
+	// KV-mix axes (Kind == KVMix): every engine design × key skew ×
+	// value size (× device tier) becomes a cell of concurrent KV tenants.
+	// Engine names are opaque to the grid — the KV hook interprets them —
+	// but skews must lie in [0, 1) and value sizes must be positive.
+	KVEngines    []string
+	KVSkews      []float64
+	KVValueSizes []int64
+
+	// KV builds a KVMix cell's engine and tenant set from the cell
+	// coordinates. Like the Tenants hook, its semantics are outside the
+	// cache key: it must be a pure function of the cell (seed included),
+	// and callers changing what it builds should change the sweep Label
+	// with it.
+	KV func(c Cell) (*sim.Engine, []kv.MixTenant)
+
+	// InspectKV is Inspect's KVMix counterpart: it runs on the worker
+	// after the cell's tenants drain, with every engine and device still
+	// alive, and its return value is stored in CellResult.Info.
+	InspectKV func(tenants []kv.MixTenant, c Cell) any
 
 	// CellDuration bounds each closed-loop cell's measurement window
 	// (default 500 ms); Warmup is excluded from statistics (default 50 ms;
@@ -292,9 +323,9 @@ func (s Sweep) Validate() error {
 		}
 	}
 	for _, d := range s.Devices {
-		// TenantMix cells are built entirely by the Tenants hook; their
-		// device axis only names backend variants.
-		if d.New == nil && s.Kind != TenantMix {
+		// TenantMix and KVMix cells are built entirely by their hooks;
+		// their device axis only names backend variants/tiers.
+		if d.New == nil && s.Kind != TenantMix && s.Kind != KVMix {
 			return fmt.Errorf("expgrid: device %q has a nil factory", d.Name)
 		}
 	}
@@ -343,6 +374,32 @@ func (s Sweep) Validate() error {
 				return fmt.Errorf("expgrid: tenant sweep rate %v not positive", r)
 			}
 		}
+	case KVMix:
+		switch {
+		case s.KV == nil:
+			return fmt.Errorf("expgrid: kv sweep has no KV hook")
+		case len(s.KVEngines) == 0:
+			return fmt.Errorf("expgrid: kv sweep has no engine axis")
+		case len(s.KVSkews) == 0:
+			return fmt.Errorf("expgrid: kv sweep has no skew axis")
+		case len(s.KVValueSizes) == 0:
+			return fmt.Errorf("expgrid: kv sweep has no value-size axis")
+		}
+		for _, e := range s.KVEngines {
+			if e == "" {
+				return fmt.Errorf("expgrid: kv sweep has an empty engine name")
+			}
+		}
+		for _, th := range s.KVSkews {
+			if th < 0 || th >= 1 {
+				return fmt.Errorf("expgrid: kv sweep skew %v outside [0, 1)", th)
+			}
+		}
+		for _, vs := range s.KVValueSizes {
+			if vs <= 0 {
+				return fmt.Errorf("expgrid: kv sweep value size %d not positive", vs)
+			}
+		}
 	default:
 		switch {
 		case len(s.Patterns) == 0:
@@ -386,14 +443,22 @@ type Cell struct {
 	// solo-victim control cells).
 	Aggressors int
 
+	// KVMix coordinates; zero for every other kind.
+	KVEngine  string  // storage-engine design ("lsm", "pagestore")
+	KVSkew    float64 // zipfian key skew theta in [0, 1)
+	ValueSize int64   // put value size in bytes
+
 	Seed uint64 // derived from the coordinates, independent of Index
 
 	tenantMix bool // distinguishes TenantMix cells in describe/run
+	kvMix     bool // distinguishes KVMix cells in describe/run
 }
 
 // describe renders the cell's coordinates for error messages.
 func (c Cell) describe() string {
 	switch {
+	case c.kvMix:
+		return fmt.Sprintf("%s kv %s skew=%g val=%d", c.DeviceName, c.KVEngine, c.KVSkew, c.ValueSize)
 	case c.tenantMix:
 		return fmt.Sprintf("%s tenants aggr=%d @%.0f/s wr=%d", c.DeviceName, c.Aggressors, c.RatePerSec, c.WriteRatioPct)
 	case c.RatePerSec > 0:
@@ -416,6 +481,7 @@ type CellResult struct {
 	Open   *workload.OpenResult
 	Replay *trace.ReplayResult
 	Mix    []*workload.TenantResult // TenantMix cells: per-tenant results
+	KV     []*kv.MixResult          // KVMix cells: per-tenant results
 	Info   any                      // Sweep.Inspect's capture of post-run device state, or nil
 	Cached bool                     // served from Sweep.Cache instead of a fresh simulation
 	Err    error
@@ -435,6 +501,8 @@ func (s Sweep) Cells() []Cell {
 		return s.traceCells()
 	case TenantMix:
 		return s.tenantCells()
+	case KVMix:
+		return s.kvCells()
 	default:
 		return s.closedCells()
 	}
@@ -523,6 +591,34 @@ func (s Sweep) tenantCells() []Cell {
 						Aggressors:    n,
 						Seed:          MixCellSeed(s.Seed, s.Label, d.Name, n, rate, wr),
 						tenantMix:     true,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// kvCells enumerates devices (backend tiers) × engine designs × key skews
+// × value sizes. Per-tenant shape (tenant count, rate, ops, read
+// fraction) is the KV hook's choice, not a coordinate — fold it into the
+// sweep Label, the same contract as the Tenants hook.
+func (s Sweep) kvCells() []Cell {
+	cells := make([]Cell, 0, len(s.Devices)*len(s.KVEngines)*len(s.KVSkews)*len(s.KVValueSizes))
+	for di, d := range s.Devices {
+		for _, e := range s.KVEngines {
+			for _, th := range s.KVSkews {
+				for _, vs := range s.KVValueSizes {
+					cells = append(cells, Cell{
+						Index:         len(cells),
+						DeviceIndex:   di,
+						DeviceName:    d.Name,
+						WriteRatioPct: -1,
+						KVEngine:      e,
+						KVSkew:        th,
+						ValueSize:     vs,
+						Seed:          KVCellSeed(s.Seed, s.Label, d.Name, e, th, vs),
+						kvMix:         true,
 					})
 				}
 			}
@@ -637,6 +733,22 @@ func MixCellSeed(root uint64, label, device string, aggressors int, ratePerSec f
 	return h.finish()
 }
 
+// KVCellSeed derives a KV-mix cell's seed from its coordinates: the
+// backend tier name, engine design, key skew, and value size. A
+// distinguishing tag keeps KV cells decorrelated from the other kinds'
+// cells sharing a device name.
+func KVCellSeed(root uint64, label, device, engine string, skew float64, valueSize int64) uint64 {
+	h := newCoordHash()
+	h.word(root)
+	h.str(label)
+	h.str(device)
+	h.str("kv")
+	h.str(engine)
+	h.word(math.Float64bits(skew))
+	h.word(uint64(valueSize))
+	return h.finish()
+}
+
 // TraceCellSeed derives a trace-replay cell's seed. The trace itself is
 // deterministic, so only the device identity needs decorrelating.
 func TraceCellSeed(root uint64, label, device string) uint64 {
@@ -653,7 +765,7 @@ func TraceCellSeed(root uint64, label, device string) uint64 {
 // into CellResult.Err so one bad cell fails the sweep cleanly instead of
 // killing the worker pool.
 func (s Sweep) run(c Cell) (out CellResult) {
-	needInfo := s.Inspect != nil || s.InspectMix != nil
+	needInfo := s.Inspect != nil || s.InspectMix != nil || s.InspectKV != nil
 	if s.Cache != nil {
 		if res, ok := s.Cache.lookup(s.fingerprint, c, needInfo, s.DecodeInfo); ok {
 			return res
@@ -663,12 +775,36 @@ func (s Sweep) run(c Cell) (out CellResult) {
 	defer func() {
 		if p := recover(); p != nil {
 			out.Err = fmt.Errorf("expgrid: cell %d (%s): %v", c.Index, c.describe(), p)
-			out.Res, out.Open, out.Replay, out.Mix = nil, nil, nil, nil
+			out.Res, out.Open, out.Replay, out.Mix, out.KV = nil, nil, nil, nil, nil
 		}
 		if s.Cache != nil && out.Err == nil {
 			s.Cache.store(s.fingerprint, out)
 		}
 	}()
+	if s.Kind == KVMix {
+		// KV cells own their whole setup: the hook builds the engine,
+		// backend, volumes, storage engines, and preconditioning from the
+		// coordinates.
+		eng, tenants := s.KV(c)
+		out.Device = c.DeviceName
+		out.KV = kv.RunMix(eng, tenants)
+		if s.InspectKV != nil {
+			out.Info = s.InspectKV(tenants, c)
+		}
+		// Hand pooled structures back for the next cell: each storage
+		// engine first (it still references its device), then the device,
+		// then the shared simulation engine. Deliberately skipped on the
+		// panic path so a half-built cell can never poison the pools.
+		for _, t := range tenants {
+			dev := t.Engine.Device()
+			if r, ok := t.Engine.(interface{ Release() }); ok {
+				r.Release()
+			}
+			releaseDevice(dev)
+		}
+		sim.ReleaseEngine(eng)
+		return out
+	}
 	if s.Kind == TenantMix {
 		// Tenant cells own their whole setup: the hook builds the engine,
 		// backend(s), volumes, and preconditioning from the coordinates.

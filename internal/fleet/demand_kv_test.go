@@ -1,0 +1,55 @@
+package fleet
+
+import (
+	"testing"
+
+	"essdsim/internal/workload"
+	"essdsim/kv"
+)
+
+// TestDemandFromKV checks the KV-profile bridge: the engine's
+// device-level shape becomes the placeable demand, sizes round up to
+// whole blocks, and a tenant with no measured device I/O is rejected.
+func TestDemandFromKV(t *testing.T) {
+	p := kv.MixProfile{Name: "kv0", RatePerSec: 850, MeanSize: 5000, WriteRatioPct: 73}
+	d, err := DemandFromKV("kv0", p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "kv0" || d.RatePerSec != 850 || d.WriteRatioPct != 73 {
+		t.Fatalf("demand %+v does not carry the profile shape", d)
+	}
+	if d.BlockSize != 8192 {
+		t.Fatalf("mean size 5000 rounded to %d, want 8192 (two 4096 blocks)", d.BlockSize)
+	}
+	if d.Arrival != workload.Poisson {
+		t.Fatalf("arrival %v, want Poisson", d.Arrival)
+	}
+
+	// A zero mean size still yields one whole block.
+	d, err = DemandFromKV("tiny", kv.MixProfile{RatePerSec: 10}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BlockSize != 4096 {
+		t.Fatalf("zero mean size became block size %d", d.BlockSize)
+	}
+
+	// No device I/O means no placeable rate.
+	if _, err := DemandFromKV("idle", kv.MixProfile{}, 4096); err == nil {
+		t.Fatal("idle profile accepted")
+	}
+}
+
+// TestDemandFromKVPlaces checks a KV-derived demand flows through a
+// placement policy like any synthetic demand.
+func TestDemandFromKVPlaces(t *testing.T) {
+	d, err := DemandFromKV("kv0", kv.MixProfile{RatePerSec: 500, MeanSize: 64 << 10, WriteRatioPct: 80}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := FirstFit{}.Place(Constraints{Backends: 2, BackendBps: 1e9}, []Demand{d})
+	if len(pl) != 1 || pl[0] < 0 || pl[0] >= 2 {
+		t.Fatalf("kv demand placement %v", pl)
+	}
+}

@@ -38,6 +38,44 @@ type Network struct {
 	up    *sim.Pipe
 	down  *sim.Pipe
 	flows int
+
+	freeXfers *xfer // intrusive free list of pooled transfer jobs
+}
+
+// xfer is one payload transfer in flight: the hop latency sampled at
+// submission plus the caller's completion, carried through the pipe by a
+// continuation bound once at construction — the steady-state send path
+// allocates nothing.
+type xfer struct {
+	n        *Network
+	lat      sim.Duration
+	done     func()
+	onDrain  func()
+	nextFree *xfer
+}
+
+func (n *Network) getXfer(lat sim.Duration, done func()) *xfer {
+	x := n.freeXfers
+	if x != nil {
+		n.freeXfers = x.nextFree
+		x.nextFree = nil
+	} else {
+		x = &xfer{n: n}
+		x.onDrain = x.drain
+	}
+	x.lat = lat
+	x.done = done
+	return x
+}
+
+// drain runs when the last byte leaves the pipe: the payload then pays the
+// sampled hop latency before the caller's completion fires.
+func (x *xfer) drain() {
+	n, lat, done := x.n, x.lat, x.done
+	x.done = nil
+	x.nextFree = n.freeXfers
+	n.freeXfers = x
+	n.eng.Schedule(lat, done)
 }
 
 // New builds a network path on the engine.
@@ -74,10 +112,8 @@ func (n *Network) SendUp(bytes int64, done func()) {
 }
 
 func (n *Network) sendUp(flow int, bytes int64, done func()) {
-	lat := n.cfg.HopLatency.Sample(n.rng)
-	n.up.TransferFlow(flow, bytes, func() {
-		n.eng.Schedule(lat, done)
-	})
+	x := n.getXfer(n.cfg.HopLatency.Sample(n.rng), done)
+	n.up.TransferFlow(flow, bytes, x.onDrain)
 }
 
 // SendDown transfers n payload bytes toward the client.
@@ -86,10 +122,8 @@ func (n *Network) SendDown(bytes int64, done func()) {
 }
 
 func (n *Network) sendDown(flow int, bytes int64, done func()) {
-	lat := n.cfg.HopLatency.Sample(n.rng)
-	n.down.TransferFlow(flow, bytes, func() {
-		n.eng.Schedule(lat, done)
-	})
+	x := n.getXfer(n.cfg.HopLatency.Sample(n.rng), done)
+	n.down.TransferFlow(flow, bytes, x.onDrain)
 }
 
 // HopSample draws one hop latency without moving payload — used for

@@ -171,6 +171,61 @@ func WriteIsolationCSV(w io.Writer, r *IsolationReport) error {
 	return IsolationComparisonTable(r).WriteCSV(w)
 }
 
+// KVCellsTable renders the KV tenant-mix suite as one row per cell:
+// coordinates (tier, engine design, key skew, value size), the aggregate
+// op rate and latency tail, and the engine-level amplification, cache,
+// and shared-debt columns. Schema documented in docs/formats.md.
+func KVCellsTable(r *KVMixReport) *results.Table {
+	t := results.NewTable("kv_cells",
+		"tier", "engine", "skew", "value_size", "tenants", "ops_per_tenant",
+		"rate_per_s", "read_frac_pct",
+		"ops", "puts", "gets", "elapsed_s", "ops_per_sec",
+		"lat_mean_ms", "lat_p50_ms", "lat_p99_ms", "lat_p999_ms", "lat_max_ms",
+		"max_outstanding",
+		"read_amp", "write_amp", "cache_hit_pct",
+		"stalls", "flushes", "compactions",
+		"shared_debt_bytes", "throttled_tenants", "cached",
+	)
+	for _, c := range r.Cells {
+		t.AddRow(
+			c.Tier,
+			c.Engine,
+			results.Float(c.Skew),
+			results.Int(c.ValueSize),
+			results.Int(int64(r.Tenants)),
+			results.Uint(r.OpsPerTenant),
+			results.Float(r.RatePerSec),
+			results.Int(int64(r.ReadFracPct)),
+			results.Uint(c.Ops),
+			results.Uint(c.Puts),
+			results.Uint(c.Gets),
+			results.Seconds(c.Elapsed),
+			results.Float(c.OpsPerSec),
+			results.Millis(c.Lat.Mean),
+			results.Millis(c.Lat.P50),
+			results.Millis(c.Lat.P99),
+			results.Millis(c.Lat.P999),
+			results.Millis(c.Lat.Max),
+			results.Int(int64(c.MaxOutstanding)),
+			results.Float(c.ReadAmp),
+			results.Float(c.WriteAmp),
+			results.Float(c.CacheHitPct),
+			results.Uint(c.Stalls),
+			results.Uint(c.Flushes),
+			results.Uint(c.Compactions),
+			results.Int(c.SharedDebt),
+			results.Int(int64(c.Throttled)),
+			results.Bool(c.Cached),
+		)
+	}
+	return t
+}
+
+// WriteKVCSV dumps the per-cell KV tenant-mix table as CSV.
+func WriteKVCSV(w io.Writer, r *KVMixReport) error {
+	return KVCellsTable(r).WriteCSV(w)
+}
+
 // WriteBurstCSV dumps the per-cell table as CSV.
 func WriteBurstCSV(w io.Writer, r *BurstReport) error {
 	return BurstCellsTable(r).WriteCSV(w)

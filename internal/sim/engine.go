@@ -63,15 +63,22 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among same-time events
-	fn  func() // nil advances the clock without doing work
-	// cfn+arg is the allocation-free alternative to fn: a long-lived bound
-	// method plus a per-event argument. Function values and pointers are
-	// stored in an interface word directly, so hot paths that complete with
-	// a caller-supplied callback (e.g. Server visits) can schedule without
-	// materializing a closure per event. When cfn is set, fn is ignored.
+	// cfn+arg is the one callback representation: a long-lived bound method
+	// plus a per-event argument. Function values and pointers are stored in
+	// an interface word directly, so hot paths that complete with a
+	// caller-supplied callback (e.g. Server visits) can schedule without
+	// materializing a closure per event; plain func() callbacks ride the
+	// same two fields via callClosure. A nil cfn advances the clock without
+	// doing work. Keeping the struct to one func field + one interface
+	// makes heap sifts move 40 bytes instead of 48 and drop a pointer word
+	// from every write barrier — measurable at millions of events/s.
 	cfn func(any)
 	arg any
 }
+
+// callClosure invokes a plain func() callback stored in an event's arg
+// word. Func values are pointer-shaped, so the any-boxing is free.
+func callClosure(a any) { a.(func())() }
 
 // less orders events by (time, sequence): a strict total order, so any
 // heap arity yields the identical pop order.
@@ -151,15 +158,20 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 // At runs fn at absolute simulated time t. Times in the past are clamped to
 // the current time. A nil fn advances the clock without doing work.
 func (e *Engine) At(t Time, fn func()) {
+	var cfn func(any)
+	var arg any
+	if fn != nil {
+		cfn, arg = callClosure, fn
+	}
 	if t <= e.now {
 		// Current-time events go straight to the ready ring: appended in
 		// increasing sequence order, so FIFO order is execution order.
 		e.seq++
-		e.ready = append(e.ready, event{at: e.now, seq: e.seq, fn: fn})
+		e.ready = append(e.ready, event{at: e.now, seq: e.seq, cfn: cfn, arg: arg})
 		return
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, cfn: cfn, arg: arg})
 }
 
 // ScheduleCall runs fn(arg) after delay d. It is Schedule for callers that
@@ -210,24 +222,28 @@ func (e *Engine) pop() event {
 	e.heap = h
 	if n > 0 {
 		// Sift last down from the root, choosing the least of up to four
-		// children at each level.
+		// children at each level. The (at, seq) keys of the running minimum
+		// ride in locals so each comparison loads one candidate key instead
+		// of re-reading two events from the slice.
 		i := 0
+		lat, lseq := last.at, last.seq
 		for {
 			c := i*4 + 1
 			if c >= n {
 				break
 			}
 			m := c
+			mat, mseq := h[c].at, h[c].seq
 			end := c + 4
 			if end > n {
 				end = n
 			}
 			for j := c + 1; j < end; j++ {
-				if h[j].less(h[m]) {
-					m = j
+				if jat, jseq := h[j].at, h[j].seq; jat < mat || (jat == mat && jseq < mseq) {
+					m, mat, mseq = j, jat, jseq
 				}
 			}
-			if !h[m].less(last) {
+			if mat > lat || (mat == lat && mseq > lseq) {
 				break
 			}
 			h[i] = h[m]
@@ -276,11 +292,8 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.nsteps++
-	switch {
-	case ev.cfn != nil:
+	if ev.cfn != nil {
 		ev.cfn(ev.arg)
-	case ev.fn != nil:
-		ev.fn()
 	}
 	return true
 }

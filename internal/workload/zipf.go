@@ -15,7 +15,9 @@ type Zipf struct {
 	n     int64
 	theta float64
 	// Precomputed constants of the standard YCSB/Gray zipfian generator.
-	alpha, zetan, eta float64
+	// half is 1+0.5^theta, the rank-1 threshold — hoisted out of nextRank
+	// so a draw costs a single math.Pow instead of two.
+	alpha, zetan, eta, half float64
 }
 
 // NewZipf builds a generator over n items with skew theta in [0, 1).
@@ -34,6 +36,7 @@ func NewZipf(n int64, theta float64) *Zipf {
 	z.zetan = zeta(n, theta)
 	z.alpha = 1 / (1 - theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.half = 1 + math.Pow(0.5, theta)
 	return z
 }
 
@@ -76,7 +79,7 @@ func (z *Zipf) nextRank(rng *sim.RNG) int64 {
 	if uz < 1 {
 		return 0
 	}
-	if uz < 1+math.Pow(0.5, z.theta) {
+	if uz < z.half {
 		return 1
 	}
 	r := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))

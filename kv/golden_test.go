@@ -1,0 +1,97 @@
+package kv
+
+import "testing"
+
+// TestIngestGoldens pins the full IngestResult of four fixed-seed ingest
+// runs — virtual elapsed time and every Stats counter — against values
+// captured before the allocation-free hot-path rework. Any change to put
+// admission order, flush/compaction scheduling, stream offset allocation,
+// or key drawing shows up here as a byte-level diff. The perf work must
+// keep these byte-identical.
+func TestIngestGoldens(t *testing.T) {
+	type golden struct {
+		engine      string
+		puts        uint64
+		valueSize   int64
+		concurrency int
+		keySpace    uint64
+		seed        uint64
+
+		elapsedNs int64
+		stats     Stats
+	}
+	goldens := []golden{
+		{
+			engine: "lsm", puts: 800, valueSize: 1024, concurrency: 8,
+			keySpace: 1 << 14, seed: 42,
+			elapsedNs: 8837621,
+			stats: Stats{
+				Puts: 800, UserBytes: 819200,
+				DeviceWrites: 20, DeviceWriteBytes: 2392064,
+				DeviceReads: 7, DeviceReadBytes: 1572864,
+				Flushes: 13, Compactions: 4, Stalls: 17,
+			},
+		},
+		{
+			engine: "pagestore", puts: 800, valueSize: 1024, concurrency: 8,
+			keySpace: 1 << 14, seed: 42,
+			elapsedNs: 26374294,
+			stats: Stats{
+				Puts: 800, UserBytes: 819200,
+				DeviceWrites: 800, DeviceWriteBytes: 3276800,
+				DeviceReads: 782, DeviceReadBytes: 3203072,
+			},
+		},
+		{
+			engine: "lsm", puts: 5000, valueSize: 512, concurrency: 16,
+			keySpace: 1 << 16, seed: 7,
+			elapsedNs: 32028694,
+			stats: Stats{
+				Puts: 5000, UserBytes: 2560000,
+				DeviceWrites: 72, DeviceWriteBytes: 10227712,
+				DeviceReads: 32, DeviceReadBytes: 7667712,
+				Flushes: 40, Compactions: 10, Stalls: 51,
+			},
+		},
+		{
+			engine: "pagestore", puts: 2000, valueSize: 512, concurrency: 16,
+			keySpace: 1 << 16, seed: 7,
+			elapsedNs: 35118420,
+			stats: Stats{
+				Puts: 2000, UserBytes: 1024000,
+				DeviceWrites: 2000, DeviceWriteBytes: 8192000,
+				DeviceReads: 1972, DeviceReadBytes: 8077312,
+			},
+		},
+	}
+	for _, g := range goldens {
+		g := g
+		t.Run(g.engine, func(t *testing.T) {
+			eng, dev := newDev(t, "essd2")
+			var e Engine
+			switch g.engine {
+			case "lsm":
+				cfg := DefaultLSMConfig()
+				cfg.MemtableBytes = 64 << 10
+				cfg.L0CompactTrigger = 2
+				e = NewLSM(dev, cfg)
+			case "pagestore":
+				e = NewPageStore(dev, DefaultPageStoreConfig(dev))
+			}
+			res := Ingest(eng, e, g.puts, g.valueSize, g.concurrency, g.keySpace, g.seed)
+			if int64(res.Elapsed) != g.elapsedNs {
+				t.Errorf("elapsed %d ns, golden %d ns", int64(res.Elapsed), g.elapsedNs)
+			}
+			if res.Stats != g.stats {
+				t.Errorf("stats drifted:\n got  %+v\n want %+v", res.Stats, g.stats)
+			}
+			if res.Device != dev.Name() {
+				t.Errorf("result device %q, want %q", res.Device, dev.Name())
+			}
+			if res.Engine != g.engine || res.Puts != g.puts ||
+				res.UserBytes != int64(g.puts)*g.valueSize {
+				t.Errorf("result header drifted: %+v", res)
+			}
+		})
+	}
+}

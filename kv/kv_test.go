@@ -4,17 +4,40 @@ import (
 	"testing"
 	"testing/quick"
 
-	"essdsim"
+	"essdsim/internal/blockdev"
+	"essdsim/internal/profiles"
+	"essdsim/internal/sim"
 )
 
-func newDev(t *testing.T, name string) (*essdsim.Engine, essdsim.Device) {
+// newNamedDev builds a profile device exactly the way the root package's
+// essdsim.NewDevice does (same RNG derivation), so fixed-seed results here
+// match runs driven through the public API. kv's tests cannot import the
+// root package: expgrid (which the root package wraps) imports kv, and an
+// in-package test importing essdsim would close that cycle.
+func newNamedDev(name string, seed uint64) (*sim.Engine, blockdev.Device, error) {
+	eng := sim.NewEngine()
+	dev, err := profiles.ByName(name, eng, sim.NewRNG(seed, seed^0x4))
+	return eng, dev, err
+}
+
+// preconditionForWrites half-fills the device — the same GC-free write
+// window expgrid.Precondition(dev, forWrites=true) sets up.
+func preconditionForWrites(dev blockdev.Device) {
+	switch d := dev.(type) {
+	case interface{ Precondition(float64) }:
+		d.Precondition(0.5)
+	case interface{ Precondition(float64, bool) }:
+		d.Precondition(0.5, false)
+	}
+}
+
+func newDev(t *testing.T, name string) (*sim.Engine, blockdev.Device) {
 	t.Helper()
-	eng := essdsim.NewEngine()
-	dev, err := essdsim.NewDevice(name, eng, 77)
+	eng, dev, err := newNamedDev(name, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
-	essdsim.Precondition(dev, true)
+	preconditionForWrites(dev)
 	return eng, dev
 }
 
@@ -249,8 +272,7 @@ func TestIngestConservation(t *testing.T) {
 // ring extents — always block-aligned and in range — and every put acks.
 func TestLSMPutsAlwaysAckProperty(t *testing.T) {
 	f := func(sizes []uint16, seed uint64) bool {
-		eng := essdsim.NewEngine()
-		dev, err := essdsim.NewDevice("essd2", eng, seed)
+		eng, dev, err := newNamedDev("essd2", seed)
 		if err != nil {
 			return false
 		}

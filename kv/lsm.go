@@ -2,8 +2,10 @@ package kv
 
 import (
 	"fmt"
+	"sync"
 
-	"essdsim"
+	"essdsim/internal/blockdev"
+	"essdsim/internal/sim"
 )
 
 // LSMConfig parameterizes the log-structured merge engine.
@@ -47,48 +49,89 @@ type level struct {
 	bytes  int64
 }
 
+// waiter is one put stalled on a full memtable chain, admitted FIFO when
+// the flush catches up.
+type waiter struct {
+	size int64
+	done func()
+}
+
 // LSM is a simplified leveled LSM write path: puts buffer in a memtable,
 // memtables flush to L0 as sequential segment writes, and level overflow
 // triggers compactions that read and rewrite sequential streams. All
 // device traffic is sequential and large — the conversion of random
 // writes into sequential writes that Implication #3 re-evaluates.
+//
+// The hot path is allocation-free: flush/compaction streams, their device
+// requests, and get probes all come from intrusive per-engine free lists,
+// and completions dispatch through bound methods rather than closures.
 type LSM struct {
-	dev    essdsim.Device
+	dev    blockdev.Device
 	cfg    LSMConfig
-	ring   *ringAllocator
+	ring   ringAllocator
 	levels []level
 
-	memUsed    int64
-	flushBusy  bool
-	compBusy   bool
-	inflight   int
-	waiters    []func() // puts blocked on a full memtable chain
-	barriers   []func()
-	stats      Stats
-	pendingOps []pendingIO
+	memUsed   int64
+	flushBusy bool
+	compBusy  bool
+	inflight  int
+	waiters   []waiter // puts blocked on a full memtable chain
+	barriers  []func()
+	stats     Stats
+
+	batchDepth  int // open BeginBatch brackets
+	batchAdmits int // admissions whose flush check was deferred
+
+	freeStreams *lsmStream
+	freeReqs    *lsmReq
+	freeGets    *lsmGet
 }
 
-type pendingIO struct {
-	write bool
-	off   int64
-	size  int64
-}
+// lsmPool recycles whole engines across sweep cells: a pooled LSM keeps
+// its level slice, waiter backing array, and every free list (whose
+// entries point back at this same struct, so no rebinding is needed).
+var lsmPool = sync.Pool{New: func() any { return new(LSM) }}
 
-// NewLSM builds the engine over the device. It panics on invalid
+// NewLSM builds the engine over the device, reusing a pooled engine's
+// internal structures when one is available. It panics on invalid
 // configuration (programming error).
-func NewLSM(dev essdsim.Device, cfg LSMConfig) *LSM {
+func NewLSM(dev blockdev.Device, cfg LSMConfig) *LSM {
 	bs := int64(dev.BlockSize())
 	if cfg.MemtableBytes <= 0 || cfg.SegmentIOBytes <= 0 ||
 		cfg.SegmentIOBytes%bs != 0 || cfg.LevelFanout < 2 ||
 		cfg.L0CompactTrigger < 1 || cfg.MaxLevels < 1 || cfg.QueueDepth < 1 {
 		panic(fmt.Sprintf("kv: bad LSM config %+v", cfg))
 	}
-	return &LSM{
-		dev:    dev,
-		cfg:    cfg,
-		ring:   newRing(0, dev.Capacity(), bs),
-		levels: make([]level, cfg.MaxLevels),
+	l := lsmPool.Get().(*LSM)
+	l.dev = dev
+	l.cfg = cfg
+	l.ring = ringAllocator{base: 0, size: dev.Capacity(), bs: bs}
+	if cap(l.levels) >= cfg.MaxLevels {
+		l.levels = l.levels[:cfg.MaxLevels]
+		for i := range l.levels {
+			l.levels[i] = level{}
+		}
+	} else {
+		l.levels = make([]level, cfg.MaxLevels)
 	}
+	l.memUsed = 0
+	l.flushBusy = false
+	l.compBusy = false
+	l.inflight = 0
+	l.waiters = l.waiters[:0]
+	l.barriers = l.barriers[:0]
+	l.stats = Stats{}
+	l.batchDepth = 0
+	l.batchAdmits = 0
+	return l
+}
+
+// Release returns the engine (and its free-listed streams, requests, and
+// probe state) to the package pool for reuse by a later cell. The engine
+// must be idle and must not be used afterwards.
+func (l *LSM) Release() {
+	l.dev = nil
+	lsmPool.Put(l)
 }
 
 // Name implements Engine.
@@ -96,6 +139,9 @@ func (l *LSM) Name() string { return "lsm" }
 
 // Stats implements Engine.
 func (l *LSM) Stats() Stats { return l.stats }
+
+// Device implements Engine.
+func (l *LSM) Device() blockdev.Device { return l.dev }
 
 // LevelBytes returns the accumulated bytes of each level, for tests.
 func (l *LSM) LevelBytes() []int64 {
@@ -116,22 +162,99 @@ func (l *LSM) Put(key uint64, valueSize int64, done func()) {
 	_ = key // placement is size-driven; keys are opaque
 	l.stats.Puts++
 	l.stats.UserBytes += valueSize
-	admit := func() {
-		l.memUsed += valueSize
-		done()
-		if l.memUsed >= l.cfg.MemtableBytes {
-			l.maybeFlush()
-		}
-	}
 	if l.memUsed >= 2*l.cfg.MemtableBytes {
 		// Memtable and its immutable predecessor are both full: stall the
 		// put until flushing catches up (write stalls, as in RocksDB).
 		l.stats.Stalls++
-		l.waiters = append(l.waiters, admit)
+		l.waiters = append(l.waiters, waiter{size: valueSize, done: done})
 		l.maybeFlush()
 		return
 	}
-	admit()
+	l.admit(valueSize, done)
+}
+
+// admit accepts one put into the memtable and acknowledges it. Inside a
+// batch the flush-threshold check is deferred to EndBatch: the recursive
+// pump this replaces ran each admission's check only after every
+// subsequently issued put, so by the time any check ran, issuing had
+// stopped and at most the first could start a flush — one check against
+// the final memtable size is equivalent.
+func (l *LSM) admit(valueSize int64, done func()) {
+	l.memUsed += valueSize
+	done()
+	if l.batchDepth > 0 {
+		l.batchAdmits++
+		return
+	}
+	if l.memUsed >= l.cfg.MemtableBytes {
+		l.maybeFlush()
+	}
+}
+
+// BeginBatch implements Engine.
+func (l *LSM) BeginBatch() { l.batchDepth++ }
+
+// EndBatch implements Engine.
+func (l *LSM) EndBatch() {
+	l.batchDepth--
+	if l.batchDepth == 0 && l.batchAdmits > 0 {
+		l.batchAdmits = 0
+		if l.memUsed >= l.cfg.MemtableBytes {
+			l.maybeFlush()
+		}
+	}
+}
+
+// Get implements Engine. The simulator models lookup cost, not contents:
+// the key hashes to a residence — the memtable with probability
+// proportional to its share of stored bytes (a recency proxy), otherwise
+// a level chosen weighted by level size. A memtable hit answers in
+// memory; a miss probes every L0 table and one fence-guided read per
+// deeper non-empty level down to the resident one, as a dependent chain
+// of block-sized reads — the read amplification leveled designs pay.
+func (l *LSM) Get(key uint64, done func()) {
+	l.stats.Gets++
+	h := key * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	total := l.memUsed
+	for _, lv := range l.levels {
+		total += lv.bytes
+	}
+	if total == 0 || int64(h%uint64(total)) < l.memUsed {
+		l.stats.CacheHits++
+		done()
+		return
+	}
+	l.stats.CacheMisses++
+	// Pick the resident level, weighted by level bytes.
+	h2 := (h ^ 0xd1b54a32d192ed03) * 0x9e3779b97f4a7c15
+	h2 ^= h2 >> 29
+	r := int64(h2 % uint64(total-l.memUsed))
+	resident := len(l.levels) - 1
+	acc := int64(0)
+	for i := range l.levels {
+		acc += l.levels[i].bytes
+		if r < acc {
+			resident = i
+			break
+		}
+	}
+	probes := 0
+	for i := 0; i <= resident; i++ {
+		if i == 0 {
+			probes += l.levels[0].tables
+		} else if l.levels[i].bytes > 0 {
+			probes++
+		}
+	}
+	if probes == 0 {
+		probes = 1
+	}
+	g := l.getGet()
+	g.done = done
+	g.h = h2
+	g.left = probes
+	g.issue()
 }
 
 // Barrier implements Engine.
@@ -147,18 +270,20 @@ func (l *LSM) Barrier(done func()) {
 }
 
 func (l *LSM) idle() bool {
-	return !l.flushBusy && !l.compBusy && l.inflight == 0 &&
-		len(l.pendingOps) == 0 && l.memUsed == 0
+	return !l.flushBusy && !l.compBusy && l.inflight == 0 && l.memUsed == 0
 }
 
 func (l *LSM) checkBarriers() {
-	if !l.idle() {
+	if !l.idle() || len(l.barriers) == 0 {
 		return
 	}
 	bs := l.barriers
 	l.barriers = nil
 	for _, b := range bs {
 		b()
+	}
+	if l.barriers == nil {
+		l.barriers = bs[:0] // reuse the drained backing array
 	}
 }
 
@@ -175,25 +300,16 @@ func (l *LSM) maybeFlush() {
 	}
 	l.memUsed -= bytes
 	table := align(bytes, int64(l.dev.BlockSize()))
-	l.enqueueStream(true, table, func() {
-		l.flushBusy = false
-		l.levels[0].tables++
-		l.levels[0].bytes += table
-		l.admitWaiters()
-		l.maybeCompact()
-		if l.memUsed >= l.cfg.MemtableBytes || (l.memUsed > 0 && len(l.barriers) > 0) {
-			l.maybeFlush()
-		}
-		l.checkBarriers()
-	})
+	l.startStream(true, table, streamFlush, 0, 0, table)
 }
 
 func (l *LSM) admitWaiters() {
 	for len(l.waiters) > 0 && l.memUsed < 2*l.cfg.MemtableBytes {
 		w := l.waiters[0]
 		copy(l.waiters, l.waiters[1:])
+		l.waiters[len(l.waiters)-1] = waiter{}
 		l.waiters = l.waiters[:len(l.waiters)-1]
-		w()
+		l.admit(w.size, w.done)
 	}
 }
 
@@ -240,79 +356,246 @@ func (l *LSM) maybeCompact() {
 	moved = align(moved, bs)
 	overlap := align(int64(l.cfg.OverlapFrac*float64(moved)), bs)
 	l.levels[src].bytes -= moved
-	readBytes := moved + overlap
-	writeBytes := moved + overlap
-	l.enqueueStream(false, readBytes, func() {
-		l.enqueueStream(true, writeBytes, func() {
-			l.compBusy = false
-			dst := src + 1
-			l.levels[dst].bytes += moved
-			l.levels[dst].tables++
-			l.maybeCompact()
-			l.checkBarriers()
-		})
-	})
+	l.startStream(false, moved+overlap, streamCompactRead, src, moved, 0)
 }
 
-// enqueueStream issues a sequential run of segment-sized I/Os through the
-// ring allocator at the engine's queue depth, calling done when the run
-// completes.
-func (l *LSM) enqueueStream(write bool, total int64, done func()) {
-	if total <= 0 {
-		done()
+// Stream purposes: what to do when the last segment of a stream lands.
+const (
+	streamFlush uint8 = iota
+	streamCompactRead
+	streamCompactWrite
+)
+
+// lsmStream is one sequential flush/compaction run of segment-sized I/Os.
+// Offsets for the whole run are allocated from the ring up front — before
+// any I/O issues — so concurrent flush and compaction streams claim
+// disjoint extents in a deterministic order. The offs/sizes backing
+// arrays and the stream struct itself are reused via the engine's free
+// list.
+type lsmStream struct {
+	l        *LSM
+	write    bool
+	purpose  uint8
+	offs     []int64
+	sizes    []int64
+	next     int
+	inflight int
+	finished bool
+
+	src        int   // compaction source level
+	moved      int64 // compaction bytes moved to src+1
+	table      int64 // flush table size
+	writeBytes int64 // compaction write-back size (read stream only)
+
+	nextFree *lsmStream
+}
+
+func (l *LSM) getStream() *lsmStream {
+	s := l.freeStreams
+	if s != nil {
+		l.freeStreams = s.nextFree
+		s.nextFree = nil
+		return s
+	}
+	return &lsmStream{l: l}
+}
+
+func (l *LSM) releaseStream(s *lsmStream) {
+	s.offs = s.offs[:0]
+	s.sizes = s.sizes[:0]
+	s.next = 0
+	s.inflight = 0
+	s.finished = false
+	s.src = 0
+	s.moved = 0
+	s.table = 0
+	s.writeBytes = 0
+	s.nextFree = l.freeStreams
+	l.freeStreams = s
+}
+
+// startStream carves total bytes into segment extents (all allocated
+// before the first submit) and pumps them at the engine's queue depth.
+func (l *LSM) startStream(write bool, total int64, purpose uint8, src int, moved, table int64) {
+	s := l.getStream()
+	s.write = write
+	s.purpose = purpose
+	s.src = src
+	s.moved = moved
+	s.table = table
+	if purpose == streamCompactRead {
+		s.writeBytes = total // the merged run writes back what it read
+	}
+	if total > 0 {
+		seg := l.cfg.SegmentIOBytes
+		bs := int64(l.dev.BlockSize())
+		for total > 0 {
+			n := seg
+			if n > total {
+				n = align(total, bs)
+			}
+			s.offs = append(s.offs, l.ring.alloc(n))
+			s.sizes = append(s.sizes, n)
+			total -= n
+		}
+	}
+	if len(s.offs) == 0 {
+		s.finished = true
+		s.complete()
 		return
 	}
-	seg := l.cfg.SegmentIOBytes
-	var offs []int64
-	var sizes []int64
-	for total > 0 {
-		n := seg
-		if n > total {
-			n = align(total, int64(l.dev.BlockSize()))
+	s.pump()
+}
+
+// pump keeps QueueDepth segments in flight.
+func (s *lsmStream) pump() {
+	l := s.l
+	for s.inflight < l.cfg.QueueDepth && s.next < len(s.offs) {
+		i := s.next
+		s.next++
+		s.inflight++
+		op := blockdev.Write
+		if s.write {
+			l.stats.DeviceWrites++
+			l.stats.DeviceWriteBytes += s.sizes[i]
+		} else {
+			op = blockdev.Read
+			l.stats.DeviceReads++
+			l.stats.DeviceReadBytes += s.sizes[i]
 		}
-		offs = append(offs, l.ring.alloc(n))
-		sizes = append(sizes, n)
-		total -= n
+		l.inflight++
+		r := l.getReq()
+		r.s = s
+		r.req.Op = op
+		r.req.Offset = s.offs[i]
+		r.req.Size = s.sizes[i]
+		l.dev.Submit(&r.req)
 	}
-	next := 0
-	inflight := 0
-	finished := false
-	var pump func()
-	pump = func() {
-		for inflight < l.cfg.QueueDepth && next < len(offs) {
-			i := next
-			next++
-			inflight++
-			op := essdsim.OpWrite
-			if !write {
-				op = essdsim.OpRead
-			}
-			if write {
-				l.stats.DeviceWrites++
-				l.stats.DeviceWriteBytes += sizes[i]
-			} else {
-				l.stats.DeviceReads++
-				l.stats.DeviceReadBytes += sizes[i]
-			}
-			l.inflight++
-			l.dev.Submit(&essdsim.Request{
-				Op: op, Offset: offs[i], Size: sizes[i],
-				OnComplete: func(r *essdsim.Request, at essdsim.Time) {
-					inflight--
-					l.inflight--
-					if next < len(offs) {
-						pump()
-						return
-					}
-					if inflight == 0 && !finished {
-						finished = true
-						done()
-					}
-				},
-			})
+}
+
+// complete runs the stream's continuation once every segment has landed.
+func (s *lsmStream) complete() {
+	l := s.l
+	switch s.purpose {
+	case streamFlush:
+		table := s.table
+		l.releaseStream(s)
+		l.flushBusy = false
+		l.levels[0].tables++
+		l.levels[0].bytes += table
+		l.admitWaiters()
+		l.maybeCompact()
+		if l.memUsed >= l.cfg.MemtableBytes || (l.memUsed > 0 && len(l.barriers) > 0) {
+			l.maybeFlush()
 		}
+		l.checkBarriers()
+	case streamCompactRead:
+		src, moved, wb := s.src, s.moved, s.writeBytes
+		l.releaseStream(s)
+		l.startStream(true, wb, streamCompactWrite, src, moved, 0)
+	case streamCompactWrite:
+		src, moved := s.src, s.moved
+		l.releaseStream(s)
+		l.compBusy = false
+		dst := src + 1
+		l.levels[dst].bytes += moved
+		l.levels[dst].tables++
+		l.maybeCompact()
+		l.checkBarriers()
 	}
-	pump()
+}
+
+// lsmReq is a pooled device request whose OnComplete is bound once, at
+// construction — the per-I/O path allocates nothing.
+type lsmReq struct {
+	req      blockdev.Request
+	s        *lsmStream
+	nextFree *lsmReq
+}
+
+func (l *LSM) getReq() *lsmReq {
+	r := l.freeReqs
+	if r != nil {
+		l.freeReqs = r.nextFree
+		r.nextFree = nil
+		return r
+	}
+	r = &lsmReq{}
+	r.req.OnComplete = r.onComplete
+	return r
+}
+
+func (r *lsmReq) onComplete(_ *blockdev.Request, _ sim.Time) {
+	s := r.s
+	l := s.l
+	r.s = nil
+	r.nextFree = l.freeReqs
+	l.freeReqs = r
+	s.inflight--
+	l.inflight--
+	if s.next < len(s.offs) {
+		s.pump()
+		return
+	}
+	if s.inflight == 0 && !s.finished {
+		s.finished = true
+		s.complete()
+	}
+}
+
+// lsmGet is a pooled lookup probing levels as a dependent read chain.
+type lsmGet struct {
+	l        *LSM
+	done     func()
+	h        uint64
+	left     int
+	req      blockdev.Request
+	nextFree *lsmGet
+}
+
+func (l *LSM) getGet() *lsmGet {
+	g := l.freeGets
+	if g != nil {
+		l.freeGets = g.nextFree
+		g.nextFree = nil
+		return g
+	}
+	g = &lsmGet{l: l}
+	g.req.OnComplete = g.onComplete
+	return g
+}
+
+// issue submits the next level probe: one block-sized read at a
+// hash-derived offset (the simulator tracks cost, not placement).
+func (g *lsmGet) issue() {
+	l := g.l
+	g.left--
+	g.h = g.h*6364136223846793005 + 1442695040888963407
+	bs := int64(l.dev.BlockSize())
+	blocks := l.dev.Capacity() / bs
+	l.stats.DeviceReads++
+	l.stats.DeviceReadBytes += bs
+	l.stats.GetReads++
+	l.inflight++
+	g.req.Op = blockdev.Read
+	g.req.Offset = int64(g.h%uint64(blocks)) * bs
+	g.req.Size = bs
+	l.dev.Submit(&g.req)
+}
+
+func (g *lsmGet) onComplete(_ *blockdev.Request, _ sim.Time) {
+	l := g.l
+	l.inflight--
+	if g.left > 0 {
+		g.issue()
+		return
+	}
+	done := g.done
+	g.done = nil
+	g.nextFree = l.freeGets
+	l.freeGets = g
+	done()
+	l.checkBarriers()
 }
 
 var _ Engine = (*LSM)(nil)
