@@ -436,6 +436,95 @@ func BenchmarkKVMix(b *testing.B) {
 	b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
 }
 
+// BenchmarkTraceOverhead measures what the observability planes cost the
+// neighbor sweep. "off" is the stock untraced path — the nil-fast branch
+// every unobserved simulation pays, the number the FleetPack/KVIngest/
+// KVMix gates protect. "on" traces every 64th request and probes every
+// millisecond; its ratio to "off" is the enabled-tracing cost
+// docs/observability.md quotes. Observed runs bypass cache reads, so the
+// two variants simulate identical work.
+func BenchmarkTraceOverhead(b *testing.B) {
+	modes := []struct {
+		name string
+		obs  *essdsim.ObsConfig
+	}{
+		{"off", nil},
+		{"on", &essdsim.ObsConfig{SampleEvery: 64, ProbeInterval: sim.Millisecond}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			sweep := essdsim.NeighborSweep{
+				AggressorCounts:      []int{0, 2},
+				AggressorRatesPerSec: []float64{1600},
+				VictimOps:            600,
+				Seed:                 7,
+				Obs:                  mode.obs,
+			}
+			b.ReportAllocs()
+			cells, spans := 0, 0
+			for i := 0; i < b.N; i++ {
+				rep, err := essdsim.RunNeighborScenario(context.Background(), sweep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = len(rep.Cells)
+				if mode.obs != nil {
+					spans = 0
+					for _, cap := range rep.Captures {
+						spans += len(cap.Tracer.Spans())
+					}
+					if spans == 0 {
+						b.Fatal("traced run recorded no spans")
+					}
+				}
+			}
+			reportCells(b, cells)
+			b.ReportMetric(float64(spans), "spans")
+		})
+	}
+}
+
+// BenchmarkProbeSampling measures the state-probe plane alone: one
+// elastic volume driven open-loop with every backend gauge sampled each
+// 100 µs of simulated time. samples/sec is probe ticks executed per
+// wall-clock second — the cost of the read-only Peek* samplers plus the
+// probe events threaded through the engine.
+func BenchmarkProbeSampling(b *testing.B) {
+	b.ReportAllocs()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		eng := essdsim.NewEngine()
+		dev, err := essdsim.NewDevice("essd1", eng, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cap, err := essdsim.InstrumentDevice(dev, "bench", &essdsim.ObsConfig{
+			SampleEvery:   64,
+			ProbeInterval: 100 * sim.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		essdsim.Precondition(dev, true)
+		res := essdsim.RunOpen(dev, essdsim.OpenWorkload{
+			Pattern:    essdsim.RandWrite,
+			BlockSize:  64 << 10,
+			RatePerSec: 4000,
+			Count:      2000,
+			Seed:       3,
+		})
+		if res.Ops != 2000 {
+			b.Fatalf("short run: %d ops", res.Ops)
+		}
+		rows = cap.Prober.Samples()
+		if rows == 0 {
+			b.Fatal("no probe samples collected")
+		}
+	}
+	reportCells(b, 1)
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+}
+
 // BenchmarkAblationBurstCredits contrasts the burstable gp2-class tier's
 // two regimes: a short burst-backed sprint vs a drained-credit slog.
 func BenchmarkAblationBurstCredits(b *testing.B) {

@@ -47,6 +47,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -87,10 +88,29 @@ func main() {
 		isoName  = flag.String("isolation", "fifo", "backend QoS isolation policy: fifo, wfq, or reservation (essd-class devices)")
 		qosWt    = flag.Float64("weight", 0, "volume scheduling weight under -isolation wfq/reservation (0 = default 1)")
 		qosResv  = flag.Float64("reserved-bps", 0, "volume reserved backend bytes/sec under -isolation reservation")
+		traceOut = flag.String("trace-out", "", "single runs: write sampled request traces to this file (.json = Chrome trace events, else CSV)")
+		traceSmp = flag.Int("trace-sample", 64, "trace every Nth request when tracing is on")
+		probeOut = flag.String("probe-out", "", "single runs: write state-probe series to this file (.json or CSV); requires -probe-interval")
+		probeIvl = flag.Duration("probe-interval", 0, "simulated-time cadence of state probes (e.g. 10ms)")
+		verbose  = flag.Bool("v", false, "print per-cell sweep progress (elapsed/ETA, cached counts) to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected argument %q (essdbench takes no positional arguments)", flag.Arg(0)))
+	}
+	verboseProgress = *verbose
+	if *traceSmp < 1 {
+		fatal(fmt.Errorf("-trace-sample wants a positive count, got %d", *traceSmp))
+	}
+	if *probeOut != "" && *probeIvl <= 0 {
+		fatal(fmt.Errorf("-probe-out requires a positive -probe-interval, got %s", *probeIvl))
+	}
+	if *traceOut != "" || *probeOut != "" {
+		obsOut.traceOut, obsOut.probeOut = *traceOut, *probeOut
+		obsOut.cfg = &essdsim.ObsConfig{
+			SampleEvery:   *traceSmp,
+			ProbeInterval: essdsim.Duration(probeIvl.Nanoseconds()),
+		}
 	}
 	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -128,6 +148,8 @@ func main() {
 			fatal(fmt.Errorf("-slo-p99 cannot be combined with -trace replay mode"))
 		case *cacheF != "":
 			fatal(fmt.Errorf("-cache is not supported in -trace replay mode"))
+		case obsOut.cfg != nil:
+			fatal(fmt.Errorf("-trace-out/-probe-out instrument single runs, not -trace replay mode"))
 		case strings.ContainsRune(*rw+*bs+*iodepth+*arrival, ','):
 			fatal(fmt.Errorf("-trace replays ignore workload axes; only -device may be a list"))
 		}
@@ -143,6 +165,8 @@ func main() {
 			fatal(fmt.Errorf("-size cannot be combined with -slo-p99 search mode"))
 		case len(rates) > 0:
 			fatal(fmt.Errorf("-rate cannot be combined with -slo-p99; the search picks the rates"))
+		case obsOut.cfg != nil:
+			fatal(fmt.Errorf("-trace-out/-probe-out instrument single runs, not -slo-p99 search mode"))
 		case strings.ContainsRune(*device+*rw+*bs+*arrival+*iodepth, ','):
 			fatal(fmt.Errorf("-slo-p99 search mode takes no axis lists: a single device, pattern, size, and arrival"))
 		}
@@ -161,6 +185,9 @@ func main() {
 			fatal(fmt.Errorf("-iodepth lists are a closed-loop axis; they cannot be combined with -rate"))
 		}
 		if strings.ContainsRune(*device+*rw+*bs+*rate+*arrival, ',') {
+			if obsOut.cfg != nil {
+				fatal(fmt.Errorf("-trace-out/-probe-out instrument single runs, not sweeps"))
+			}
 			runOpenSweep(*device, *rw, *bs, *arrival, rates, *ops, *mixPct, *precond, *seed, *workers, *cacheF)
 			return
 		}
@@ -172,7 +199,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		cap := instrumentObs(dev, *device)
 		runOpenLoop(dev, *rw, *bs, rates[0], *arrival, *ops, *mixPct, *seed, *precond)
+		dumpObs(cap)
 		return
 	}
 
@@ -182,6 +211,8 @@ func main() {
 			fatal(fmt.Errorf("-job cannot be combined with comma-list sweep flags"))
 		case *size != "":
 			fatal(fmt.Errorf("-size cannot be combined with comma-list sweep flags; use -runtime"))
+		case obsOut.cfg != nil:
+			fatal(fmt.Errorf("-trace-out/-probe-out instrument single runs, not sweeps"))
 		}
 		runSweep(*device, *rw, *bs, *iodepth, *runtime, *warmup, *precond, *mixPct, *seed, *workers, *cacheF)
 		return
@@ -195,6 +226,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cap := instrumentObs(dev, *device)
 
 	var jobs []fio.Job
 	if *jobFile != "" {
@@ -272,6 +304,7 @@ func main() {
 		res := essdsim.Run(dev, job.Spec)
 		essdsim.FormatWorkloadResult(os.Stdout, res)
 	}
+	dumpObs(cap)
 }
 
 // parseRates parses a comma list of open-loop rates. An empty list (every
@@ -484,7 +517,12 @@ func runCachedSweep(sw essdsim.Sweep, workers int, cachePath string) ([]essdsim.
 		sw.Cache = cache
 	}
 	var last essdsim.SweepProgress
-	runner := essdsim.SweepRunner{Workers: workers, OnProgress: func(p essdsim.SweepProgress) { last = p }}
+	runner := essdsim.SweepRunner{Workers: workers, OnProgress: func(p essdsim.SweepProgress) {
+		last = p
+		if verboseProgress {
+			fmt.Fprintf(os.Stderr, "sweep: %s\n", p)
+		}
+	}}
 	results, err := runner.Run(context.Background(), sw)
 	if err != nil {
 		fatal(err)
@@ -685,6 +723,67 @@ func profileDevices(names ...string) []essdsim.NamedFactory {
 		return essdsim.ProfileDevices(names...)
 	}
 	return essdsim.ProfileDevicesQoS(devQoS.iso, devQoS.weight, devQoS.resv, names...)
+}
+
+// obsOut carries the observability flags to the single-run paths; the
+// zero value (no -trace-out/-probe-out) is fully off.
+var obsOut struct {
+	cfg      *essdsim.ObsConfig
+	traceOut string
+	probeOut string
+}
+
+// verboseProgress mirrors -v: per-cell sweep progress lines on stderr.
+var verboseProgress bool
+
+// instrumentObs attaches an observability capture to a single-run device
+// when the obs flags are set; nil (and no-op) otherwise. Non-elastic
+// devices are a fatal flag error — they have no backend to observe.
+func instrumentObs(dev essdsim.Device, label string) *essdsim.ObsCapture {
+	if obsOut.cfg == nil {
+		return nil
+	}
+	cap, err := essdsim.InstrumentDevice(dev, label, obsOut.cfg)
+	if err != nil {
+		fatal(err)
+	}
+	return cap
+}
+
+// dumpObs writes the capture's spans and probe series to the -trace-out
+// and -probe-out paths (.json selects the JSON writers, anything else CSV).
+func dumpObs(cap *essdsim.ObsCapture) {
+	if cap == nil {
+		return
+	}
+	caps := []*essdsim.ObsCapture{cap}
+	if obsOut.traceOut != "" {
+		if err := writeObsFile(obsOut.traceOut, caps, essdsim.WriteTraceEvents, essdsim.WriteTraceCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if obsOut.probeOut != "" {
+		if err := writeObsFile(obsOut.probeOut, caps, essdsim.WriteProbesJSON, essdsim.WriteProbesCSV); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeObsFile(path string, caps []*essdsim.ObsCapture,
+	jsonFn, csvFn func(io.Writer, []*essdsim.ObsCapture) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fn := csvFn
+	if strings.HasSuffix(path, ".json") {
+		fn = jsonFn
+	}
+	err = fn(f, caps)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

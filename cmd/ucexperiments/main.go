@@ -83,6 +83,7 @@ import (
 	"essdsim/internal/expgrid"
 	"essdsim/internal/fleet"
 	"essdsim/internal/harness"
+	"essdsim/internal/obs"
 	"essdsim/internal/profiles"
 	"essdsim/internal/profiling"
 	"essdsim/internal/qos"
@@ -144,11 +145,27 @@ func main() {
 		kvReadFrac  = flag.Int("kv-read-frac", 50, "-exp kv percentage of ops that are point reads (-1 = pure ingest)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		traceOut    = flag.String("trace-out", "", "-exp neighbor: write sampled request traces to this file (.json = Chrome trace events, else CSV)")
+		traceSample = flag.Int("trace-sample", 64, "trace every Nth request per volume when tracing is on")
+		probeOut    = flag.String("probe-out", "", "-exp neighbor: write state-probe series to this file (.json or CSV); requires -probe-interval")
+		probeIvl    = flag.Duration("probe-interval", 0, "simulated-time cadence of state probes (e.g. 10ms)")
+		explain     = flag.Bool("explain", false, "-exp neighbor: print the per-cell cliff-attribution report")
+		verbose     = flag.Bool("v", false, "print per-cell sweep progress (elapsed/ETA, cached counts) to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "ucexperiments: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(1)
+	}
+	obsWanted := *traceOut != "" || *probeOut != "" || *explain
+	if *traceSample < 1 {
+		fatal(fmt.Errorf("-trace-sample wants a positive count, got %d", *traceSample))
+	}
+	if *probeOut != "" && *probeIvl <= 0 {
+		fatal(fmt.Errorf("-probe-out requires a positive -probe-interval, got %s", *probeIvl))
+	}
+	if obsWanted && !(*exp == "all" || *exp == "neighbor") {
+		fatal(fmt.Errorf("-trace-out/-probe-out/-explain apply to -exp neighbor, not -exp %s", *exp))
 	}
 
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
@@ -168,6 +185,18 @@ func main() {
 		cache = expgrid.NewCache(0)
 		if err := cache.LoadFile(*cacheFile); err != nil {
 			fatal(err)
+		}
+	}
+
+	// progress returns the -v per-cell progress callback for one suite
+	// (nil when -v is off): "neighbor: 12/40 cells (3 cached) elapsed 1.2s
+	// eta 2.8s" on stderr, so stdout stays machine-comparable.
+	progress := func(suite string) func(expgrid.Progress) {
+		if !*verbose {
+			return nil
+		}
+		return func(p expgrid.Progress) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", suite, p)
 		}
 	}
 
@@ -262,9 +291,10 @@ func main() {
 				{Name: "gp2", New: factory("gp2", *seed)},
 				{Name: "gp2s", New: factory("gp2s", *seed)},
 			},
-			Cache:   cache,
-			Seed:    *seed,
-			Workers: *workers,
+			Cache:      cache,
+			Seed:       *seed,
+			Workers:    *workers,
+			OnProgress: progress("burst"),
 		}
 		if *quick {
 			sweep.WriteRatiosPct = []int{0, 50, 100}
@@ -300,6 +330,13 @@ func main() {
 			Isolation:          iso,
 			VictimWeight:       *victimWt,
 			VictimReservedRate: *victimResv,
+			OnProgress:         progress("neighbor"),
+		}
+		if obsWanted {
+			sweep.Obs = &obs.Config{
+				SampleEvery:   *traceSample,
+				ProbeInterval: sim.Duration(probeIvl.Nanoseconds()),
+			}
 		}
 		if *quick {
 			sweep.AggressorCounts = []int{0, 2, 4}
@@ -334,6 +371,19 @@ func main() {
 		if cache != nil {
 			fmt.Printf("neighbor: %d of %d cells skipped (cache-warm)\n", rep.CachedCells, len(rep.Cells))
 		}
+		if *explain {
+			obs.FormatExplanations(os.Stdout, rep.Explanations)
+		}
+		if *traceOut != "" {
+			if err := writeTraceFile(*traceOut, rep.Captures); err != nil {
+				fatal(err)
+			}
+		}
+		if *probeOut != "" {
+			if err := writeProbeFile(*probeOut, rep.Captures); err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Println()
 		if *out != "" {
 			dumpNeighborCSV(*out, rep)
@@ -347,6 +397,7 @@ func main() {
 			Workers:            *workers,
 			VictimWeight:       *victimWt,
 			VictimReservedRate: *victimResv,
+			OnProgress:         progress("isolation"),
 		}}
 		if *quick {
 			cmp.Sweep.AggressorCounts = []int{0, 2, 4}
@@ -500,6 +551,7 @@ func main() {
 			Cache:       cache,
 			Seed:        *seed,
 			Workers:     *workers,
+			OnProgress:  progress("kv"),
 		}
 		if *quick {
 			sweep.Tenants = 2
@@ -558,6 +610,43 @@ func main() {
 		fmt.Printf("sweep cache: %d entries, %d hits, %d cells simulated (%s)\n",
 			cache.Len(), hits, misses, *cacheFile)
 	}
+}
+
+// writeTraceFile dumps the captures' sampled request spans to path:
+// Chrome trace-event JSON (Perfetto-loadable) when the path ends in
+// .json, the docs/formats.md trace CSV otherwise.
+func writeTraceFile(path string, caps []*obs.Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = obs.WriteTraceEvents(f, caps)
+	} else {
+		err = obs.WriteTraceCSV(f, caps)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeProbeFile dumps the captures' state-probe series to path: JSON
+// when the path ends in .json, the docs/formats.md probe CSV otherwise.
+func writeProbeFile(path string, caps []*obs.Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = obs.WriteProbesJSON(f, caps)
+	} else {
+		err = obs.WriteProbesCSV(f, caps)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readTraceFile reads a trace file in the named format.

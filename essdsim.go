@@ -57,6 +57,7 @@ package essdsim
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"essdsim/internal/blockdev"
@@ -67,6 +68,7 @@ import (
 	"essdsim/internal/fio"
 	"essdsim/internal/fleet"
 	"essdsim/internal/harness"
+	"essdsim/internal/obs"
 	"essdsim/internal/profiles"
 	"essdsim/internal/qos"
 	"essdsim/internal/scenario"
@@ -907,3 +909,67 @@ func FormatKVMix(w io.Writer, r *KVMixReport) { scenario.FormatKVMix(w, r) }
 // WriteKVMixCSV dumps the suite's per-cell table (kv_cells.csv) as CSV;
 // see docs/formats.md for the schema.
 func WriteKVMixCSV(w io.Writer, r *KVMixReport) error { return scenario.WriteKVCSV(w, r) }
+
+// Observability types (internal/obs): deterministic sampled request
+// tracing, simulated-time state probes, and the cliff-attribution report.
+// Both planes are off by default and, when on, never perturb simulation
+// results — traced runs are byte-identical to untraced ones.
+type (
+	// ObsConfig enables the observability planes: SampleEvery traces every
+	// Nth request per volume, and a positive ProbeInterval samples state
+	// gauges on that simulated-time cadence. A nil *ObsConfig is fully off.
+	ObsConfig = obs.Config
+	// ObsCapture is one simulation's observability output: a label plus
+	// its tracer and (optional) prober.
+	ObsCapture = obs.Capture
+	// ObsTracer records sampled per-request spans.
+	ObsTracer = obs.Tracer
+	// ObsProber samples registered state gauges on a cadence.
+	ObsProber = obs.Prober
+	// ObsSpan is one recorded stage of a traced request.
+	ObsSpan = obs.Span
+	// ObsExplanation is one cell's cliff-attribution report.
+	ObsExplanation = obs.Explanation
+)
+
+// InstrumentDevice attaches an observability capture to a single elastic
+// device: a tracer sampling every cfg.SampleEvery-th request and, when
+// cfg.ProbeInterval is positive, a prober over the device's shared
+// backend (cluster debt and node queues, fabric backlogs, every attached
+// volume's gauges). Non-elastic devices (the local SSD) have no backend
+// or QoS state to observe and are rejected.
+func InstrumentDevice(dev Device, label string, cfg *ObsConfig) (*ObsCapture, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, ok := dev.(*essd.ESSD)
+	if !ok {
+		return nil, fmt.Errorf("observability needs an elastic (essd-class) device; %s has no backend to trace", dev.Name())
+	}
+	cap := &ObsCapture{Label: label, Tracer: obs.NewTracer(cfg.SampleEvery)}
+	e.SetTracer(cap.Tracer)
+	if cfg.ProbeInterval > 0 {
+		cap.Prober = obs.NewProber(cfg.ProbeInterval)
+		e.Backend().InstallProbes(cap.Prober)
+		cap.Prober.Attach(e.Engine())
+	}
+	return cap, nil
+}
+
+// WriteTraceCSV dumps the captures' sampled request spans as CSV; see
+// docs/formats.md for the schema.
+func WriteTraceCSV(w io.Writer, caps []*ObsCapture) error { return obs.WriteTraceCSV(w, caps) }
+
+// WriteTraceEvents dumps the captures' spans as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing.
+func WriteTraceEvents(w io.Writer, caps []*ObsCapture) error { return obs.WriteTraceEvents(w, caps) }
+
+// WriteProbesCSV dumps the captures' state-probe series as CSV; see
+// docs/formats.md for the schema.
+func WriteProbesCSV(w io.Writer, caps []*ObsCapture) error { return obs.WriteProbesCSV(w, caps) }
+
+// WriteProbesJSON dumps the captures' state-probe series as JSON.
+func WriteProbesJSON(w io.Writer, caps []*ObsCapture) error { return obs.WriteProbesJSON(w, caps) }
+
+// FormatExplanations writes the per-cell cliff-attribution report.
+func FormatExplanations(w io.Writer, exps []*ObsExplanation) { obs.FormatExplanations(w, exps) }

@@ -35,6 +35,7 @@ package cluster
 import (
 	"fmt"
 
+	"essdsim/internal/obs"
 	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 )
@@ -178,6 +179,13 @@ type writeJob struct {
 	onStream func() // primary stream drained → journal write service
 	onLeg    func() // one leg durable
 	nextFree *writeJob
+
+	// Trace context, set only by WriteForTraced for sampled requests;
+	// nil keeps every stage on the untouched hot path.
+	trc  *obs.Req
+	lane string
+	t0   sim.Time
+	tb   int64
 }
 
 func (c *Cluster) getWriteJob() *writeJob {
@@ -195,7 +203,25 @@ func (c *Cluster) getWriteJob() *writeJob {
 
 func (j *writeJob) streamDone() {
 	c := j.c
-	j.pn.write.VisitFlow(j.flow, c.cfg.WriteService.Sample(c.rng), j.onLeg)
+	svc := c.cfg.WriteService.Sample(c.rng)
+	if j.trc == nil {
+		j.pn.write.VisitFlow(j.flow, svc, j.onLeg)
+		return
+	}
+	// Traced: record the stream transfer's queue/service split and wrap
+	// the journal write visit so its span can be emitted at completion.
+	// The service draw above happens in the same order as the untraced
+	// path, so tracing never shifts the RNG stream.
+	now := c.eng.Now()
+	pol := c.policyLabel()
+	j.trc.Span(j.lane, "stream-xfer", j.t0, now,
+		now.Sub(j.t0)-j.pn.stream.TransferTime(j.tb), pol, j.pn.stream.Name())
+	trc, lane, name, start := j.trc, j.lane, j.pn.write.Name(), now
+	j.pn.write.VisitFlow(j.flow, svc, func() {
+		end := c.eng.Now()
+		trc.Span(lane, "write-svc", start, end, end.Sub(start)-svc, pol, name)
+		j.onLeg()
+	})
 }
 
 func (j *writeJob) leg() {
@@ -206,6 +232,8 @@ func (j *writeJob) leg() {
 	c, done := j.c, j.done
 	j.done = nil
 	j.pn = nil
+	j.trc = nil
+	j.lane = ""
 	j.nextFree = c.freeWrites
 	c.freeWrites = j
 	done()
@@ -221,6 +249,15 @@ type replJob struct {
 	onHop    func() // hop arrived → replica journal write service
 	onSvc    func() // service done → hop the ack back to the fan-in
 	nextFree *replJob
+
+	// Trace context (WriteForTraced only); t0/tsvc are reused as the
+	// current stage's start and sampled service time.
+	trc  *obs.Req
+	lane string
+	t0   sim.Time
+	tsvc sim.Duration
+	pp   *sim.Pipe // primary's repl pipe, for the transfer-time split
+	tb   int64
 }
 
 func (c *Cluster) getReplJob() *replJob {
@@ -239,18 +276,37 @@ func (c *Cluster) getReplJob() *replJob {
 
 func (r *replJob) replDone() {
 	c := r.c
-	c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), r.onHop)
+	hop := c.cfg.ReplHop.Sample(c.rng)
+	if r.trc != nil {
+		now := c.eng.Now()
+		r.trc.Span(r.lane, "repl-xfer", r.t0, now,
+			now.Sub(r.t0)-r.pp.TransferTime(r.tb), c.policyLabel(), r.pp.Name())
+	}
+	c.eng.Schedule(hop, r.onHop)
 }
 
 func (r *replJob) hopDone() {
 	c := r.c
-	r.rn.write.VisitFlow(r.j.flow, c.cfg.WriteService.Sample(c.rng), r.onSvc)
+	svc := c.cfg.WriteService.Sample(c.rng)
+	if r.trc != nil {
+		r.t0 = c.eng.Now()
+		r.tsvc = svc
+	}
+	r.rn.write.VisitFlow(r.j.flow, svc, r.onSvc)
 }
 
 func (r *replJob) svcDone() {
 	c, j := r.c, r.j
+	if r.trc != nil {
+		now := c.eng.Now()
+		r.trc.Span(r.lane, "repl-svc", r.t0, now,
+			now.Sub(r.t0)-r.tsvc, c.policyLabel(), r.rn.write.Name())
+	}
 	r.j = nil
 	r.rn = nil
+	r.trc = nil
+	r.lane = ""
+	r.pp = nil
 	r.nextFree = c.freeRepls
 	c.freeRepls = r
 	c.eng.Schedule(c.cfg.ReplHop.Sample(c.rng), j.onLeg)
@@ -266,6 +322,12 @@ type readJob struct {
 	done     func()
 	onSvc    func()
 	nextFree *readJob
+
+	// Trace context, set only by ReadForTraced for sampled requests.
+	trc  *obs.Req
+	lane string
+	t0   sim.Time
+	tsvc sim.Duration
 }
 
 func (c *Cluster) getReadJob() *readJob {
@@ -282,11 +344,27 @@ func (c *Cluster) getReadJob() *readJob {
 
 func (j *readJob) svcDone() {
 	c, n, flow, bytes, done := j.c, j.n, j.flow, j.bytes, j.done
+	trc, lane, t0, tsvc := j.trc, j.lane, j.t0, j.tsvc
 	j.n = nil
 	j.done = nil
+	j.trc = nil
+	j.lane = ""
 	j.nextFree = c.freeReads
 	c.freeReads = j
-	n.readBW.TransferFlow(flow, bytes, done)
+	if trc == nil {
+		n.readBW.TransferFlow(flow, bytes, done)
+		return
+	}
+	now := c.eng.Now()
+	pol := c.policyLabel()
+	trc.Span(lane, "read-svc", t0, now, now.Sub(t0)-tsvc, pol, n.read.Name())
+	pipe := n.readBW
+	start := now
+	pipe.TransferFlow(flow, bytes, func() {
+		end := c.eng.Now()
+		trc.Span(lane, "read-bw", start, end, end.Sub(start)-pipe.TransferTime(bytes), pol, pipe.Name())
+		done()
+	})
 }
 
 // New builds the cluster. It panics on invalid configuration.

@@ -40,6 +40,7 @@ import (
 	"essdsim/internal/blockdev"
 	"essdsim/internal/cluster"
 	"essdsim/internal/netsim"
+	"essdsim/internal/obs"
 	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 )
@@ -481,6 +482,12 @@ type ESSD struct {
 
 	counters Counters
 
+	// Request tracing (SetTracer): nil by default, costing the hot path
+	// one branch per Submit. trcSeq is the per-volume request sequence
+	// the tracer samples on.
+	trc    *obs.Tracer
+	trcSeq uint64
+
 	// Intrusive free lists of pooled per-request ops (see ioOp): the
 	// steady-state Submit path allocates nothing.
 	freeOps  *ioOp
@@ -748,7 +755,16 @@ func (e *ESSD) Submit(r *blockdev.Request) {
 		panic(fmt.Sprintf("essd: unknown op %v", r.Op))
 	}
 	o := e.getOp(r)
-	e.fe.Visit(e.cfg.FrontendLatency.Sample(e.rng), o.onFE)
+	if e.trc != nil {
+		o.trc = e.trc.Start(e.cfg.Name, e.flow, r.Op.String(), e.trcSeq)
+		e.trcSeq++
+	}
+	svc := e.cfg.FrontendLatency.Sample(e.rng)
+	if o.trc != nil {
+		o.t0 = r.Issued
+		o.tsvc = svc
+	}
+	e.fe.Visit(svc, o.onFE)
 }
 
 func (e *ESSD) complete(r *blockdev.Request) {
@@ -780,6 +796,15 @@ type ioOp struct {
 	e   *ESSD
 	r   *blockdev.Request
 	rem int // outstanding chunk subrequests
+
+	// Trace context, set only for sampled requests under SetTracer; nil
+	// keeps every stage on the untouched pooled hot path. t0/tsvc track
+	// the current stage's start and the frontend service sample; clmp
+	// marks a pending throttle-clamp gate span.
+	trc  *obs.Req
+	t0   sim.Time
+	tsvc sim.Duration
+	clmp bool
 
 	onFE      func()
 	onIOPS    func()
@@ -817,6 +842,13 @@ func (e *ESSD) getOp(r *blockdev.Request) *ioOp {
 // completion last, so a completion that submits new I/O reuses this op.
 func (o *ioOp) release() {
 	e, r := o.e, o.r
+	if o.trc != nil {
+		now := e.eng.Now()
+		o.trc.Span("req", "request", r.Issued, now, 0, "",
+			fmt.Sprintf("%s %d B", r.Op, r.Size))
+		o.trc = nil
+		o.clmp = false
+	}
 	o.r = nil
 	o.nextFree = e.freeOps
 	e.freeOps = o
@@ -825,6 +857,11 @@ func (o *ioOp) release() {
 
 func (o *ioOp) feDone() {
 	e, r := o.e, o.r
+	if o.trc != nil {
+		now := e.eng.Now()
+		o.trc.Span("vol", "frontend", o.t0, now, now.Sub(o.t0)-o.tsvc, "", e.fe.Name())
+		o.t0 = now
+	}
 	switch r.Op {
 	case blockdev.Write:
 		e.iopsTb.Take(e.iopsCost(r.Size), o.onIOPS)
@@ -850,6 +887,11 @@ func (o *ioOp) feDone() {
 }
 
 func (o *ioOp) iopsDone() {
+	if o.trc != nil {
+		now := o.e.eng.Now()
+		o.trc.Span("vol", "iops-gate", o.t0, now, now.Sub(o.t0), "", "")
+		o.t0 = now
+	}
 	o.e.bytesTb.Take(float64(o.r.Size), o.onBytes)
 }
 
@@ -858,7 +900,15 @@ func (o *ioOp) iopsDone() {
 // fall straight through.
 func (o *ioOp) bytesDone() {
 	e := o.e
+	if o.trc != nil {
+		now := e.eng.Now()
+		o.trc.Span("vol", "bw-gate", o.t0, now, now.Sub(o.t0), "", "")
+		o.t0 = now
+	}
 	if o.r.Op == blockdev.Write && e.limiter.Engaged() {
+		if o.trc != nil {
+			o.clmp = true
+		}
 		e.writeClamp().Take(float64(o.r.Size), o.onTokens)
 		return
 	}
@@ -866,6 +916,14 @@ func (o *ioOp) bytesDone() {
 }
 
 func (o *ioOp) tokensDone() {
+	if o.trc != nil {
+		now := o.e.eng.Now()
+		if o.clmp {
+			o.trc.Span("vol", "throttle", o.t0, now, now.Sub(o.t0), "", "cleaner-debt clamp")
+			o.clmp = false
+		}
+		o.t0 = now
+	}
 	o.e.spendCredits(o.r.Size, o.onCredits)
 }
 
@@ -875,16 +933,29 @@ func (o *ioOp) tokensDone() {
 // up and stream the payload down.
 func (o *ioOp) creditsDone() {
 	e, r := o.e, o.r
+	var now sim.Time
+	if o.trc != nil {
+		now = e.eng.Now()
+		if e.credits != nil {
+			o.trc.Span("vol", "credits", o.t0, now, now.Sub(o.t0), "", "burst-credit drain")
+		}
+	}
 	chunkBytes := e.be.cfg.Cluster.ChunkBytes
 	o.rem = e.subCount(r.Offset, r.Size)
 	off, left := r.Offset, r.Size
 	write := r.Op == blockdev.Write
+	idx := 0
 	for left > 0 {
 		sz := chunkBytes - off%chunkBytes
 		if sz > left {
 			sz = left
 		}
 		s := e.getSub(o, off/chunkBytes, sz)
+		if o.trc != nil {
+			s.trc = o.trc
+			s.lane = fmt.Sprintf("c%d", idx)
+			s.t0 = now
+		}
 		if write {
 			e.counters.SubWrites++
 			e.nf.SendUp(sz, s.onNet)
@@ -894,6 +965,7 @@ func (o *ioOp) creditsDone() {
 		}
 		off += sz
 		left -= sz
+		idx++
 	}
 }
 
@@ -920,6 +992,12 @@ type subOp struct {
 	onNet    func()
 	onCl     func()
 	nextFree *subOp
+
+	// Trace context (sampled requests only): the chunk's lane and the
+	// start of its fabric uplink leg.
+	trc  *obs.Req
+	lane string
+	t0   sim.Time
 }
 
 func (e *ESSD) getSub(o *ioOp, chunk, sz int64) *subOp {
@@ -942,7 +1020,18 @@ func (s *subOp) netDone() {
 	o := s.o
 	e := o.e
 	if o.r.Op == blockdev.Write {
+		if s.trc != nil {
+			now := e.eng.Now()
+			s.trc.Span(s.lane, "net-up", s.t0, now,
+				now.Sub(s.t0)-e.be.net.UpTransferTime(s.sz), e.polLabel(), "fabric uplink")
+			e.be.cl.WriteForTraced(e.flow, s.chunk, s.sz, s.onCl, s.trc, s.lane)
+			return
+		}
 		e.be.cl.WriteFor(e.flow, s.chunk, s.sz, s.onCl)
+		return
+	}
+	if s.trc != nil {
+		e.be.cl.ReadForTraced(e.flow, s.chunk, s.sz, s.onCl, s.trc, s.lane)
 		return
 	}
 	e.be.cl.ReadFor(e.flow, s.chunk, s.sz, s.onCl)
@@ -954,11 +1043,24 @@ func (s *subOp) clDone() {
 	o := s.o
 	e := o.e
 	sz := s.sz
+	trc, lane := s.trc, s.lane
 	s.o = nil
+	s.trc = nil
+	s.lane = ""
 	s.nextFree = e.freeSubs
 	e.freeSubs = s
 	if o.r.Op == blockdev.Write {
 		e.nf.Hop(o.onSub)
+		return
+	}
+	if trc != nil {
+		start := e.eng.Now()
+		e.nf.SendDown(sz, func() {
+			end := e.eng.Now()
+			trc.Span(lane, "net-down", start, end,
+				end.Sub(start)-e.be.net.DownTransferTime(sz), e.polLabel(), "fabric downlink")
+			o.onSub()
+		})
 		return
 	}
 	e.nf.SendDown(sz, o.onSub)

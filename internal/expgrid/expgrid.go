@@ -221,6 +221,13 @@ type Sweep struct {
 	// from the cache are shared pointers — treat them as read-only.
 	Cache *Cache
 
+	// ForceRun bypasses cache reads (cells always simulate) while still
+	// storing fresh results. Observability runs set it: a cache-warm cell
+	// would return its stored measurement without producing any trace or
+	// probe samples. The cache fingerprint is unchanged, so forced runs
+	// refresh the same entries ordinary runs read.
+	ForceRun bool
+
 	// DecodeInfo rehydrates an Inspect capture loaded from a persisted
 	// cache file (raw JSON in, the same concrete type Inspect returns
 	// out). Sweeps that use both Cache persistence and Inspect must set
@@ -766,7 +773,7 @@ func TraceCellSeed(root uint64, label, device string) uint64 {
 // killing the worker pool.
 func (s Sweep) run(c Cell) (out CellResult) {
 	needInfo := s.Inspect != nil || s.InspectMix != nil || s.InspectKV != nil
-	if s.Cache != nil {
+	if s.Cache != nil && !s.ForceRun {
 		if res, ok := s.Cache.lookup(s.fingerprint, c, needInfo, s.DecodeInfo); ok {
 			return res
 		}

@@ -2,20 +2,41 @@ package expgrid
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Progress reports one completed cell. Done counts completions (in
 // completion order, which under concurrency need not match enumeration
 // order); Total is the grid size. Cached counts the completions so far
 // that were served from Sweep.Cache instead of a fresh simulation, so a
-// cache-warm sweep can report how many cells it skipped.
+// cache-warm sweep can report how many cells it skipped. Elapsed is the
+// wall time since the sweep started and ETA the estimated remaining wall
+// time (0 when unknown or done); both are display-only — they never feed
+// back into any measurement.
 type Progress struct {
-	Done   int
-	Total  int
-	Cached int
-	Last   CellResult
+	Done    int
+	Total   int
+	Cached  int
+	Elapsed time.Duration
+	ETA     time.Duration
+	Last    CellResult
+}
+
+// String renders the progress line both CLIs print under -v:
+// "12/40 cells (3 cached) elapsed 1.2s eta 2.8s".
+func (p Progress) String() string {
+	s := fmt.Sprintf("%d/%d cells", p.Done, p.Total)
+	if p.Cached > 0 {
+		s += fmt.Sprintf(" (%d cached)", p.Cached)
+	}
+	s += fmt.Sprintf(" elapsed %s", p.Elapsed.Round(time.Millisecond))
+	if p.Done < p.Total && p.ETA > 0 {
+		s += fmt.Sprintf(" eta %s", p.ETA.Round(time.Millisecond))
+	}
+	return s
 }
 
 // Runner executes a Sweep's cells on a pool of workers. The zero value is
@@ -107,6 +128,7 @@ func (r Runner) Stream(ctx context.Context, sw Sweep) (<-chan CellResult, func()
 	// Collector: reorders completion-order results into enumeration order
 	// and invokes OnProgress serially.
 	completed := false
+	started := time.Now()
 	go func() {
 		defer cancel()
 		defer close(out)
@@ -119,7 +141,15 @@ func (r Runner) Stream(ctx context.Context, sw Sweep) (<-chan CellResult, func()
 				cached++
 			}
 			if r.OnProgress != nil {
-				r.OnProgress(Progress{Done: done, Total: len(cells), Cached: cached, Last: res})
+				elapsed := time.Since(started)
+				var eta time.Duration
+				if done > 0 && done < len(cells) {
+					eta = elapsed / time.Duration(done) * time.Duration(len(cells)-done)
+				}
+				r.OnProgress(Progress{
+					Done: done, Total: len(cells), Cached: cached,
+					Elapsed: elapsed, ETA: eta, Last: res,
+				})
 			}
 			if res.Err != nil && firstErr == nil {
 				firstErr = res.Err

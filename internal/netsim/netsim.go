@@ -14,6 +14,7 @@
 package netsim
 
 import (
+	"essdsim/internal/obs"
 	"essdsim/internal/qos"
 	"essdsim/internal/sim"
 )
@@ -135,6 +136,22 @@ func (n *Network) HopSample() sim.Duration {
 // Hop schedules done after one sampled hop latency with no payload.
 func (n *Network) Hop(done func()) {
 	n.eng.Schedule(n.HopSample(), done)
+}
+
+// UpTransferTime returns the uplink's pure service time for n bytes
+// (no queueing, no hop latency) — the service half of a traced
+// transfer's queue-wait/service split.
+func (n *Network) UpTransferTime(bytes int64) sim.Duration { return n.up.TransferTime(bytes) }
+
+// DownTransferTime is UpTransferTime for the downlink.
+func (n *Network) DownTransferTime(bytes int64) sim.Duration { return n.down.TransferTime(bytes) }
+
+// InstallProbes registers the fabric's state gauges: the committed
+// queueing delay of each direction's pipe. Per-flow byte attribution is
+// installed by each flow's owner (essd.ESSD.InstallProbes).
+func (n *Network) InstallProbes(p *obs.Prober) {
+	p.Add("net/up/backlog_s", func() float64 { return n.up.Backlog().Seconds() })
+	p.Add("net/down/backlog_s", func() float64 { return n.down.Backlog().Seconds() })
 }
 
 // UplinkBacklog returns the current queueing delay on the uplink.

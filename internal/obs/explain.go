@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"essdsim/internal/sim"
+)
+
+// TailPoint is one window of a victim's latency timeline.
+type TailPoint struct {
+	T   sim.Time // window start
+	Lat sim.Duration
+}
+
+// ExplainInput is everything Explain correlates for one cell. Series
+// fields may be empty and times may be -1 ("never"); Explain reports
+// whatever the available signals support.
+type ExplainInput struct {
+	Cell   string
+	Victim string
+	// Tail is the victim's per-window latency timeline (mean or p99.9).
+	Tail []TailPoint
+	// ThrottleOnset is when the victim's flow limiter engaged (-1 never).
+	ThrottleOnset sim.Time
+	// CreditExhaustedAt is when the victim's burst credits first hit
+	// zero (-1 never).
+	CreditExhaustedAt sim.Time
+	// DebtThreshold is the limiter's pooled-debt engagement threshold in
+	// bytes (0 unknown).
+	DebtThreshold float64
+	// Probes is the cell's probe capture (may be nil).
+	Probes *Prober
+	// PooledDebtSeries names the pooled-cleaner-debt gauge in Probes.
+	PooledDebtSeries string
+	// VictimBytesSeries names the victim's cumulative fabric-uplink
+	// bytes gauge; AggrBytesSeries the aggressors'. Their final samples
+	// give the traffic share attribution.
+	VictimBytesSeries string
+	AggrBytesSeries   []string
+}
+
+// Finding is one timestamped attribution statement.
+type Finding struct {
+	T    sim.Time // -1 for untimed findings (e.g. traffic shares)
+	What string
+}
+
+// Explanation is the cliff-attribution report for one cell: the victim
+// tail inflection (if any) and the internal-state events around it, in
+// time order.
+type Explanation struct {
+	Cell       string
+	Victim     string
+	Inflection sim.Time // -1 when the timeline shows no inflection
+	Findings   []Finding
+}
+
+const inflectionFactor = 3.0
+
+// tailInflection finds the first window whose latency exceeds
+// inflectionFactor times the baseline (the mean of the leading quarter
+// of windows, at least one). Returns -1 when the timeline never
+// inflects.
+func tailInflection(tail []TailPoint) (sim.Time, sim.Duration, sim.Duration) {
+	n := 0
+	var sum sim.Duration
+	base := len(tail) / 4
+	if base < 1 {
+		base = 1
+	}
+	for i := 0; i < base && i < len(tail); i++ {
+		if tail[i].Lat > 0 {
+			sum += tail[i].Lat
+			n++
+		}
+	}
+	if n == 0 {
+		return -1, 0, 0
+	}
+	baseline := sum / sim.Duration(n)
+	for _, p := range tail {
+		if p.Lat > sim.Duration(float64(baseline)*inflectionFactor) {
+			return p.T, p.Lat, baseline
+		}
+	}
+	return -1, 0, baseline
+}
+
+// firstCrossing returns the first sample time at which the series
+// reaches the threshold (-1 when it never does or the series is empty).
+func firstCrossing(series []Point, threshold float64) (sim.Time, float64) {
+	for _, p := range series {
+		if p.V >= threshold {
+			return p.T, p.V
+		}
+	}
+	return -1, 0
+}
+
+// lastValue returns the final sample of a series (0 when empty).
+func lastValue(series []Point) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	return series[len(series)-1].V
+}
+
+func fmtT(t sim.Time) string {
+	return fmt.Sprintf("t=%.1fms", sim.Duration(t).Seconds()*1e3)
+}
+
+// Explain builds the attribution report for one cell from its latency
+// timeline, limiter state, and probe series. The output is fully
+// deterministic: findings are ordered by time, then text.
+func Explain(in ExplainInput) *Explanation {
+	e := &Explanation{Cell: in.Cell, Victim: in.Victim, Inflection: -1}
+	inflT, inflLat, baseline := tailInflection(in.Tail)
+	e.Inflection = inflT
+	if inflT >= 0 {
+		e.Findings = append(e.Findings, Finding{T: inflT, What: fmt.Sprintf(
+			"victim tail inflection at %s: window latency %.2fms vs %.2fms baseline (%.1fx)",
+			fmtT(inflT), inflLat.Seconds()*1e3, baseline.Seconds()*1e3,
+			float64(inflLat)/float64(baseline))})
+	}
+	if in.PooledDebtSeries != "" && in.DebtThreshold > 0 {
+		debt := in.Probes.Series(in.PooledDebtSeries)
+		if crossT, crossV := firstCrossing(debt, in.DebtThreshold); crossT >= 0 {
+			what := fmt.Sprintf(
+				"pooled cleaner debt crossed the throttle threshold (%.1f MiB >= %.1f MiB) at %s",
+				crossV/(1<<20), in.DebtThreshold/(1<<20), fmtT(crossT))
+			if inflT >= 0 {
+				d := inflT.Sub(crossT)
+				if d >= 0 {
+					what += fmt.Sprintf(", %.1fms before the tail inflection", d.Seconds()*1e3)
+				} else {
+					what += fmt.Sprintf(", %.1fms after the tail inflection", (-d).Seconds()*1e3)
+				}
+			}
+			e.Findings = append(e.Findings, Finding{T: crossT, What: what})
+		} else if len(debt) > 0 {
+			e.Findings = append(e.Findings, Finding{T: -1, What: fmt.Sprintf(
+				"pooled cleaner debt peaked below the throttle threshold (%.1f MiB)",
+				in.DebtThreshold/(1<<20))})
+		}
+	}
+	if in.CreditExhaustedAt >= 0 {
+		e.Findings = append(e.Findings, Finding{T: in.CreditExhaustedAt, What: fmt.Sprintf(
+			"victim burst credits exhausted at %s", fmtT(in.CreditExhaustedAt))})
+	}
+	if in.ThrottleOnset >= 0 {
+		e.Findings = append(e.Findings, Finding{T: in.ThrottleOnset, What: fmt.Sprintf(
+			"victim flow limiter engaged at %s (cleaner-debt throttle)", fmtT(in.ThrottleOnset))})
+	}
+	if in.VictimBytesSeries != "" && len(in.AggrBytesSeries) > 0 {
+		victim := lastValue(in.Probes.Series(in.VictimBytesSeries))
+		var aggr float64
+		for _, name := range in.AggrBytesSeries {
+			aggr += lastValue(in.Probes.Series(name))
+		}
+		if total := victim + aggr; total > 0 {
+			e.Findings = append(e.Findings, Finding{T: -1, What: fmt.Sprintf(
+				"%d aggressor flow(s) held %.0f%% of fabric uplink bytes (victim %.0f%%)",
+				len(in.AggrBytesSeries), 100*aggr/total, 100*victim/total)})
+		}
+	}
+	if len(e.Findings) == 0 {
+		e.Findings = append(e.Findings, Finding{T: -1, What: "no cliff signals: tail flat, limiter idle, credits never exhausted"})
+	}
+	sort.SliceStable(e.Findings, func(i, j int) bool {
+		a, b := e.Findings[i], e.Findings[j]
+		if (a.T < 0) != (b.T < 0) {
+			return b.T < 0 // untimed findings last
+		}
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		return a.What < b.What
+	})
+	return e
+}
+
+// FormatExplanations renders the attribution reports as a plain-text
+// block, one cell per paragraph.
+func FormatExplanations(w io.Writer, exps []*Explanation) {
+	fmt.Fprintln(w, "--- Cliff attribution (obs.Explain) ---")
+	for _, e := range exps {
+		if e == nil {
+			continue
+		}
+		fmt.Fprintf(w, "cell %s (victim %s):\n", e.Cell, e.Victim)
+		for _, f := range e.Findings {
+			fmt.Fprintf(w, "  - %s\n", f.What)
+		}
+	}
+}

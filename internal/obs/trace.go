@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"essdsim/internal/sim"
+)
+
+// Config switches observability on for a run or sweep. A nil Config
+// disables both planes.
+type Config struct {
+	// SampleEvery traces every Nth request per volume (1 = every
+	// request). Values below 1 are invalid.
+	SampleEvery int
+	// ProbeInterval is the simulated-time cadence of the state probes;
+	// <= 0 disables the probe plane.
+	ProbeInterval sim.Duration
+}
+
+// Enabled reports whether any observability plane is requested.
+func (c *Config) Enabled() bool { return c != nil }
+
+// Validate reports a descriptive error for nonsensical settings.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.SampleEvery < 1 {
+		return fmt.Errorf("obs: trace sample rate must be >= 1, got %d", c.SampleEvery)
+	}
+	return nil
+}
+
+// Span is one recorded stage of a traced request. Start/End are engine
+// times; Wait is the portion of the interval spent queued rather than in
+// service (for token gates the whole interval is waiting; for fabric
+// pipes it includes the sampled hop latency). Policy names the
+// scheduling decision that ordered the stage (fifo, wfq, reservation,
+// throttled, exhausted...); Lane groups sequential stages of one
+// request (vol, c0, c0/r1, ...) for the trace-event thread layout.
+type Span struct {
+	Req    int
+	Volume string
+	Flow   int
+	Op     string
+	Lane   string
+	Stage  string
+	Start  sim.Time
+	End    sim.Time
+	Wait   sim.Duration
+	Policy string
+	Detail string
+}
+
+// Tracer samples requests by submission sequence and accumulates their
+// span records. One Tracer serves all volumes of one cell (one engine);
+// it is not safe for concurrent use, matching the engine's single-thread
+// discipline. The nil Tracer is inert.
+type Tracer struct {
+	sampleEvery int
+	nextID      int
+	spans       []Span
+}
+
+// NewTracer returns a tracer sampling every Nth request per volume
+// (minimum 1).
+func NewTracer(sampleEvery int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{sampleEvery: sampleEvery}
+}
+
+// Start begins a trace for the seq-th request (counted from 0 per
+// volume), returning nil — an inert Req — when the request is not
+// sampled. Callers pass the returned Req through the request's stages
+// and emit spans on it; the nil-fast Req keeps unsampled requests on
+// the untouched hot path.
+func (t *Tracer) Start(volume string, flow int, op string, seq uint64) *Req {
+	if t == nil || seq%uint64(t.sampleEvery) != 0 {
+		return nil
+	}
+	id := t.nextID
+	t.nextID++
+	return &Req{t: t, id: id, vol: volume, flow: flow, op: op}
+}
+
+// Spans returns the recorded spans in emission order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Req is one sampled request's trace context. The nil Req drops every
+// span, so instrumentation sites need no enabled-check of their own.
+type Req struct {
+	t    *Tracer
+	id   int
+	vol  string
+	flow int
+	op   string
+}
+
+// Span records one stage interval on the given lane. Nil-receiver no-op.
+func (r *Req) Span(lane, stage string, start, end sim.Time, wait sim.Duration, policy, detail string) {
+	if r == nil {
+		return
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	if span := end.Sub(start); wait > span {
+		wait = span
+	}
+	r.t.spans = append(r.t.spans, Span{
+		Req: r.id, Volume: r.vol, Flow: r.flow, Op: r.op,
+		Lane: lane, Stage: stage, Start: start, End: end,
+		Wait: wait, Policy: policy, Detail: detail,
+	})
+}
+
+// Capture bundles one cell's observability output: the cell label plus
+// whichever planes were enabled (nil when not).
+type Capture struct {
+	Label  string
+	Tracer *Tracer
+	Prober *Prober
+}
+
+// sortedSpans returns a capture's spans ordered by (request, start,
+// lane, stage) — emission order is already deterministic, the sort makes
+// the export layout stable under instrumentation reshuffles too.
+func sortedSpans(t *Tracer) []Span {
+	src := t.Spans()
+	spans := make([]Span, len(src))
+	copy(spans, src)
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Req != b.Req {
+			return a.Req < b.Req
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		return a.Stage < b.Stage
+	})
+	return spans
+}
+
+func fmtSeconds(t sim.Time) string {
+	return strconv.FormatFloat(sim.Duration(t).Seconds(), 'g', -1, 64)
+}
+
+func fmtDurSeconds(d sim.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WriteTraceCSV writes every capture's spans as one deterministic CSV
+// (docs/formats.md, "Request traces").
+func WriteTraceCSV(w io.Writer, caps []*Capture) error {
+	if _, err := io.WriteString(w, "cell,req,volume,flow,op,lane,stage,start_s,end_s,wait_s,policy,detail\n"); err != nil {
+		return err
+	}
+	for _, c := range caps {
+		if c == nil || c.Tracer == nil {
+			continue
+		}
+		for _, s := range sortedSpans(c.Tracer) {
+			_, err := fmt.Fprintf(w, "%s,%d,%s,%d,%s,%s,%s,%s,%s,%s,%s,%s\n",
+				csvField(c.Label), s.Req, csvField(s.Volume), s.Flow, s.Op,
+				s.Lane, s.Stage, fmtSeconds(s.Start), fmtSeconds(s.End),
+				fmtDurSeconds(s.Wait), s.Policy, csvField(s.Detail))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// csvField quotes a value if it contains CSV metacharacters (labels
+// carry '|' and spaces but may also carry commas).
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// traceEvent is one Chrome trace-event record. Field order is fixed by
+// the struct, so the JSON bytes are deterministic.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	// Ts/Dur must not be omitempty: a span starting at virtual time
+	// zero (or an instantaneous one) still needs explicit ts/dur fields
+	// for trace viewers. Metadata events carry pointers left nil.
+	Ts   *float64       `json:"ts,omitempty"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTraceEvents writes every capture's spans in Chrome trace-event
+// JSON, loadable in Perfetto / chrome://tracing. Each (cell, volume)
+// becomes a process; each traced request's lane becomes a thread, so
+// spans on one thread are strictly sequential and nest trivially.
+func WriteTraceEvents(w io.Writer, caps []*Capture) error {
+	var events []traceEvent
+	pid := 0
+	for _, c := range caps {
+		if c == nil || c.Tracer == nil {
+			continue
+		}
+		spans := sortedSpans(c.Tracer)
+		volPid := map[string]int{}
+		type laneKey struct {
+			req  int
+			lane string
+		}
+		laneTid := map[laneKey]int{}
+		nextTid := map[int]int{}
+		for _, s := range spans {
+			p, ok := volPid[s.Volume]
+			if !ok {
+				pid++
+				p = pid
+				volPid[s.Volume] = p
+				name := s.Volume
+				if c.Label != "" {
+					name = c.Label + " " + s.Volume
+				}
+				events = append(events, traceEvent{
+					Name: "process_name", Ph: "M", Pid: p,
+					Args: map[string]any{"name": name},
+				})
+			}
+			k := laneKey{req: s.Req, lane: s.Lane}
+			tid, ok := laneTid[k]
+			if !ok {
+				nextTid[p]++
+				tid = nextTid[p]
+				laneTid[k] = tid
+				events = append(events, traceEvent{
+					Name: "thread_name", Ph: "M", Pid: p, Tid: tid,
+					Args: map[string]any{"name": fmt.Sprintf("req%d/%s", s.Req, s.Lane)},
+				})
+			}
+			args := map[string]any{
+				"req":     s.Req,
+				"flow":    s.Flow,
+				"op":      s.Op,
+				"wait_us": s.Wait.Seconds() * 1e6,
+			}
+			if s.Policy != "" {
+				args["policy"] = s.Policy
+			}
+			if s.Detail != "" {
+				args["detail"] = s.Detail
+			}
+			ts := sim.Duration(s.Start).Seconds() * 1e6
+			dur := s.End.Sub(s.Start).Seconds() * 1e6
+			events = append(events, traceEvent{
+				Name: s.Stage, Ph: "X", Pid: p, Tid: tid, Cat: "obs",
+				Ts: &ts, Dur: &dur,
+				Args: args,
+			})
+		}
+	}
+	doc := struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

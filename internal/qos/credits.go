@@ -61,6 +61,23 @@ func (c *CreditBucket) Credits() float64 {
 	return c.credits
 }
 
+// PeekCredits returns the balance Credits would report now WITHOUT
+// settling the accrual state. Credits() folds the elapsed earn into the
+// stored balance, and the extra float additions from out-of-band callers
+// (observability probes sampling mid-run) would change the rounding of
+// later settles — so probes read through this instead, leaving the real
+// arithmetic untouched.
+func (c *CreditBucket) PeekCredits() float64 {
+	credits := c.credits
+	if dt := c.eng.Now().Sub(c.lastFill).Seconds(); dt > 0 {
+		credits += dt * c.baseline
+		if credits > c.capacity {
+			credits = c.capacity
+		}
+	}
+	return credits
+}
+
 // Exhaustions counts the times the balance hit zero.
 func (c *CreditBucket) Exhaustions() uint64 { return c.exhaustions }
 

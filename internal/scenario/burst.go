@@ -40,6 +40,11 @@ type BurstSweep struct {
 	Seed    uint64
 	Workers int    // expgrid pool size (0 = GOMAXPROCS)
 	Label   string // seed decorrelation label (default "burst")
+
+	// OnProgress, when non-nil, receives one expgrid.Progress per
+	// completed cell (elapsed/ETA and cached count included). Invoked
+	// serially, display-only.
+	OnProgress func(expgrid.Progress)
 }
 
 func (s BurstSweep) withDefaults() BurstSweep {
@@ -229,7 +234,7 @@ func RunBurst(ctx context.Context, s BurstSweep) (*BurstReport, error) {
 		Seed:           s.Seed,
 		Label:          s.Label,
 	}
-	results, err := expgrid.Runner{Workers: s.Workers}.Run(ctx, sw)
+	results, err := expgrid.Runner{Workers: s.Workers, OnProgress: s.OnProgress}.Run(ctx, sw)
 	if err != nil {
 		return nil, err
 	}

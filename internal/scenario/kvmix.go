@@ -52,6 +52,11 @@ type KVMixSweep struct {
 	Seed    uint64
 	Workers int    // expgrid pool size (0 = GOMAXPROCS)
 	Label   string // seed decorrelation label (default "kvmix")
+
+	// OnProgress, when non-nil, receives one expgrid.Progress per
+	// completed cell (elapsed/ETA and cached count included). Invoked
+	// serially, display-only.
+	OnProgress func(expgrid.Progress)
 }
 
 func (s KVMixSweep) withDefaults() KVMixSweep {
@@ -284,7 +289,7 @@ func RunKVMix(ctx context.Context, s KVMixSweep) (*KVMixReport, error) {
 	sw.Label = fmt.Sprintf("%s|t%d@%g/%dops/rf%d/%s/ks%d/mb%d", s.Label,
 		s.Tenants, s.RatePerSec, s.OpsPerTenant, s.ReadFracPct,
 		s.Arrival, s.KeySpace, s.MemtableBytes)
-	results, err := expgrid.Runner{Workers: s.Workers}.Run(ctx, sw)
+	results, err := expgrid.Runner{Workers: s.Workers, OnProgress: s.OnProgress}.Run(ctx, sw)
 	if err != nil {
 		return nil, err
 	}

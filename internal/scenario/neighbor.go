@@ -8,6 +8,7 @@ import (
 
 	"essdsim/internal/essd"
 	"essdsim/internal/expgrid"
+	"essdsim/internal/obs"
 	"essdsim/internal/profiles"
 	"essdsim/internal/qos"
 	"essdsim/internal/sim"
@@ -68,6 +69,20 @@ type NeighborSweep struct {
 	// the victim's offered bytes/s, enough to cover its load with slack).
 	VictimWeight       float64
 	VictimReservedRate float64
+
+	// Obs enables the observability planes for every cell: request
+	// tracing at Obs.SampleEvery per volume and, when Obs.ProbeInterval
+	// is positive, state probes on that simulated-time cadence.
+	// Observability runs bypass cache reads (a cache-warm cell would
+	// return its stored measurement without producing any capture) while
+	// still refreshing the cache; measured results stay byte-identical to
+	// unobserved runs. Nil (the default) is fully off.
+	Obs *obs.Config
+
+	// OnProgress, when non-nil, receives one expgrid.Progress per
+	// completed cell (elapsed/ETA and cached count included). Invoked
+	// serially, display-only.
+	OnProgress func(expgrid.Progress)
 }
 
 func (s NeighborSweep) withDefaults() NeighborSweep {
@@ -284,6 +299,11 @@ type NeighborReport struct {
 	// Isolation is the backend QoS policy every cell ran under (zero
 	// value: the default fifo).
 	Isolation qos.Isolation
+	// Captures holds each cell's observability capture in enumeration
+	// order, and Explanations the matching obs.Explain attribution
+	// reports. Both are nil unless the sweep ran with Obs set.
+	Captures     []*obs.Capture
+	Explanations []*obs.Explanation
 }
 
 // RunNeighbor executes the noisy-neighbor suite on the expgrid worker pool
@@ -322,7 +342,26 @@ func RunNeighbor(ctx context.Context, s NeighborSweep) (*NeighborReport, error) 
 		sw.Variant = fmt.Sprintf("iso:%s|vw%g|vr%g",
 			s.Isolation.Signature(), s.VictimWeight, s.VictimReservedRate)
 	}
-	results, err := expgrid.Runner{Workers: s.Workers}.Run(ctx, sw)
+	// Observability: wrap the Tenants hook so each cell gets its own
+	// tracer/prober capture (one writer per Cell.Index — race-free under
+	// any worker count), and force fresh simulations so every cell
+	// actually produces one.
+	var caps []*obs.Capture
+	if s.Obs.Enabled() {
+		if err := s.Obs.Validate(); err != nil {
+			return nil, err
+		}
+		sw.ForceRun = true
+		caps = make([]*obs.Capture, len(sw.Cells()))
+		inner := sw.Tenants
+		cfg := *s.Obs
+		sw.Tenants = func(c expgrid.Cell) (*sim.Engine, []workload.Tenant) {
+			eng, tenants := inner(c)
+			caps[c.Index] = instrumentTenants(eng, tenants, neighborCellLabel(c), cfg)
+			return eng, tenants
+		}
+	}
+	results, err := expgrid.Runner{Workers: s.Workers, OnProgress: s.OnProgress}.Run(ctx, sw)
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +375,14 @@ func RunNeighbor(ctx context.Context, s NeighborSweep) (*NeighborReport, error) 
 		rep.Cells = append(rep.Cells, foldNeighborCell(r, s))
 		if r.Cached {
 			rep.CachedCells++
+		}
+	}
+	if caps != nil {
+		rep.Captures = caps
+		vcfg := profiles.NeighborVolumeConfig("victim")
+		thr := vcfg.SpareFrac * float64(vcfg.Capacity)
+		for i, r := range results {
+			rep.Explanations = append(rep.Explanations, neighborExplain(caps[i], r, thr))
 		}
 	}
 	// Inflation columns compare each cell's victim tail against the

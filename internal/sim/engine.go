@@ -107,6 +107,9 @@ type Engine struct {
 	ready  []event // FIFO ring of events at the current time
 	rhead  int     // ready ring head index
 	nsteps uint64
+	live   int // pending non-daemon events; Run stops when it hits zero
+
+	daemonFn func(any) // cached runDaemon bound method (lazily built)
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -127,6 +130,7 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.nsteps = 0
+	e.live = 0
 }
 
 // clearEvents zeroes the slice so dropped callback closures are collectable.
@@ -142,8 +146,14 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
-// Pending returns the number of scheduled events not yet executed.
+// Pending returns the number of scheduled events not yet executed,
+// daemon events included.
 func (e *Engine) Pending() int { return len(e.heap) + len(e.ready) - e.rhead }
+
+// Live returns the number of pending non-daemon events — the work that
+// keeps Run going. Daemon observers use it to decide whether to
+// reschedule themselves.
+func (e *Engine) Live() int { return e.live }
 
 // Schedule runs fn after delay d of simulated time. A negative delay is
 // treated as zero (run as soon as the loop resumes, after already-queued
@@ -163,6 +173,7 @@ func (e *Engine) At(t Time, fn func()) {
 	if fn != nil {
 		cfn, arg = callClosure, fn
 	}
+	e.live++
 	if t <= e.now {
 		// Current-time events go straight to the ready ring: appended in
 		// increasing sequence order, so FIFO order is execution order.
@@ -172,6 +183,33 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	e.push(event{at: t, seq: e.seq, cfn: cfn, arg: arg})
+}
+
+// ScheduleDaemon runs fn after delay d as a daemon event: it executes in
+// the normal (time, sequence) order while non-daemon events remain, but
+// it does not keep the simulation alive — Run returns, with the clock at
+// the last non-daemon event, even if daemon events are still scheduled,
+// and the leftover daemons are never executed. Observability ticks use
+// this so periodic sampling can never extend a run's virtual time (an
+// overshoot would perturb end-of-run snapshots of time-settled state
+// such as the cleaner's debt drain).
+func (e *Engine) ScheduleDaemon(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if e.daemonFn == nil {
+		e.daemonFn = e.runDaemon
+	}
+	e.AtCall(e.now.Add(d), e.daemonFn, fn)
+	e.live-- // daemons don't count as live work
+}
+
+// runDaemon executes a daemon event's callback. Step decremented live
+// unconditionally when it popped the event, so compensate first: daemon
+// events were never counted as live work.
+func (e *Engine) runDaemon(a any) {
+	e.live++
+	a.(func())()
 }
 
 // ScheduleCall runs fn(arg) after delay d. It is Schedule for callers that
@@ -187,6 +225,7 @@ func (e *Engine) ScheduleCall(d Duration, fn func(any), arg any) {
 
 // AtCall runs fn(arg) at absolute simulated time t; see ScheduleCall.
 func (e *Engine) AtCall(t Time, fn func(any), arg any) {
+	e.live++
 	e.seq++
 	if t <= e.now {
 		e.ready = append(e.ready, event{at: e.now, seq: e.seq, cfn: fn, arg: arg})
@@ -292,15 +331,22 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	e.nsteps++
+	// Decrement unconditionally; a daemon event's runDaemon wrapper
+	// compensates, so live keeps counting only non-daemon work.
+	e.live--
 	if ev.cfn != nil {
 		ev.cfn(ev.arg)
 	}
 	return true
 }
 
-// Run executes events until none remain.
+// Run executes events until no live (non-daemon) work remains. Leftover
+// daemon events are abandoned without advancing the clock.
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.live > 0 {
+		if !e.Step() {
+			break
+		}
 	}
 }
 

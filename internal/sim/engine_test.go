@@ -334,3 +334,58 @@ func TestDurationString(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineDaemonEvents(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if e.Live() > 0 {
+			e.ScheduleDaemon(10, tick)
+		}
+	}
+	e.ScheduleDaemon(10, tick)
+	var last Time
+	e.Schedule(35, func() { last = e.Now() })
+	e.Run()
+	// The daemon fires at 10, 20, 30 while the workload event is pending;
+	// the tick scheduled for 40 is abandoned, and the clock stops at the
+	// last live event.
+	if want := []Time{10, 20, 30}; len(ticks) != len(want) {
+		t.Fatalf("daemon ticks at %v, want %v", ticks, want)
+	} else {
+		for i, w := range want {
+			if ticks[i] != w {
+				t.Fatalf("daemon ticks at %v, want %v", ticks, want)
+			}
+		}
+	}
+	if last != 35 || e.Now() != 35 {
+		t.Fatalf("run ended at %d (workload at %d), want 35", e.Now(), last)
+	}
+	if e.Pending() != 0 {
+		// The abandoned daemon at t=40 is dropped by Run's live check but
+		// remains pending until Reset.
+		if e.Pending() != 1 || e.Live() != 0 {
+			t.Fatalf("pending %d live %d after run, want 1 daemon leftover", e.Pending(), e.Live())
+		}
+	}
+}
+
+func TestEngineDaemonOnlyRunReturns(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.ScheduleDaemon(5, func() { fired = true })
+	e.Run() // no live work: must return immediately without executing daemons
+	if fired {
+		t.Fatal("daemon executed with no live work")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %d with no live work", e.Now())
+	}
+	e.Reset()
+	if e.Pending() != 0 || e.Live() != 0 {
+		t.Fatalf("reset left pending=%d live=%d", e.Pending(), e.Live())
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "sort"
+
 // FlowQueue is the pluggable per-flow scheduler behind Server and Pipe:
 // when installed (SetQueue), work that cannot start immediately is pushed
 // here keyed by flow id, and the resource pops the next item to serve
@@ -173,6 +175,36 @@ func (d *DRRQueue) Pop() (int64, func(), bool) {
 	}
 }
 
+// FlowIDs returns every flow id the queue has seen, ascending — a
+// stable iteration order for observability probes over the unordered
+// flow map.
+func (d *DRRQueue) FlowIDs() []int {
+	ids := make([]int, 0, len(d.flows))
+	for id := range d.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// FlowDeficit returns a flow's current DRR deficit counter in cost
+// units (0 for unknown flows). Read-only.
+func (d *DRRQueue) FlowDeficit(id int) float64 {
+	if f := d.flows[id]; f != nil {
+		return f.deficit
+	}
+	return 0
+}
+
+// FlowQueued returns the number of items a flow has waiting (0 for
+// unknown flows). Read-only.
+func (d *DRRQueue) FlowQueued(id int) int {
+	if f := d.flows[id]; f != nil {
+		return f.qlen()
+	}
+	return 0
+}
+
 // ReservationQueue layers strict reservations over a DRR pool: a flow
 // with a reserved rate earns tokens (cost units per second of virtual
 // time) and its queued items are served ahead of everything else while
@@ -247,6 +279,26 @@ func (r *ReservationQueue) Pop() (int64, func(), bool) {
 		return j.cost, j.done, true
 	}
 	return r.DRRQueue.Pop()
+}
+
+// PeekTokens returns the reservation-token balance fill would produce
+// now WITHOUT storing the accrual — Pop's fill() mutates tokens and
+// lastFill, and extra out-of-band fills from observability probes would
+// change the float rounding of the real schedule. 0 for flows with no
+// reservation.
+func (r *ReservationQueue) PeekTokens(id int) float64 {
+	f := r.flows[id]
+	if f == nil || f.reserved <= 0 {
+		return 0
+	}
+	tokens := f.tokens
+	if dt := r.eng.Now().Sub(f.lastFill).Seconds(); dt > 0 {
+		tokens += dt * f.reserved
+		if tokens > r.burst {
+			tokens = r.burst
+		}
+	}
+	return tokens
 }
 
 var (

@@ -54,6 +54,10 @@ func (s *Server) SetFlow(flow int, weight, reservedPerSec float64) {
 	}
 }
 
+// Scheduler returns the installed flow scheduler (nil under FIFO) so
+// observability probes can snapshot per-flow deficits and tokens.
+func (s *Server) Scheduler() FlowQueue { return s.sched }
+
 // QueueLen returns the number of waiting (not yet in service) jobs.
 func (s *Server) QueueLen() int {
 	if s.sched != nil {
@@ -211,6 +215,10 @@ func (p *Pipe) SetQueue(q FlowQueue) {
 		p.finishFn = p.finishTransfer
 	}
 }
+
+// Scheduler returns the installed flow scheduler (nil under FIFO) so
+// observability probes can snapshot per-flow deficits and tokens.
+func (p *Pipe) Scheduler() FlowQueue { return p.sched }
 
 // SetFlow forwards a flow's scheduling parameters to the installed
 // scheduler (no-op without one).

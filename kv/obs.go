@@ -1,0 +1,51 @@
+package kv
+
+// Observability over the KV engines: read-only occupancy accessors and
+// state-probe installation, so a harness can watch memtable pressure,
+// level growth, and page-cache fill alongside the device-level probes.
+
+import (
+	"fmt"
+
+	"essdsim/internal/obs"
+)
+
+// MemtableBytes returns the LSM's current in-memory write buffer
+// occupancy (active plus immutable memtables).
+func (l *LSM) MemtableBytes() int64 { return l.memUsed }
+
+// PutWaiters returns the number of puts blocked on a full memtable
+// chain — the write-stall depth.
+func (l *LSM) PutWaiters() int { return len(l.waiters) }
+
+// InstallProbes registers the LSM's state gauges: memtable occupancy,
+// write-stall depth, flush/compaction busyness, and each level's bytes.
+func (l *LSM) InstallProbes(p *obs.Prober) {
+	p.Add("kv/lsm/memtable_bytes", func() float64 { return float64(l.memUsed) })
+	p.Add("kv/lsm/put_waiters", func() float64 { return float64(len(l.waiters)) })
+	p.Add("kv/lsm/flush_busy", func() float64 { return boolGauge(l.flushBusy) })
+	p.Add("kv/lsm/compact_busy", func() float64 { return boolGauge(l.compBusy) })
+	for i := range l.levels {
+		i := i
+		p.Add(fmt.Sprintf("kv/lsm/l%d_bytes", i), func() float64 {
+			return float64(l.levels[i].bytes)
+		})
+	}
+}
+
+// CachePages returns the number of resident page-cache entries.
+func (p *PageStore) CachePages() int { return len(p.cache) }
+
+// InstallProbes registers the page store's state gauges: resident cache
+// pages and in-flight read-modify-write pairs.
+func (ps *PageStore) InstallProbes(p *obs.Prober) {
+	p.Add("kv/pagestore/cache_pages", func() float64 { return float64(len(ps.cache)) })
+	p.Add("kv/pagestore/inflight", func() float64 { return float64(ps.inflight) })
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
